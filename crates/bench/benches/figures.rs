@@ -1,0 +1,65 @@
+//! One Criterion bench per table/figure of the paper: measures the time
+//! to regenerate the experiment (generate the calibrated logs, run the
+//! analysis, evaluate the paper-vs-measured checks) and asserts on every
+//! iteration that the experiment still reproduces.
+//!
+//! Run with `cargo bench -p failbench --bench figures`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use failbench::experiments::{self, ablations, extensions, ALL_IDS};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    for &id in ALL_IDS {
+        group.bench_function(id, |b| {
+            b.iter(|| {
+                let exp = experiments::run(black_box(id)).expect("known id");
+                assert!(exp.passes(), "{id} stopped reproducing");
+                black_box(exp)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    let names: Vec<&'static str> = ablations::all().iter().map(|e| e.id).collect();
+    for (i, name) in names.into_iter().enumerate() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let exp = ablations::all().into_iter().nth(i).expect("fixed list");
+                assert!(exp.passes(), "{name} stopped reproducing");
+                black_box(exp)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    let names: Vec<&'static str> = extensions::all().iter().map(|e| e.id).collect();
+    for (i, name) in names.into_iter().enumerate() {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let exp = extensions::all().into_iter().nth(i).expect("fixed list");
+                assert!(exp.passes(), "{name} stopped reproducing");
+                black_box(exp)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1500));
+    targets = bench_figures, bench_ablations, bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Regenerates the paper's tables and figures and prints paper-vs-measured
+//! comparisons.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run -p failbench --bin repro -- all        # every experiment
+//! cargo run -p failbench --bin repro -- fig6 fig9  # specific ones
+//! cargo run -p failbench --bin repro -- ablations  # design ablations
+//! cargo run -p failbench --bin repro -- list       # list ids
+//! ```
+//!
+//! Exits non-zero when any requested experiment fails its checks.
+
+use failbench::experiments::{self, ablations, extensions, ALL_IDS};
+use failbench::Experiment;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: repro [all | ablations | extensions | list | <id>...]");
+        eprintln!("ids: {}", ALL_IDS.join(", "));
+        std::process::exit(2);
+    }
+    if args.iter().any(|a| a == "list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        for exp in ablations::all() {
+            println!("{}", exp.id);
+        }
+        for exp in extensions::all() {
+            println!("{}", exp.id);
+        }
+        return;
+    }
+
+    let mut selected: Vec<Experiment> = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "all" => {
+                selected.extend(ALL_IDS.iter().map(|id| {
+                    experiments::run(id).expect("ALL_IDS entries are valid")
+                }));
+                selected.extend(ablations::all());
+                selected.extend(extensions::all());
+            }
+            "ablations" => selected.extend(ablations::all()),
+            "extensions" => selected.extend(extensions::all()),
+            id => match experiments::run(id) {
+                Some(exp) => selected.push(exp),
+                None => {
+                    // Maybe it names an ablation.
+                    match ablations::all()
+                        .into_iter()
+                        .chain(extensions::all())
+                        .find(|e| e.id == id)
+                    {
+                        Some(exp) => selected.push(exp),
+                        None => {
+                            eprintln!("unknown experiment `{id}`; try `repro list`");
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            },
+        }
+    }
+    selected.dedup_by(|a, b| a.id == b.id);
+
+    let mut failed = 0;
+    for exp in &selected {
+        println!("{}", exp.render());
+        if !exp.passes() {
+            failed += 1;
+        }
+    }
+    println!(
+        "{} of {} experiments reproduced",
+        selected.len() - failed,
+        selected.len()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,177 @@
+//! The paper-vs-measured check framework used by the `repro` binary and
+//! the EXPERIMENTS.md generator.
+
+use std::fmt;
+
+/// How a measured value is compared against the paper's value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Tolerance {
+    /// Absolute difference at most this much.
+    Abs(f64),
+    /// Relative difference at most this fraction of the paper value.
+    Rel(f64),
+    /// Measured value must fall inside `[lo, hi]` (for "more than X"-style
+    /// claims); the paper value is display-only.
+    Range(f64, f64),
+}
+
+/// One paper-vs-measured comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Check {
+    /// What is being compared.
+    pub label: String,
+    /// The value the paper reports (or implies).
+    pub paper: f64,
+    /// The value measured on the regenerated data.
+    pub measured: f64,
+    /// The acceptance band.
+    pub tolerance: Tolerance,
+}
+
+impl Check {
+    /// Creates a check with an absolute tolerance.
+    pub fn abs(label: impl Into<String>, paper: f64, measured: f64, tol: f64) -> Self {
+        Check {
+            label: label.into(),
+            paper,
+            measured,
+            tolerance: Tolerance::Abs(tol),
+        }
+    }
+
+    /// Creates a check with a relative tolerance.
+    pub fn rel(label: impl Into<String>, paper: f64, measured: f64, tol: f64) -> Self {
+        Check {
+            label: label.into(),
+            paper,
+            measured,
+            tolerance: Tolerance::Rel(tol),
+        }
+    }
+
+    /// Creates a range check ("the paper says more than X / roughly
+    /// between lo and hi").
+    pub fn range(label: impl Into<String>, paper: f64, measured: f64, lo: f64, hi: f64) -> Self {
+        Check {
+            label: label.into(),
+            paper,
+            measured,
+            tolerance: Tolerance::Range(lo, hi),
+        }
+    }
+
+    /// Whether the measured value is inside the acceptance band.
+    pub fn passes(&self) -> bool {
+        match self.tolerance {
+            Tolerance::Abs(tol) => (self.measured - self.paper).abs() <= tol,
+            Tolerance::Rel(tol) => {
+                (self.measured - self.paper).abs() <= tol * self.paper.abs().max(f64::MIN_POSITIVE)
+            }
+            Tolerance::Range(lo, hi) => self.measured >= lo && self.measured <= hi,
+        }
+    }
+}
+
+impl fmt::Display for Check {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "  {:<52} paper {:>10.3}  measured {:>10.3}  {}",
+            self.label,
+            self.paper,
+            self.measured,
+            if self.passes() { "ok" } else { "MISMATCH" }
+        )
+    }
+}
+
+/// One regenerated experiment: a table or figure of the paper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Experiment {
+    /// Stable identifier (`fig2`, `table3`, ...).
+    pub id: &'static str,
+    /// Human-readable title.
+    pub title: &'static str,
+    /// Paper-vs-measured checks.
+    pub checks: Vec<Check>,
+    /// The regenerated rows/series exactly as the figure would plot them.
+    pub lines: Vec<String>,
+}
+
+impl Experiment {
+    /// Whether every check passes.
+    pub fn passes(&self) -> bool {
+        self.checks.iter().all(Check::passes)
+    }
+
+    /// Renders the experiment as the `repro` binary prints it.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} — {} ==", self.id, self.title);
+        for line in &self.lines {
+            let _ = writeln!(out, "  {line}");
+        }
+        if !self.checks.is_empty() {
+            let _ = writeln!(out, "  --");
+        }
+        for check in &self.checks {
+            let _ = writeln!(out, "{check}");
+        }
+        let _ = writeln!(
+            out,
+            "  => {}",
+            if self.passes() { "REPRODUCED" } else { "NOT REPRODUCED" }
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abs_tolerance() {
+        assert!(Check::abs("x", 10.0, 10.4, 0.5).passes());
+        assert!(!Check::abs("x", 10.0, 10.6, 0.5).passes());
+    }
+
+    #[test]
+    fn rel_tolerance() {
+        assert!(Check::rel("x", 100.0, 104.0, 0.05).passes());
+        assert!(!Check::rel("x", 100.0, 106.0, 0.05).passes());
+        // Relative tolerance around zero never divides by zero.
+        assert!(Check::rel("x", 0.0, 0.0, 0.1).passes());
+    }
+
+    #[test]
+    fn range_tolerance() {
+        assert!(Check::range("x", 70.0, 72.4, 70.0, 80.0).passes());
+        assert!(!Check::range("x", 70.0, 69.0, 70.0, 80.0).passes());
+        assert!(!Check::range("x", 70.0, 81.0, 70.0, 80.0).passes());
+    }
+
+    #[test]
+    fn experiment_render() {
+        let exp = Experiment {
+            id: "figX",
+            title: "test",
+            checks: vec![Check::abs("value", 1.0, 1.0, 0.1)],
+            lines: vec!["series: 1 2 3".into()],
+        };
+        assert!(exp.passes());
+        let text = exp.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("series: 1 2 3"));
+        assert!(text.contains("REPRODUCED"));
+        let bad = Experiment {
+            id: "figY",
+            title: "bad",
+            checks: vec![Check::abs("value", 1.0, 9.0, 0.1)],
+            lines: vec![],
+        };
+        assert!(!bad.passes());
+        assert!(bad.render().contains("NOT REPRODUCED"));
+    }
+}

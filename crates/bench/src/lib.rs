@@ -1,0 +1,22 @@
+//! Benchmark harness and paper-figure regeneration for the `failscope`
+//! reproduction.
+//!
+//! * [`experiments`] regenerates every table and figure of the paper's
+//!   evaluation (Table I-III, Figs. 2-12, and the
+//!   performance-error-proportionality walkthrough) and compares the
+//!   measured values against the paper's, plus the ablation studies
+//!   behind the simulator's design choices.
+//! * [`check`] is the paper-vs-measured comparison framework.
+//! * The `repro` binary prints any (or all) of the experiments:
+//!   `cargo run -p failbench --bin repro -- all`.
+//! * The Criterion benches (`cargo bench -p failbench`) measure the
+//!   regeneration pipelines themselves.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod check;
+pub mod experiments;
+
+pub use check::{Check, Experiment, Tolerance};

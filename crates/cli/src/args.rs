@@ -1,0 +1,159 @@
+//! Minimal dependency-free argument parsing for `failctl`.
+//!
+//! Grammar: `failctl <command> [positional...] [--flag value]...`. Flags
+//! always take exactly one value; unknown flags are an error, so typos
+//! fail loudly rather than being ignored.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parse failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Parsed command line: the command word, positionals, and `--key value`
+/// flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsedArgs {
+    /// The first word after the binary name.
+    pub command: String,
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl ParsedArgs {
+    /// Parses `args` (excluding the binary name).
+    ///
+    /// # Errors
+    ///
+    /// Fails when no command is given, a flag lacks a value, or a flag is
+    /// repeated.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+        let mut iter = args.into_iter();
+        let command = iter
+            .next()
+            .ok_or_else(|| ArgError("missing command; try `failctl help`".into()))?;
+        let mut positional = Vec::new();
+        let mut flags = BTreeMap::new();
+        while let Some(arg) = iter.next() {
+            if let Some(key) = arg.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+                if flags.insert(key.to_string(), value).is_some() {
+                    return Err(ArgError(format!("flag --{key} given twice")));
+                }
+            } else {
+                positional.push(arg);
+            }
+        }
+        Ok(ParsedArgs {
+            command,
+            positional,
+            flags,
+        })
+    }
+
+    /// Returns the raw value of a flag.
+    pub fn flag(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// Returns a flag parsed to `T`, or `default` when absent.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the flag is present but unparsable.
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.flags.get(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value `{raw}` for --{key}"))),
+        }
+    }
+
+    /// Returns a required positional argument.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the positional is missing.
+    pub fn positional(&self, index: usize, name: &str) -> Result<&str, ArgError> {
+        self.positional
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+    }
+
+    /// Errors on any flag not in `allowed` (typo protection).
+    ///
+    /// # Errors
+    ///
+    /// Fails naming the first unknown flag.
+    pub fn reject_unknown_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for key in self.flags.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(ArgError(format!(
+                    "unknown flag --{key}; allowed: {}",
+                    allowed
+                        .iter()
+                        .map(|a| format!("--{a}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<ParsedArgs, ArgError> {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parses_command_positionals_and_flags() {
+        let p = parse(&["report", "log.fslog", "--seed", "42"]).unwrap();
+        assert_eq!(p.command, "report");
+        assert_eq!(p.positional(0, "file").unwrap(), "log.fslog");
+        assert_eq!(p.flag("seed"), Some("42"));
+        assert_eq!(p.flag_or("seed", 0u64).unwrap(), 42);
+        assert_eq!(p.flag_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn rejects_missing_command_and_values() {
+        assert!(parse(&[]).is_err());
+        assert!(parse(&["gen", "--seed"]).is_err());
+        assert!(parse(&["gen", "--seed", "1", "--seed", "2"]).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_flag_values_and_unknown_flags() {
+        let p = parse(&["gen", "--seed", "not-a-number"]).unwrap();
+        assert!(p.flag_or("seed", 0u64).is_err());
+        let p = parse(&["gen", "--sede", "1"]).unwrap();
+        assert!(p.reject_unknown_flags(&["seed"]).is_err());
+        assert!(p.reject_unknown_flags(&["sede"]).is_ok());
+    }
+
+    #[test]
+    fn missing_positional_is_an_error() {
+        let p = parse(&["report"]).unwrap();
+        let err = p.positional(0, "file").unwrap_err();
+        assert!(err.to_string().contains("<file>"));
+    }
+}

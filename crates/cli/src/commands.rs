@@ -1,0 +1,558 @@
+//! The `failctl` subcommands, implemented as functions that return their
+//! output as a `String` so they are directly unit-testable.
+
+use std::fmt::Write as _;
+
+use failmitigate::{
+    required_crews, simulate_staffing, CheckpointPlan, OperationsPlan, PlanConfig, SparePolicy,
+};
+use failscope::{AvailabilityAnalysis, NodeSurvival, TbfAnalysis};
+use failsim::{ScenarioBuilder, Simulator, SystemModel};
+use failtypes::{ComponentClass, FailureLog, Generation};
+
+use crate::args::{ArgError, ParsedArgs};
+
+/// Top-level error for command execution.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument-level problem.
+    Args(ArgError),
+    /// Anything that went wrong while executing.
+    Run(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Run(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<ArgError> for CliError {
+    fn from(e: ArgError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+fn run_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Run(e.to_string())
+}
+
+/// The help text.
+pub fn help() -> String {
+    "failctl — multi-GPU supercomputer failure-log toolkit
+
+USAGE: failctl <command> [args]
+
+COMMANDS
+  generate --system tsubame2|tsubame3 [--seed N] [--out FILE]
+      Generate a calibrated failure log (writes failscope-log v1).
+  scenario --nodes N --gpus G --mtbf H --days D [--seed N] [--out FILE]
+           [--multi F] [--trend-start X] [--trend-end Y]
+      Generate a what-if system's log (trend: rate ramps X -> Y x base).
+  summary <FILE>
+      One-paragraph structural summary of a log.
+  report <FILE>
+      Full five-RQ reliability report.
+  compare <OLD> <NEW>
+      Cross-generation comparison (MTBF/MTTR/PEP factors).
+  anonymize <IN> <OUT> [--key N]
+      Rewrite node identities with a keyed permutation.
+  checkpoint <FILE> [--cost H]
+      Young/Daly checkpoint intervals from the measured MTBF.
+  spares <FILE> [--class gpu|cpu|memory|storage|power|board] [--lead-days D] [--risk EPS]
+      Spare-pool sizing for a component class.
+  availability <FILE>
+      Repair overlap and node availability.
+  survival <FILE>
+      Node time-to-first-failure survival summary.
+  staffing <FILE> [--crews N] [--target INFLATION]
+      Repair-crew queueing: effective MTTR vs crew count.
+  plan <FILE>
+      Integrated operations plan (checkpoints, spares, crews, placement).
+  racks <FILE>
+      Rack-level failure distribution and uniformity test.
+  help
+      This text.
+"
+    .to_string()
+}
+
+fn load(path: &str) -> Result<FailureLog, CliError> {
+    faillog::load(path).map_err(run_err)
+}
+
+/// `failctl generate`.
+pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["system", "seed", "out"])?;
+    let system = args.flag("system").unwrap_or("tsubame3");
+    let generation = match system {
+        "tsubame2" => Generation::Tsubame2,
+        "tsubame3" => Generation::Tsubame3,
+        other => {
+            return Err(CliError::Run(format!(
+                "unknown system `{other}` (use tsubame2 or tsubame3)"
+            )))
+        }
+    };
+    let seed: u64 = args.flag_or("seed", 42)?;
+    let log = Simulator::new(SystemModel::for_generation(generation), seed)
+        .generate()
+        .map_err(run_err)?;
+    finish_generate(args, log)
+}
+
+/// `failctl scenario`.
+pub fn scenario(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[
+        "nodes",
+        "gpus",
+        "mtbf",
+        "days",
+        "seed",
+        "out",
+        "multi",
+        "trend-start",
+        "trend-end",
+    ])?;
+    let mut builder = ScenarioBuilder::new("failctl-scenario")
+        .nodes(args.flag_or("nodes", 540u32)?)
+        .gpus_per_node(args.flag_or("gpus", 4u8)?)
+        .system_mtbf_hours(args.flag_or("mtbf", 72.0f64)?)
+        .window_days(args.flag_or("days", 365u32)?);
+    if let Some(raw) = args.flag("multi") {
+        let f: f64 = raw
+            .parse()
+            .map_err(|_| CliError::Run(format!("invalid --multi value `{raw}`")))?;
+        builder = builder.multi_gpu_fraction(f);
+    }
+    let trend_start: f64 = args.flag_or("trend-start", 1.0)?;
+    let trend_end: f64 = args.flag_or("trend-end", 1.0)?;
+    builder = builder.reliability_trend(trend_start, trend_end);
+    let model = builder
+        .build()
+        .ok_or_else(|| CliError::Run("scenario parameters out of range".into()))?;
+    let seed: u64 = args.flag_or("seed", 42)?;
+    let log = Simulator::new(model, seed).generate().map_err(run_err)?;
+    finish_generate(args, log)
+}
+
+fn finish_generate(args: &ParsedArgs, log: FailureLog) -> Result<String, CliError> {
+    match args.flag("out") {
+        Some(path) => {
+            faillog::save(path, &log).map_err(run_err)?;
+            Ok(format!("wrote {} failures to {path}\n", log.len()))
+        }
+        None => faillog::to_string(&log).map_err(run_err),
+    }
+}
+
+/// `failctl summary`.
+pub fn summary(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    let s = faillog::summarize(&log);
+    let mut out = String::new();
+    let _ = writeln!(out, "system:            {}", s.system);
+    let _ = writeln!(out, "window:            {} ({:.0} days)", log.window(), s.window_days);
+    let _ = writeln!(out, "failures:          {}", s.failures);
+    let _ = writeln!(out, "failing nodes:     {}", s.failing_nodes);
+    let _ = writeln!(out, "gpu failures:      {}", s.gpu_failures);
+    let _ = writeln!(out, "multi-gpu:         {}", s.multi_gpu_failures);
+    if let Some(tbf) = TbfAnalysis::from_log(&log) {
+        let _ = writeln!(out, "mtbf:              {:.1} h", tbf.mtbf_hours());
+    }
+    if let Some(ttr) = failscope::TtrAnalysis::from_log(&log) {
+        let _ = writeln!(out, "mttr:              {:.1} h", ttr.mttr_hours());
+    }
+    Ok(out)
+}
+
+/// `failctl report`.
+pub fn report(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    Ok(failscope::render_report(&log))
+}
+
+/// `failctl compare`.
+pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let older = load(args.positional(0, "old")?)?;
+    let newer = load(args.positional(1, "new")?)?;
+    Ok(failscope::render_comparison(&older, &newer))
+}
+
+/// `failctl anonymize`.
+pub fn anonymize(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["key"])?;
+    let input = args.positional(0, "in")?;
+    let output = args.positional(1, "out")?;
+    let key: u64 = args.flag_or("key", 0xFA11_5C0F)?;
+    let log = load(input)?;
+    let anon = faillog::anonymize_nodes(&log, key);
+    faillog::save(output, &anon).map_err(run_err)?;
+    Ok(format!("anonymized {} records -> {output}\n", anon.len()))
+}
+
+/// `failctl checkpoint`.
+pub fn checkpoint(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["cost"])?;
+    let log = load(args.positional(0, "file")?)?;
+    let cost: f64 = args.flag_or("cost", 0.25)?;
+    let plan = CheckpointPlan::from_log(&log, cost).map_err(run_err)?;
+    let daly = plan.daly_interval_hours();
+    let mut out = String::new();
+    let _ = writeln!(out, "mtbf:            {:.1} h", plan.mtbf_hours());
+    let _ = writeln!(out, "checkpoint cost: {:.2} h", plan.checkpoint_cost_hours());
+    let _ = writeln!(out, "young interval:  {:.2} h", plan.young_interval_hours());
+    let _ = writeln!(out, "daly interval:   {daly:.2} h");
+    let _ = writeln!(out, "efficiency:      {:.1}%", plan.efficiency(daly) * 100.0);
+    Ok(out)
+}
+
+/// `failctl spares`.
+pub fn spares(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["class", "lead-days", "risk"])?;
+    let log = load(args.positional(0, "file")?)?;
+    let class = match args.flag("class").unwrap_or("gpu") {
+        "gpu" => ComponentClass::Gpu,
+        "cpu" => ComponentClass::Cpu,
+        "memory" => ComponentClass::Memory,
+        "storage" => ComponentClass::Storage,
+        "power" => ComponentClass::Power,
+        "board" => ComponentClass::Board,
+        other => return Err(CliError::Run(format!("unknown component class `{other}`"))),
+    };
+    let lead_days: f64 = args.flag_or("lead-days", 14.0)?;
+    let risk: f64 = args.flag_or("risk", 0.05)?;
+    if !(risk > 0.0 && risk < 1.0) {
+        return Err(CliError::Run("--risk must be in (0, 1)".into()));
+    }
+    let policy = SparePolicy::from_log(&log, class, lead_days * 24.0)
+        .ok_or_else(|| CliError::Run(format!("no {} failures in the log", class.name())))?;
+    let spares = policy.required_spares(risk);
+    let mut out = String::new();
+    let _ = writeln!(out, "class:            {}", class.name());
+    let _ = writeln!(out, "lead time:        {lead_days:.1} days");
+    let _ = writeln!(out, "lead-time demand: {:.2} failures", policy.lead_time_demand());
+    let _ = writeln!(out, "required spares:  {spares} (stockout <= {:.1}%)", risk * 100.0);
+    let _ = writeln!(
+        out,
+        "residual risk:    {:.2}%",
+        policy.stockout_probability(spares) * 100.0
+    );
+    Ok(out)
+}
+
+/// `failctl availability`.
+pub fn availability(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    let a = AvailabilityAnalysis::from_log(&log)
+        .ok_or_else(|| CliError::Run("log is empty".into()))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "repair overlap probability:  {:.1}%", a.overlap_probability() * 100.0);
+    let _ = writeln!(out, "mean concurrent repairs:     {:.2}", a.mean_concurrent_repairs());
+    let _ = writeln!(out, "max concurrent repairs:      {}", a.max_concurrent_repairs());
+    let _ = writeln!(out, "time with repairs open:      {:.1}%", a.repair_busy_fraction() * 100.0);
+    let _ = writeln!(out, "node-hours lost:             {:.0}", a.node_hours_lost());
+    let _ = writeln!(out, "node availability:           {:.3}%", a.node_availability() * 100.0);
+    Ok(out)
+}
+
+/// `failctl survival`.
+pub fn survival(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    let s = NodeSurvival::from_log(&log)
+        .ok_or_else(|| CliError::Run("cannot fit a survival curve".into()))?;
+    let horizon = log.window().duration().get();
+    let mut out = String::new();
+    let _ = writeln!(out, "nodes that failed:       {}", s.observed_failures());
+    let _ = writeln!(out, "nodes never failed:      {}", s.censored_nodes());
+    for frac in [0.25, 0.5, 0.75, 1.0] {
+        let t = horizon * frac;
+        let _ = writeln!(
+            out,
+            "S({:>6.0} h) = {:.3}",
+            t,
+            s.survival_at(t)
+        );
+    }
+    match s.median_hours() {
+        Some(m) => {
+            let _ = writeln!(out, "median time to first failure: {m:.0} h");
+        }
+        None => {
+            let _ = writeln!(out, "median time to first failure: beyond the window");
+        }
+    }
+    Ok(out)
+}
+
+/// `failctl staffing`.
+pub fn staffing(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&["crews", "target"])?;
+    let log = load(args.positional(0, "file")?)?;
+    let target: f64 = args.flag_or("target", 1.05)?;
+    if target < 1.0 {
+        return Err(CliError::Run("--target must be at least 1.0".into()));
+    }
+    let mut out = String::new();
+    if let Some(raw) = args.flag("crews") {
+        let crews: u32 = raw
+            .parse()
+            .map_err(|_| CliError::Run(format!("invalid --crews value `{raw}`")))?;
+        let o = simulate_staffing(&log, crews)
+            .ok_or_else(|| CliError::Run("log is empty or crews is zero".into()))?;
+        let _ = writeln!(out, "crews:            {}", o.crews);
+        let _ = writeln!(out, "hands-on mttr:    {:.1} h", o.hands_on_mttr_hours);
+        let _ = writeln!(out, "effective mttr:   {:.1} h ({:.2}x)", o.effective_mttr_hours, o.inflation());
+        let _ = writeln!(out, "mean wait:        {:.1} h", o.mean_wait_hours);
+        let _ = writeln!(out, "delayed failures: {:.1}%", o.delayed_fraction * 100.0);
+    } else {
+        let _ = writeln!(out, "crews  effective mttr  inflation  delayed");
+        for crews in 1..=10 {
+            let o = simulate_staffing(&log, crews)
+                .ok_or_else(|| CliError::Run("log is empty".into()))?;
+            let _ = writeln!(
+                out,
+                "{:>5}  {:>12.1} h  {:>8.2}x  {:>6.1}%",
+                crews,
+                o.effective_mttr_hours,
+                o.inflation(),
+                o.delayed_fraction * 100.0
+            );
+        }
+        match required_crews(&log, target, 64) {
+            Some(c) => {
+                let _ = writeln!(out, "crews for <= {:.0}% queueing overhead: {c}", (target - 1.0) * 100.0);
+            }
+            None => {
+                let _ = writeln!(out, "no crew count up to 64 meets the target");
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `failctl plan`.
+pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    let plan = OperationsPlan::from_log(&log, PlanConfig::default())
+        .ok_or_else(|| CliError::Run("log too small to plan from".into()))?;
+    Ok(plan.render())
+}
+
+/// `failctl racks`.
+pub fn racks(args: &ParsedArgs) -> Result<String, CliError> {
+    args.reject_unknown_flags(&[])?;
+    let log = load(args.positional(0, "file")?)?;
+    let d = failscope::RackDistribution::from_log(&log);
+    let mut out = String::new();
+    let mut rows: Vec<_> = d.shares().to_vec();
+    rows.sort_by_key(|share| std::cmp::Reverse(share.count));
+    for share in rows.iter().take(10) {
+        let _ = writeln!(
+            out,
+            "{:<8} {:>4} failures over {:>3} nodes",
+            share.rack.to_string(),
+            share.count,
+            share.nodes
+        );
+    }
+    if d.shares().len() > 10 {
+        let _ = writeln!(out, "... ({} racks total)", d.shares().len());
+    }
+    if let Some(test) = d.uniformity_test() {
+        let _ = writeln!(
+            out,
+            "uniformity: chi2 = {:.1}, dof = {}, p = {:.4} -> {}",
+            test.statistic,
+            test.dof,
+            test.p_value,
+            if test.rejects_at(0.01) {
+                "non-uniform"
+            } else {
+                "consistent with uniform"
+            }
+        );
+    }
+    Ok(out)
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+    match args.command.as_str() {
+        "generate" => generate(args),
+        "scenario" => scenario(args),
+        "summary" => summary(args),
+        "report" => report(args),
+        "compare" => compare(args),
+        "anonymize" => anonymize(args),
+        "checkpoint" => checkpoint(args),
+        "spares" => spares(args),
+        "availability" => availability(args),
+        "survival" => survival(args),
+        "staffing" => staffing(args),
+        "plan" => plan(args),
+        "racks" => racks(args),
+        "help" | "--help" | "-h" => Ok(help()),
+        other => Err(CliError::Run(format!(
+            "unknown command `{other}`; try `failctl help`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> ParsedArgs {
+        ParsedArgs::parse(words.iter().map(|s| s.to_string())).expect("parses")
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("failctl-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn generate_to_stdout_and_file() {
+        let text = generate(&parse(&["generate", "--system", "tsubame3", "--seed", "7"]))
+            .expect("generates");
+        assert!(text.starts_with("# failscope-log v1"));
+        let path = temp_path("gen.fslog");
+        let msg = generate(&parse(&[
+            "generate",
+            "--out",
+            path.to_str().expect("utf8 path"),
+        ]))
+        .expect("generates");
+        assert!(msg.contains("338 failures"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn generate_rejects_unknown_system_and_flags() {
+        assert!(generate(&parse(&["generate", "--system", "cray"])).is_err());
+        assert!(generate(&parse(&["generate", "--sytem", "tsubame2"])).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_through_files() {
+        let log_path = temp_path("pipeline.fslog");
+        let path = log_path.to_str().expect("utf8 path");
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", path]))
+            .expect("generates");
+
+        let s = summary(&parse(&["summary", path])).expect("summarizes");
+        assert!(s.contains("failures:          897"));
+        assert!(s.contains("mtbf:"));
+
+        let r = report(&parse(&["report", path])).expect("reports");
+        assert!(r.contains("Failure categories"));
+
+        let c = checkpoint(&parse(&["checkpoint", path, "--cost", "0.1"])).expect("plans");
+        assert!(c.contains("daly interval"));
+
+        let sp = spares(&parse(&["spares", path, "--class", "gpu"])).expect("sizes");
+        assert!(sp.contains("required spares"));
+
+        let av = availability(&parse(&["availability", path])).expect("analyzes");
+        assert!(av.contains("repair overlap"));
+
+        let sv = survival(&parse(&["survival", path])).expect("fits");
+        assert!(sv.contains("nodes that failed"));
+
+        let st = staffing(&parse(&["staffing", path])).expect("simulates");
+        assert!(st.contains("queueing overhead"));
+        let st = staffing(&parse(&["staffing", path, "--crews", "2"])).expect("simulates");
+        assert!(st.contains("effective mttr"));
+        assert!(staffing(&parse(&["staffing", path, "--target", "0.5"])).is_err());
+
+        let pl = plan(&parse(&["plan", path])).expect("plans");
+        assert!(pl.contains("Operations plan"));
+        assert!(pl.contains("repair crews"));
+
+        let rk = racks(&parse(&["racks", path])).expect("analyzes");
+        assert!(rk.contains("uniformity"));
+        assert!(rk.contains("non-uniform"));
+
+        let anon_path = temp_path("pipeline-anon.fslog");
+        let anon = anonymize(&parse(&[
+            "anonymize",
+            path,
+            anon_path.to_str().expect("utf8 path"),
+            "--key",
+            "9",
+        ]))
+        .expect("anonymizes");
+        assert!(anon.contains("897 records"));
+
+        std::fs::remove_file(&log_path).expect("cleanup");
+        std::fs::remove_file(&anon_path).expect("cleanup");
+    }
+
+    #[test]
+    fn compare_two_generations() {
+        let p2 = temp_path("cmp2.fslog");
+        let p3 = temp_path("cmp3.fslog");
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", p2.to_str().unwrap()]))
+            .expect("generates");
+        generate(&parse(&["generate", "--system", "tsubame3", "--out", p3.to_str().unwrap()]))
+            .expect("generates");
+        let out = compare(&parse(&[
+            "compare",
+            p2.to_str().unwrap(),
+            p3.to_str().unwrap(),
+        ]))
+        .expect("compares");
+        assert!(out.contains("MTBF"));
+        std::fs::remove_file(&p2).expect("cleanup");
+        std::fs::remove_file(&p3).expect("cleanup");
+    }
+
+    #[test]
+    fn scenario_generation() {
+        let out = scenario(&parse(&[
+            "scenario", "--nodes", "64", "--gpus", "8", "--mtbf", "30", "--days", "120",
+        ]))
+        .expect("generates");
+        assert!(out.contains("gpus-per-node: 8"));
+        // Out-of-range parameters fail cleanly.
+        assert!(scenario(&parse(&["scenario", "--gpus", "9"])).is_err());
+        assert!(scenario(&parse(&["scenario", "--multi", "1.5"])).is_err());
+        assert!(scenario(&parse(&["scenario", "--trend-start", "0"])).is_err());
+        // A wear-out trend generates successfully.
+        assert!(scenario(&parse(&[
+            "scenario", "--trend-start", "0.5", "--trend-end", "2.0",
+        ]))
+        .is_ok());
+    }
+
+    #[test]
+    fn spares_flag_validation() {
+        let path = temp_path("spares.fslog");
+        generate(&parse(&["generate", "--out", path.to_str().unwrap()])).expect("generates");
+        assert!(spares(&parse(&["spares", path.to_str().unwrap(), "--class", "quantum"]))
+            .is_err());
+        assert!(spares(&parse(&["spares", path.to_str().unwrap(), "--risk", "2.0"])).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn dispatch_routes_and_rejects() {
+        assert!(dispatch(&parse(&["help"])).expect("help").contains("USAGE"));
+        assert!(dispatch(&parse(&["frobnicate"])).is_err());
+        // Missing file errors are reported, not panicked.
+        assert!(dispatch(&parse(&["report", "/no/such/file"])).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! `failctl` — command-line front end for the failscope workspace.
+//!
+//! See `failctl help` for the command list; all logic lives in
+//! [`commands`] so it is unit-tested without spawning processes.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match args::ParsedArgs::parse(raw) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("failctl: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match commands::dispatch(&parsed) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failctl: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

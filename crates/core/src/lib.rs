@@ -1,0 +1,88 @@
+//! `failscope` — failure and repair analysis for supercomputers with
+//! multi-GPU compute nodes.
+//!
+//! This crate is the primary contribution of the workspace: a toolkit
+//! that answers the five research questions of the DSN 2021 field study
+//! *"Examining Failures and Repairs on Supercomputers with Multi-GPU
+//! Compute Nodes"* (Taherin, Patel, Georgakoudis, Laguna, Tiwari) on any
+//! [`failtypes::FailureLog`]:
+//!
+//! | RQ | Question | Entry points |
+//! |----|----------|--------------|
+//! | RQ1 | Which failure types dominate? (Figs. 2-3) | [`CategoryBreakdown`], [`DomainBreakdown`], [`LocusBreakdown`] |
+//! | RQ2 | Do some nodes/GPU slots fail more? (Figs. 4-5) | [`NodeDistribution`], [`SlotDistribution`] |
+//! | RQ3 | Do multiple GPUs fail simultaneously? (Table III) | [`InvolvementTable`] |
+//! | RQ4 | How are failures spaced in time? (Figs. 6-8) | [`TbfAnalysis`], [`per_category_tbf`], [`MultiGpuTemporal`] |
+//! | RQ5 | How long does recovery take? (Figs. 9-12) | [`TtrAnalysis`], [`per_category_ttr`], [`SeasonalAnalysis`] |
+//!
+//! plus the paper's proposed metric, performance-error-proportionality
+//! ([`Pep`] / [`PepComparison`]), and plain-text report rendering
+//! ([`render_report`] / [`render_comparison`]).
+//!
+//! # Examples
+//!
+//! Answer RQ1 and RQ4 on a generated Tsubame-3 log:
+//!
+//! ```
+//! use failscope::{CategoryBreakdown, TbfAnalysis};
+//! use failsim::{Simulator, SystemModel};
+//!
+//! let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+//!
+//! let cats = CategoryBreakdown::from_log(&log);
+//! assert!(cats.shares()[0].fraction > 0.5); // software dominates
+//!
+//! let tbf = TbfAnalysis::from_log(&log).unwrap();
+//! assert!(tbf.mtbf_hours() > 70.0); // "more than 70 hours"
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+mod availability;
+mod categories;
+mod multigpu;
+mod rates;
+mod survival;
+mod pep;
+mod report;
+mod seasonal;
+mod spatial;
+mod tbf;
+mod temporal;
+mod ttr;
+
+pub use availability::AvailabilityAnalysis;
+pub use categories::{
+    CategoryBreakdown, CategoryShare, ClassBreakdown, DomainBreakdown, LocusBreakdown, LocusShare,
+};
+pub use rates::{laplace_trend, rolling_rate, LaplaceTrend, RateBin};
+pub use survival::{node_lifetimes, NodeSurvival};
+pub use multigpu::{InvolvementRow, InvolvementTable};
+pub use pep::{Pep, PepComparison};
+pub use report::{render_comparison, render_report};
+pub use seasonal::{MonthBucket, SeasonalAnalysis};
+pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
+pub use tbf::{
+    class_mtbf_hours, gpu_involvement_mtbf_hours, per_category_tbf, CategoryTbf, TbfAnalysis,
+};
+pub use temporal::MultiGpuTemporal;
+pub use ttr::{domain_ttr_spread, per_category_ttr, rare_but_costly, CategoryTtr, TtrAnalysis};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CategoryBreakdown>();
+        assert_send_sync::<NodeDistribution>();
+        assert_send_sync::<InvolvementTable>();
+        assert_send_sync::<TbfAnalysis>();
+        assert_send_sync::<TtrAnalysis>();
+        assert_send_sync::<SeasonalAnalysis>();
+        assert_send_sync::<PepComparison>();
+    }
+}

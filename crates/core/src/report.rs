@@ -1,0 +1,336 @@
+//! Operator-facing plain-text reports assembled from the analyses.
+
+use std::fmt::Write as _;
+
+use failtypes::FailureLog;
+
+use crate::categories::{CategoryBreakdown, LocusBreakdown};
+use crate::multigpu::InvolvementTable;
+use crate::pep::PepComparison;
+use crate::seasonal::SeasonalAnalysis;
+use crate::spatial::{NodeDistribution, SlotDistribution};
+use crate::tbf::{per_category_tbf, TbfAnalysis};
+use crate::temporal::MultiGpuTemporal;
+use crate::ttr::{per_category_ttr, TtrAnalysis};
+
+/// Renders the full single-system reliability report (all five research
+/// questions) as plain text.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let text = failscope::render_report(&log);
+/// assert!(text.contains("Failure categories"));
+/// assert!(text.contains("MTBF"));
+/// ```
+pub fn render_report(log: &FailureLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Reliability report: {} ===", log.spec().name());
+    let _ = writeln!(
+        out,
+        "{} failures over {} ({:.0} days)",
+        log.len(),
+        log.window(),
+        log.window().duration().days()
+    );
+
+    // RQ1 — categories.
+    let cats = CategoryBreakdown::from_log(log);
+    let _ = writeln!(out, "\n-- Failure categories (RQ1) --");
+    for share in cats.shares() {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>5}  {:>6.2}%",
+            share.category.label(),
+            share.count,
+            share.fraction * 100.0
+        );
+    }
+    let loci = LocusBreakdown::from_log(log);
+    if loci.total() > 0 {
+        let _ = writeln!(out, "\n-- Software root loci (Fig. 3) --");
+        for share in loci.shares() {
+            let _ = writeln!(
+                out,
+                "  {:<22} {:>4}  {:>6.2}%",
+                share.locus.label(),
+                share.count,
+                share.fraction * 100.0
+            );
+        }
+    }
+
+    // RQ2 — spatial.
+    let nodes = NodeDistribution::from_log(log);
+    let _ = writeln!(out, "\n-- Per-node distribution (RQ2) --");
+    let _ = writeln!(
+        out,
+        "  {} of {} nodes failed at least once",
+        nodes.failing_nodes(),
+        nodes.total_nodes()
+    );
+    let _ = writeln!(
+        out,
+        "  exactly 1 failure: {:>5.1}%   exactly 2: {:>5.1}%   more than 1: {:>5.1}%",
+        nodes.fraction_with_exactly(1) * 100.0,
+        nodes.fraction_with_exactly(2) * 100.0,
+        nodes.fraction_with_multiple() * 100.0
+    );
+    let slots = SlotDistribution::from_log(log);
+    if slots.total_involvements() > 0 {
+        let _ = writeln!(out, "  GPU slot shares:");
+        for s in slots.shares() {
+            let _ = writeln!(
+                out,
+                "    {}: {:>5.1}% ({:+.0}% vs mean)",
+                s.slot,
+                s.fraction * 100.0,
+                (s.relative_to_mean - 1.0) * 100.0
+            );
+        }
+    }
+
+    // RQ3 — multi-GPU involvement.
+    let inv = InvolvementTable::from_log(log);
+    if inv.known() > 0 {
+        let _ = writeln!(out, "\n-- Multi-GPU involvement (RQ3, Table III) --");
+        for row in inv.rows() {
+            let _ = writeln!(
+                out,
+                "  {} GPU(s): {:>4} ({:>5.2}%)",
+                row.gpus,
+                row.count,
+                row.fraction * 100.0
+            );
+        }
+        let _ = writeln!(out, "  unknown involvement: {}", inv.unknown());
+    }
+
+    // RQ4 — TBF.
+    if let Some(tbf) = TbfAnalysis::from_log(log) {
+        let _ = writeln!(out, "\n-- Time between failures (RQ4) --");
+        let (mtbf_lo, mtbf_hi) = tbf.mtbf_ci_hours(0.95);
+        let _ = writeln!(
+            out,
+            "  MTBF {:.1} h (95% CI {:.1}-{:.1})   p25 {:.1} h   median {:.1} h   p75 {:.1} h",
+            tbf.mtbf_hours(),
+            mtbf_lo,
+            mtbf_hi,
+            tbf.quantile(0.25),
+            tbf.quantile(0.5),
+            tbf.p75_hours()
+        );
+        let rows = per_category_tbf(log, 5);
+        for row in rows.iter().take(5) {
+            let _ = writeln!(
+                out,
+                "  {:<16} mean TBF {:>8.1} h (n = {})",
+                row.category.label(),
+                row.summary.mean(),
+                row.summary.n() + 1
+            );
+        }
+    }
+
+    if let Some(t) = MultiGpuTemporal::from_log(log, 96.0) {
+        let _ = writeln!(
+            out,
+            "  multi-GPU clustering: CV {:.2}, follow-up within {:.0} h: {:.0}% (poisson {:.0}%)",
+            t.report.cv,
+            t.report.follow_up_window,
+            t.follow_up_probability * 100.0,
+            t.poisson_baseline * 100.0
+        );
+    }
+
+    // RQ5 — TTR.
+    if let Some(ttr) = TtrAnalysis::from_log(log) {
+        let _ = writeln!(out, "\n-- Time to recovery (RQ5) --");
+        let _ = writeln!(
+            out,
+            "  MTTR {:.1} h   median {:.1} h   p90 {:.1} h   max {:.1} h",
+            ttr.mttr_hours(),
+            ttr.median_hours(),
+            ttr.quantile(0.9),
+            ttr.max_hours()
+        );
+        let rows = per_category_ttr(log);
+        if let Some(worst) = rows.last() {
+            let _ = writeln!(
+                out,
+                "  slowest category: {} (mean {:.1} h, max {:.1} h, {:.1}% of failures)",
+                worst.category.label(),
+                worst.summary.mean(),
+                worst.summary.max(),
+                worst.share_of_failures * 100.0
+            );
+        }
+    }
+
+    // Rack-level distribution (related-work generalizability claim).
+    let racks = crate::spatial::RackDistribution::from_log(log);
+    if let Some(test) = racks.uniformity_test() {
+        let k = (racks.shares().len() as f64 * 0.2).round().max(1.0) as usize;
+        let _ = writeln!(
+            out,
+            "  rack uniformity: chi2 = {:.0} (p = {:.3}) across {} racks; top {} racks hold {:.0}%",
+            test.statistic,
+            test.p_value,
+            racks.shares().len(),
+            k,
+            racks.top_rack_share(k) * 100.0
+        );
+    }
+
+    // Repair overlap / availability (RQ5 implication 1).
+    if let Some(avail) = crate::availability::AvailabilityAnalysis::from_log(log) {
+        let _ = writeln!(out, "\n-- Repair overlap and availability --");
+        let _ = writeln!(
+            out,
+            "  {:.0}% of failures arrive with repairs still open; mean {:.2} concurrent (max {})",
+            avail.overlap_probability() * 100.0,
+            avail.mean_concurrent_repairs(),
+            avail.max_concurrent_repairs()
+        );
+        let _ = writeln!(
+            out,
+            "  node availability {:.3}% ({:.0} node-hours lost)",
+            avail.node_availability() * 100.0,
+            avail.node_hours_lost()
+        );
+    }
+
+    // Node survival.
+    if let Some(surv) = crate::survival::NodeSurvival::from_log(log) {
+        let horizon = log.window().duration().get();
+        let _ = writeln!(out, "\n-- Node survival (time to first failure) --");
+        let _ = writeln!(
+            out,
+            "  {} of {} nodes failed at least once; S(quarter)={:.2} S(half)={:.2} S(end)={:.2}",
+            surv.observed_failures(),
+            surv.observed_failures() + surv.censored_nodes(),
+            surv.survival_at(horizon * 0.25),
+            surv.survival_at(horizon * 0.5),
+            surv.survival_at(horizon)
+        );
+    }
+
+    // Seasonal.
+    let seasonal = SeasonalAnalysis::from_log(log);
+    if let Some(r) = seasonal.density_ttr_correlation() {
+        let _ = writeln!(out, "\n-- Seasonal (Figs. 11-12) --");
+        let counts = seasonal.monthly_failure_counts();
+        let _ = writeln!(
+            out,
+            "  monthly failures: min {} / max {} across {} months",
+            counts.iter().min().unwrap_or(&0),
+            counts.iter().max().unwrap_or(&0),
+            counts.len()
+        );
+        let _ = writeln!(out, "  corr(failure count, mean TTR) = {r:+.2}");
+        if let Some((h1, h2)) = seasonal.half_year_ttr_means() {
+            let _ = writeln!(
+                out,
+                "  mean TTR Jan-Jun {h1:.1} h vs Jul-Dec {h2:.1} h"
+            );
+        }
+    }
+
+    out
+}
+
+/// Renders the two-generation comparison (MTBF/MTTR factors and the
+/// performance-error-proportionality argument).
+pub fn render_comparison(older: &FailureLog, newer: &FailureLog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== Generation comparison: {} -> {} ===",
+        older.spec().name(),
+        newer.spec().name()
+    );
+    if let Some(c) = PepComparison::new(older, newer) {
+        let _ = writeln!(out, "  compute (Rpeak): {:>6.2}x", c.compute_factor());
+        let _ = writeln!(out, "  MTBF:            {:>6.2}x", c.mtbf_factor());
+        let _ = writeln!(
+            out,
+            "  PEP (FLOP/MTBF): {:>6.2}x  ({:.0} -> {:.0} EFLOP per failure-free period)",
+            c.pep_factor(),
+            c.older.exaflop_per_failure_free_period(),
+            c.newer.exaflop_per_failure_free_period()
+        );
+        if c.reliability_lags_compute() {
+            let _ = writeln!(
+                out,
+                "  note: reliability improved more slowly than raw compute"
+            );
+        }
+    }
+    let (a, b) = (TtrAnalysis::from_log(older), TtrAnalysis::from_log(newer));
+    if let (Some(a), Some(b)) = (a, b) {
+        let _ = writeln!(
+            out,
+            "  MTTR: {:.1} h -> {:.1} h (time to recovery is not improving)",
+            a.mttr_hours(),
+            b.mttr_hours()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failsim::{Simulator, SystemModel};
+
+    #[test]
+    fn report_contains_all_sections() {
+        let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        let text = render_report(&log);
+        for needle in [
+            "Reliability report: Tsubame-3",
+            "Failure categories",
+            "Software root loci",
+            "Per-node distribution",
+            "Multi-GPU involvement",
+            "Time between failures",
+            "Time to recovery",
+            "Repair overlap and availability",
+            "Node survival",
+            "Seasonal",
+        ] {
+            assert!(text.contains(needle), "missing section {needle}\n{text}");
+        }
+    }
+
+    #[test]
+    fn t2_report_has_no_locus_section() {
+        let log = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
+        let text = render_report(&log);
+        assert!(!text.contains("Software root loci"));
+        assert!(text.contains("GPU slot shares"));
+    }
+
+    #[test]
+    fn comparison_report() {
+        let t2 = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
+        let t3 = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        let text = render_comparison(&t2, &t3);
+        assert!(text.contains("compute (Rpeak)"));
+        assert!(text.contains("MTTR"));
+        assert!(text.contains("reliability improved more slowly"));
+    }
+
+    #[test]
+    fn empty_log_report_does_not_panic() {
+        let log = Simulator::new(SystemModel::tsubame3(), 43)
+            .generate()
+            .unwrap()
+            .filtered(|_| false);
+        let text = render_report(&log);
+        assert!(text.contains("0 failures"));
+    }
+}

@@ -1,0 +1,466 @@
+//! The `failscope-log v1` CSV format.
+//!
+//! A serialized log is a small self-describing text file:
+//!
+//! ```text
+//! # failscope-log v1
+//! # generation: Tsubame-3
+//! # name: Tsubame-3
+//! # nodes: 540
+//! # gpus-per-node: 4
+//! # window: 2017-05-09..2020-02-22
+//! id,time_h,ttr_h,category,node,gpus,locus
+//! 0,10.5,4.25,GPU,12,0|3,
+//! 1,22.125,1,Software,7,,GPUDriverProblem
+//! ```
+//!
+//! * `gpus` is a `|`-separated list of slot indices; empty means the
+//!   involvement was not recorded.
+//! * `locus` is a [`failtypes::SoftwareLocus`] label; empty when absent.
+//! * Category labels never contain commas (enforced by the fixed
+//!   [`failtypes::Category`] vocabularies), so no quoting is needed.
+
+use std::io::{BufRead, Write};
+use std::str::FromStr;
+
+use failtypes::{
+    Category, Date, FailureLog, FailureRecord, Generation, GpuSlot, Hours, NodeId,
+    ObservationWindow, SoftwareLocus, SystemSpec, T2Category, T3Category,
+};
+
+use crate::error::{ParseLogError, WriteLogError};
+
+const MAGIC: &str = "# failscope-log v1";
+const COLUMNS: &str = "id,time_h,ttr_h,category,node,gpus,locus";
+
+/// Serializes a log to a writer in the `failscope-log v1` format.
+///
+/// A mutable reference works as the writer: `write_log(&mut buf, &log)`.
+///
+/// # Errors
+///
+/// Returns [`WriteLogError`] on I/O failure.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 1).generate().unwrap();
+/// let mut buf = Vec::new();
+/// faillog::write_log(&mut buf, &log)?;
+/// let parsed = faillog::read_log(buf.as_slice())?;
+/// assert_eq!(&parsed, &log);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_log<W: Write>(mut w: W, log: &FailureLog) -> Result<(), WriteLogError> {
+    writeln!(w, "{MAGIC}")?;
+    writeln!(w, "# generation: {}", log.generation())?;
+    writeln!(w, "# name: {}", log.spec().name())?;
+    writeln!(w, "# nodes: {}", log.spec().nodes())?;
+    writeln!(w, "# gpus-per-node: {}", log.spec().gpus_per_node())?;
+    writeln!(
+        w,
+        "# window: {}..{}",
+        log.window().start(),
+        log.window().end()
+    )?;
+    writeln!(w, "{COLUMNS}")?;
+    for rec in log.iter() {
+        let gpus = rec
+            .gpus()
+            .iter()
+            .map(|s| s.index().to_string())
+            .collect::<Vec<_>>()
+            .join("|");
+        let locus = rec.locus().map(|l| l.label()).unwrap_or("");
+        // `{}` on f64 prints the shortest string that parses back to the
+        // exact same value, so the round trip is lossless.
+        writeln!(
+            w,
+            "{},{},{},{},{},{},{}",
+            rec.id(),
+            rec.time().get(),
+            rec.ttr().get(),
+            rec.category().label(),
+            rec.node().index(),
+            gpus,
+            locus
+        )?;
+    }
+    Ok(())
+}
+
+/// Serializes a log to an owned string.
+///
+/// # Errors
+///
+/// Never fails in practice (writing to a `Vec` cannot I/O-fail); the
+/// `Result` mirrors [`write_log`].
+pub fn to_string(log: &FailureLog) -> Result<String, WriteLogError> {
+    let mut buf = Vec::new();
+    write_log(&mut buf, log)?;
+    Ok(String::from_utf8(buf).expect("format writes UTF-8 only"))
+}
+
+/// Parses a `failscope-log v1` stream back into a validated
+/// [`FailureLog`].
+///
+/// # Errors
+///
+/// Returns [`ParseLogError`] for I/O failures, malformed headers or rows,
+/// and logs that violate record invariants (e.g. node out of range).
+pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
+    let mut lines = r.lines().enumerate();
+
+    let (_, magic) = next_line(&mut lines)?;
+    if magic.trim() != MAGIC {
+        return Err(ParseLogError::Header(format!(
+            "expected `{MAGIC}`, found `{}`",
+            magic.trim()
+        )));
+    }
+
+    let mut generation: Option<Generation> = None;
+    let mut name: Option<String> = None;
+    let mut nodes: Option<u32> = None;
+    let mut gpus: Option<u8> = None;
+    let mut window: Option<ObservationWindow> = None;
+
+    // Header block: `# key: value` lines until the column row.
+    let header_end;
+    loop {
+        let (lineno, line) = next_line(&mut lines)?;
+        let line = line.trim().to_string();
+        if line == COLUMNS {
+            header_end = lineno;
+            break;
+        }
+        let Some(rest) = line.strip_prefix("# ") else {
+            return Err(ParseLogError::Header(format!(
+                "unexpected line {} before column header: `{line}`",
+                lineno + 1
+            )));
+        };
+        let Some((key, value)) = rest.split_once(": ") else {
+            return Err(ParseLogError::Header(format!("malformed field `{rest}`")));
+        };
+        match key {
+            "generation" => {
+                generation = Some(match value {
+                    "Tsubame-2" => Generation::Tsubame2,
+                    "Tsubame-3" => Generation::Tsubame3,
+                    other => {
+                        return Err(ParseLogError::Header(format!(
+                            "unknown generation `{other}`"
+                        )))
+                    }
+                });
+            }
+            "name" => name = Some(value.to_string()),
+            "nodes" => {
+                nodes = Some(value.parse().map_err(|_| {
+                    ParseLogError::Header(format!("invalid node count `{value}`"))
+                })?)
+            }
+            "gpus-per-node" => {
+                gpus = Some(value.parse().map_err(|_| {
+                    ParseLogError::Header(format!("invalid GPU count `{value}`"))
+                })?)
+            }
+            "window" => window = Some(parse_window(value)?),
+            other => {
+                return Err(ParseLogError::Header(format!("unknown field `{other}`")));
+            }
+        }
+    }
+    let _ = header_end;
+
+    let generation =
+        generation.ok_or_else(|| ParseLogError::Header("missing `generation`".into()))?;
+    let window = window.ok_or_else(|| ParseLogError::Header("missing `window`".into()))?;
+    let spec = rebuild_spec(generation, name, nodes, gpus)?;
+
+    let mut records = Vec::new();
+    for (lineno, line) in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        records.push(parse_row(lineno + 1, line, generation)?);
+    }
+    Ok(FailureLog::with_spec(generation, spec, window, records)?)
+}
+
+/// Parses a log from a string slice.
+///
+/// # Errors
+///
+/// See [`read_log`].
+pub fn from_str(s: &str) -> Result<FailureLog, ParseLogError> {
+    read_log(s.as_bytes())
+}
+
+type Lines<'a, R> = std::iter::Enumerate<std::io::Lines<R>>;
+
+fn next_line<R: BufRead>(lines: &mut Lines<'_, R>) -> Result<(usize, String), ParseLogError> {
+    match lines.next() {
+        Some((i, line)) => Ok((i, line?)),
+        None => Err(ParseLogError::Header("unexpected end of file".into())),
+    }
+}
+
+fn parse_window(value: &str) -> Result<ObservationWindow, ParseLogError> {
+    let Some((a, b)) = value.split_once("..") else {
+        return Err(ParseLogError::Header(format!("malformed window `{value}`")));
+    };
+    let start = parse_date(a)?;
+    let end = parse_date(b)?;
+    ObservationWindow::new(start, end)
+        .ok_or_else(|| ParseLogError::Header(format!("inverted window `{value}`")))
+}
+
+fn parse_date(s: &str) -> Result<Date, ParseLogError> {
+    let parts: Vec<&str> = s.split('-').collect();
+    if parts.len() != 3 {
+        return Err(ParseLogError::Header(format!("malformed date `{s}`")));
+    }
+    let bad = || ParseLogError::Header(format!("malformed date `{s}`"));
+    let year: i32 = parts[0].parse().map_err(|_| bad())?;
+    let month: u8 = parts[1].parse().map_err(|_| bad())?;
+    let day: u8 = parts[2].parse().map_err(|_| bad())?;
+    Date::new(year, month, day).ok_or_else(bad)
+}
+
+fn rebuild_spec(
+    generation: Generation,
+    name: Option<String>,
+    nodes: Option<u32>,
+    gpus: Option<u8>,
+) -> Result<SystemSpec, ParseLogError> {
+    let base = generation.spec();
+    let same_shape = nodes.is_none_or(|n| n == base.nodes())
+        && gpus.is_none_or(|g| g == base.gpus_per_node())
+        && name.as_deref().is_none_or(|n| n == base.name());
+    if same_shape {
+        return Ok(base);
+    }
+    SystemSpec::builder(name.unwrap_or_else(|| base.name().to_string()))
+        .nodes(nodes.unwrap_or(base.nodes()))
+        .gpus_per_node(gpus.unwrap_or(base.gpus_per_node()))
+        .build()
+        .map_err(|e| ParseLogError::Header(e.to_string()))
+}
+
+fn parse_row(
+    lineno: usize,
+    line: &str,
+    generation: Generation,
+) -> Result<FailureRecord, ParseLogError> {
+    let fields: Vec<&str> = line.split(',').collect();
+    if fields.len() != 7 {
+        return Err(ParseLogError::row(
+            lineno,
+            format!("expected 7 fields, found {}", fields.len()),
+        ));
+    }
+    let id: u32 = fields[0]
+        .parse()
+        .map_err(|_| ParseLogError::row(lineno, format!("invalid id `{}`", fields[0])))?;
+    let time: f64 = fields[1]
+        .parse()
+        .map_err(|_| ParseLogError::row(lineno, format!("invalid time `{}`", fields[1])))?;
+    let ttr: f64 = fields[2]
+        .parse()
+        .map_err(|_| ParseLogError::row(lineno, format!("invalid ttr `{}`", fields[2])))?;
+    let category = parse_category(fields[3], generation)
+        .map_err(|msg| ParseLogError::row(lineno, msg))?;
+    let node: u32 = fields[4]
+        .parse()
+        .map_err(|_| ParseLogError::row(lineno, format!("invalid node `{}`", fields[4])))?;
+
+    let mut rec = FailureRecord::new(
+        id,
+        Hours::new(time),
+        Hours::new(ttr),
+        category,
+        NodeId::new(node),
+    );
+    if !fields[5].is_empty() {
+        let mut slots = Vec::new();
+        for part in fields[5].split('|') {
+            let idx: u8 = part.parse().map_err(|_| {
+                ParseLogError::row(lineno, format!("invalid GPU slot `{part}`"))
+            })?;
+            slots.push(GpuSlot::new(idx));
+        }
+        rec = rec.with_gpus(slots);
+    }
+    if !fields[6].is_empty() {
+        let locus = SoftwareLocus::from_str(fields[6])
+            .map_err(|e| ParseLogError::row(lineno, e.to_string()))?;
+        rec = rec.with_locus(locus);
+    }
+    Ok(rec)
+}
+
+fn parse_category(label: &str, generation: Generation) -> Result<Category, String> {
+    match generation {
+        Generation::Tsubame2 => label
+            .parse::<T2Category>()
+            .map(Category::T2)
+            .map_err(|e| e.to_string()),
+        Generation::Tsubame3 => label
+            .parse::<T3Category>()
+            .map(Category::T3)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failsim::{ScenarioBuilder, Simulator, SystemModel};
+
+    fn t3_log() -> FailureLog {
+        Simulator::new(SystemModel::tsubame3(), 11).generate().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_tsubame3() {
+        let log = t3_log();
+        let text = to_string(&log).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn roundtrip_tsubame2() {
+        let log = Simulator::new(SystemModel::tsubame2(), 12).generate().unwrap();
+        let text = to_string(&log).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, log);
+    }
+
+    #[test]
+    fn roundtrip_custom_spec() {
+        let model = ScenarioBuilder::new("custom-what-if")
+            .nodes(64)
+            .gpus_per_node(8)
+            .window_days(90)
+            .system_mtbf_hours(48.0)
+            .build()
+            .unwrap();
+        let log = Simulator::new(model, 13).generate().unwrap();
+        let text = to_string(&log).unwrap();
+        let parsed = from_str(&text).unwrap();
+        assert_eq!(parsed, log);
+        assert_eq!(parsed.spec().gpus_per_node(), 8);
+        assert_eq!(parsed.spec().name(), "custom-what-if");
+    }
+
+    #[test]
+    fn header_contains_metadata() {
+        let text = to_string(&t3_log()).unwrap();
+        assert!(text.starts_with("# failscope-log v1\n"));
+        assert!(text.contains("# generation: Tsubame-3"));
+        assert!(text.contains("# window: 2017-05-09..2020-02-22"));
+        assert!(text.contains(COLUMNS));
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(
+            from_str("# some-other-format v9\n"),
+            Err(ParseLogError::Header(_))
+        ));
+        assert!(from_str("").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_header_fields() {
+        let text = format!("{MAGIC}\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n");
+        let err = from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("generation"), "{err}");
+
+        let text = format!("{MAGIC}\n# generation: Tsubame-3\n{COLUMNS}\n");
+        let err = from_str(&text).unwrap_err();
+        assert!(err.to_string().contains("window"), "{err}");
+    }
+
+    #[test]
+    fn rejects_unknown_header_field() {
+        let text = format!("{MAGIC}\n# color: mauve\n{COLUMNS}\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let header = format!(
+            "{MAGIC}\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n"
+        );
+        // Too few fields.
+        let err = from_str(&format!("{header}1,2,3\n")).unwrap_err();
+        assert!(err.to_string().contains("7 fields"), "{err}");
+        // Bad category.
+        let err = from_str(&format!("{header}0,1.0,1.0,FAN,0,,\n")).unwrap_err();
+        assert!(err.to_string().contains("FAN"), "{err}");
+        // Bad slot.
+        let err = from_str(&format!("{header}0,1.0,1.0,GPU,0,x,\n")).unwrap_err();
+        assert!(err.to_string().contains("slot"), "{err}");
+        // Bad locus.
+        let err = from_str(&format!("{header}0,1.0,1.0,Software,0,,NotALocus\n")).unwrap_err();
+        assert!(err.to_string().contains("NotALocus"), "{err}");
+        // Bad numbers.
+        assert!(from_str(&format!("{header}zz,1.0,1.0,GPU,0,,\n")).is_err());
+        assert!(from_str(&format!("{header}0,zz,1.0,GPU,0,,\n")).is_err());
+        assert!(from_str(&format!("{header}0,1.0,zz,GPU,0,,\n")).is_err());
+        assert!(from_str(&format!("{header}0,1.0,1.0,GPU,zz,,\n")).is_err());
+    }
+
+    #[test]
+    fn rejects_invariant_violations() {
+        let header = format!(
+            "{MAGIC}\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n"
+        );
+        // Node out of range.
+        let err = from_str(&format!("{header}0,1.0,1.0,GPU,99999,,\n")).unwrap_err();
+        assert!(matches!(err, ParseLogError::Invalid(_)), "{err}");
+        // Negative time.
+        let err = from_str(&format!("{header}0,-5.0,1.0,GPU,0,,\n")).unwrap_err();
+        assert!(matches!(err, ParseLogError::Invalid(_)));
+    }
+
+    #[test]
+    fn rejects_malformed_window_and_date() {
+        let text = format!("{MAGIC}\n# generation: Tsubame-3\n# window: nope\n{COLUMNS}\n");
+        assert!(from_str(&text).is_err());
+        let text =
+            format!("{MAGIC}\n# generation: Tsubame-3\n# window: 2017-13-01..2018-01-01\n{COLUMNS}\n");
+        assert!(from_str(&text).is_err());
+        let text =
+            format!("{MAGIC}\n# generation: Tsubame-3\n# window: 2019-01-01..2018-01-01\n{COLUMNS}\n");
+        assert!(from_str(&text).is_err());
+    }
+
+    #[test]
+    fn empty_body_is_an_empty_log() {
+        let text = format!(
+            "{MAGIC}\n# generation: Tsubame-2\n# window: 2012-01-07..2013-08-01\n{COLUMNS}\n"
+        );
+        let log = from_str(&text).unwrap();
+        assert!(log.is_empty());
+        assert_eq!(log.generation(), Generation::Tsubame2);
+    }
+
+    #[test]
+    fn blank_lines_in_body_are_skipped() {
+        let text = format!(
+            "{MAGIC}\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n\n0,1.0,1.0,GPU,0,0|2,\n\n"
+        );
+        let log = from_str(&text).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log.records()[0].gpus().len(), 2);
+    }
+}

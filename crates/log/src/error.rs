@@ -1,0 +1,121 @@
+//! Error types for log serialization and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while parsing a serialized failure log.
+#[derive(Debug)]
+pub enum ParseLogError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+    /// The header is missing or malformed.
+    Header(String),
+    /// A data row is malformed; carries the 1-based line number and a
+    /// description.
+    Row {
+        /// 1-based line number in the input.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// The rows parsed but violate a log invariant.
+    Invalid(failtypes::InvalidRecordError),
+}
+
+impl ParseLogError {
+    pub(crate) fn row(line: usize, message: impl Into<String>) -> Self {
+        ParseLogError::Row {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseLogError::Io(e) => write!(f, "i/o error while reading log: {e}"),
+            ParseLogError::Header(msg) => write!(f, "malformed log header: {msg}"),
+            ParseLogError::Row { line, message } => {
+                write!(f, "malformed log row at line {line}: {message}")
+            }
+            ParseLogError::Invalid(e) => write!(f, "log violates an invariant: {e}"),
+        }
+    }
+}
+
+impl Error for ParseLogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseLogError::Io(e) => Some(e),
+            ParseLogError::Invalid(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseLogError {
+    fn from(e: std::io::Error) -> Self {
+        ParseLogError::Io(e)
+    }
+}
+
+impl From<failtypes::InvalidRecordError> for ParseLogError {
+    fn from(e: failtypes::InvalidRecordError) -> Self {
+        ParseLogError::Invalid(e)
+    }
+}
+
+/// Error produced while writing a serialized failure log.
+#[derive(Debug)]
+pub enum WriteLogError {
+    /// An underlying I/O error.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WriteLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteLogError::Io(e) => write!(f, "i/o error while writing log: {e}"),
+        }
+    }
+}
+
+impl Error for WriteLogError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WriteLogError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for WriteLogError {
+    fn from(e: std::io::Error) -> Self {
+        WriteLogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = ParseLogError::Header("no version".into());
+        assert!(e.to_string().contains("no version"));
+        let e = ParseLogError::row(7, "bad field");
+        assert!(e.to_string().contains("line 7"));
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(ParseLogError::from(io).to_string().contains("gone"));
+        let io = std::io::Error::other("disk full");
+        assert!(WriteLogError::from(io).to_string().contains("disk full"));
+    }
+
+    #[test]
+    fn sources_are_preserved() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e = ParseLogError::from(io);
+        assert!(e.source().is_some());
+        assert!(ParseLogError::Header("x".into()).source().is_none());
+    }
+}

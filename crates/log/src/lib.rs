@@ -1,0 +1,46 @@
+//! Failure-log ingestion and serialization for the `failscope` workspace.
+//!
+//! Production failure logs arrive as flat files; this crate defines the
+//! `failscope-log v1` text format (a small self-describing CSV, see
+//! [`write_log`]), parses it back into validated
+//! [`failtypes::FailureLog`]s, and provides the operational helpers a
+//! center needs before sharing data: keyed node anonymization
+//! ([`anonymize_nodes`]) — the paper's own dataset was released in exactly
+//! this shape for business-sensitivity reasons — and quick summaries
+//! ([`summarize`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use failsim::{Simulator, SystemModel};
+//!
+//! // Generate, serialize, anonymize, reparse.
+//! let log = Simulator::new(SystemModel::tsubame2(), 5).generate().unwrap();
+//! let anon = faillog::anonymize_nodes(&log, 1234);
+//! let text = faillog::to_string(&anon)?;
+//! let parsed = faillog::from_str(&text)?;
+//! assert_eq!(parsed.len(), 897);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+mod csv;
+mod error;
+mod ops;
+
+pub use csv::{from_str, read_log, to_string, write_log};
+pub use error::{ParseLogError, WriteLogError};
+pub use ops::{anonymize_nodes, load, save, summarize, LogSummary};
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
+        assert_err::<crate::ParseLogError>();
+        assert_err::<crate::WriteLogError>();
+    }
+}

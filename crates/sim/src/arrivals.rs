@@ -1,0 +1,282 @@
+//! System-wide failure arrival times.
+//!
+//! The generator draws the exact number of inter-arrival gaps from the
+//! calibrated TBF family, normalizes them to the observation window (a
+//! pure rescale, which preserves the family since all four families are
+//! scale families in their scale parameter), and then applies a
+//! piecewise-constant monthly intensity via the time-rescaling theorem so
+//! that months with a higher multiplier receive proportionally more
+//! events (Fig. 12) without changing the TBF distribution's shape beyond
+//! the mild local stretch.
+
+use failtypes::{Hours, Month, ObservationWindow};
+use rand::RngCore;
+
+use crate::model::SystemModel;
+
+/// A piecewise-constant monthly intensity over an observation window.
+///
+/// Maps "operational time" (in which arrivals are a stationary renewal
+/// process) to calendar time, compressing high-intensity months.
+#[derive(Debug, Clone)]
+pub struct MonthlyIntensity {
+    /// Segment boundaries in calendar hours from window start; one entry
+    /// per month the window touches, plus the final boundary.
+    boundaries: Vec<f64>,
+    /// Intensity multiplier per segment.
+    multipliers: Vec<f64>,
+}
+
+impl MonthlyIntensity {
+    /// Builds the intensity profile for a window from per-calendar-month
+    /// multipliers (January..December).
+    pub fn new(window: ObservationWindow, monthly: &[f64; 12]) -> Self {
+        Self::with_trend(window, monthly, (1.0, 1.0))
+    }
+
+    /// Like [`MonthlyIntensity::new`], with a linear rate trend layered on
+    /// top: the multiplier ramps from `trend.0` at the window start to
+    /// `trend.1` at the end, evaluated at each month's midpoint
+    /// (piecewise-constant approximation).
+    pub fn with_trend(
+        window: ObservationWindow,
+        monthly: &[f64; 12],
+        trend: (f64, f64),
+    ) -> Self {
+        let months = window.months();
+        let total = window.duration().get();
+        let mut boundaries = vec![0.0];
+        let mut multipliers = Vec::with_capacity(months.len());
+        for (i, &(year, month)) in months.iter().enumerate() {
+            let seg_end = if i + 1 == months.len() {
+                total
+            } else {
+                // Hours from window start to the first day of the next
+                // month.
+                let (ny, nm) = next_month(year, month);
+                let next_first = failtypes::Date::new(ny, nm.number(), 1).expect("valid date");
+                window.start().hours_until(next_first).get()
+            };
+            let seg_start = *boundaries.last().expect("seeded with 0.0");
+            let midpoint = 0.5 * (seg_start + seg_end) / total;
+            let trend_factor = trend.0 + (trend.1 - trend.0) * midpoint;
+            boundaries.push(seg_end);
+            multipliers.push(monthly[month.index()] * trend_factor);
+        }
+        MonthlyIntensity {
+            boundaries,
+            multipliers,
+        }
+    }
+
+    /// Total operational time of the window (`∫ λ dt`).
+    pub fn total_operational(&self) -> f64 {
+        self.boundaries
+            .windows(2)
+            .zip(&self.multipliers)
+            .map(|(b, &m)| (b[1] - b[0]) * m)
+            .sum()
+    }
+
+    /// Maps an operational-time coordinate to calendar hours from window
+    /// start. Clamps to the window end.
+    pub fn to_calendar(&self, tau: f64) -> f64 {
+        let mut remaining = tau.max(0.0);
+        for (seg, &m) in self.boundaries.windows(2).zip(&self.multipliers) {
+            let (lo, hi) = (seg[0], seg[1]);
+            let op_len = (hi - lo) * m;
+            if remaining <= op_len {
+                return lo + remaining / m;
+            }
+            remaining -= op_len;
+        }
+        *self.boundaries.last().expect("at least one boundary")
+    }
+
+    /// The multiplier in effect at a calendar hour offset.
+    pub fn multiplier_at(&self, t: f64) -> f64 {
+        for (seg, &m) in self.boundaries.windows(2).zip(&self.multipliers) {
+            if t < seg[1] {
+                return m;
+            }
+        }
+        *self.multipliers.last().expect("at least one segment")
+    }
+}
+
+fn next_month(year: i32, month: Month) -> (i32, Month) {
+    if month.number() == 12 {
+        (year + 1, Month::new(1).expect("valid month"))
+    } else {
+        (year, Month::new(month.number() + 1).expect("valid month"))
+    }
+}
+
+/// Generates exactly `n` event times (hours from window start, strictly
+/// inside the window, ascending) according to the model's TBF family and
+/// monthly rate profile.
+pub fn generate_times(model: &SystemModel, n: usize, rng: &mut dyn RngCore) -> Vec<Hours> {
+    if n == 0 {
+        return Vec::new();
+    }
+    let window_hours = model.window.duration().get();
+    let mean = window_hours / n as f64;
+    let dist = model.tbf.distribution(mean);
+    // Draw n + 1 gaps; the (n+1)-th pins the distance from the last event
+    // to the window end so the rescale does not bias the last gap short.
+    let mut gaps: Vec<f64> = (0..=n).map(|_| dist.sample(rng)).collect();
+    let total: f64 = gaps.iter().sum();
+    let intensity =
+        MonthlyIntensity::with_trend(model.window, &model.monthly_rate, model.rate_trend);
+    let op_total = intensity.total_operational();
+    // Rescale operational time so the n-th event lands strictly inside.
+    let scale = op_total / total;
+    for g in &mut gaps {
+        *g *= scale;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut tau = 0.0;
+    for &g in gaps.iter().take(n) {
+        tau += g;
+        let t = intensity.to_calendar(tau).min(window_hours * (1.0 - 1e-12));
+        out.push(Hours::new(t));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemModel;
+    use failtypes::Date;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_window() -> ObservationWindow {
+        ObservationWindow::new(
+            Date::new(2019, 1, 1).unwrap(),
+            Date::new(2020, 1, 1).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn flat_intensity_is_identity() {
+        let intensity = MonthlyIntensity::new(flat_window(), &[1.0; 12]);
+        let total = flat_window().duration().get();
+        assert!((intensity.total_operational() - total).abs() < 1e-6);
+        for &tau in &[0.0, 100.0, 4000.0, total - 1.0] {
+            assert!((intensity.to_calendar(tau) - tau).abs() < 1e-6, "tau {tau}");
+        }
+        assert_eq!(intensity.multiplier_at(10.0), 1.0);
+    }
+
+    #[test]
+    fn intensity_compresses_hot_months() {
+        // Double intensity in January only.
+        let mut monthly = [1.0; 12];
+        monthly[0] = 2.0;
+        let intensity = MonthlyIntensity::new(flat_window(), &monthly);
+        // January contributes 31·24·2 operational hours.
+        let jan_op = 31.0 * 24.0 * 2.0;
+        assert!((intensity.to_calendar(jan_op) - 31.0 * 24.0).abs() < 1e-6);
+        // Halfway through January's operational time is halfway through
+        // January's calendar time.
+        assert!((intensity.to_calendar(jan_op / 2.0) - 31.0 * 12.0).abs() < 1e-6);
+        assert_eq!(intensity.multiplier_at(5.0), 2.0);
+        assert_eq!(intensity.multiplier_at(31.0 * 24.0 + 5.0), 1.0);
+    }
+
+    #[test]
+    fn to_calendar_clamps_beyond_window() {
+        let intensity = MonthlyIntensity::new(flat_window(), &[1.0; 12]);
+        let total = flat_window().duration().get();
+        assert_eq!(intensity.to_calendar(total * 10.0), total);
+        assert_eq!(intensity.to_calendar(-5.0), 0.0);
+    }
+
+    #[test]
+    fn generate_exact_count_sorted_in_window() {
+        let model = SystemModel::tsubame3();
+        let mut rng = StdRng::seed_from_u64(7);
+        let times = generate_times(&model, 338, &mut rng);
+        assert_eq!(times.len(), 338);
+        let w = model.window.duration().get();
+        for pair in times.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        for t in &times {
+            assert!(t.get() >= 0.0 && t.get() < w);
+        }
+    }
+
+    #[test]
+    fn generated_mtbf_matches_target() {
+        let model = SystemModel::tsubame2();
+        let mut rng = StdRng::seed_from_u64(11);
+        let times = generate_times(&model, 897, &mut rng);
+        let gaps: Vec<f64> = times.windows(2).map(|p| (p[1] - p[0]).get()).collect();
+        let mean = failstats::mean(&gaps).unwrap();
+        assert!((mean - 15.3).abs() < 1.5, "mean gap {mean}");
+    }
+
+    #[test]
+    fn zero_events_is_empty() {
+        let model = SystemModel::tsubame3();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(generate_times(&model, 0, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = SystemModel::tsubame3();
+        let a = generate_times(&model, 100, &mut StdRng::seed_from_u64(5));
+        let b = generate_times(&model, 100, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a, b);
+        let c = generate_times(&model, 100, &mut StdRng::seed_from_u64(6));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn wear_out_trend_concentrates_events_late() {
+        let mut model = SystemModel::tsubame3();
+        model.rate_trend = (0.3, 3.0);
+        let mut rng = StdRng::seed_from_u64(17);
+        let times = generate_times(&model, 1000, &mut rng);
+        let horizon = model.window.duration().get();
+        let late = times.iter().filter(|t| t.get() > horizon / 2.0).count();
+        assert!(late > 650, "late events {late}");
+    }
+
+    #[test]
+    fn burn_in_trend_concentrates_events_early() {
+        let mut model = SystemModel::tsubame3();
+        model.rate_trend = (3.0, 0.3);
+        let mut rng = StdRng::seed_from_u64(18);
+        let times = generate_times(&model, 1000, &mut rng);
+        let horizon = model.window.duration().get();
+        let early = times.iter().filter(|t| t.get() < horizon / 2.0).count();
+        assert!(early > 650, "early events {early}");
+    }
+
+    #[test]
+    fn hot_months_receive_more_events() {
+        // An extreme profile to make the effect unmistakable.
+        let mut model = SystemModel::tsubame3();
+        let mut monthly = [0.5; 12];
+        monthly[6] = 6.0; // July
+        model.monthly_rate = monthly;
+        let mut rng = StdRng::seed_from_u64(13);
+        let times = generate_times(&model, 2000, &mut rng);
+        let mut july = 0;
+        for t in &times {
+            let date = model.window.date_of(*t);
+            if date.month().number() == 7 {
+                july += 1;
+            }
+        }
+        // July holds ~3 of ~33.5 months but ~6/0.5 = 12x the weight; it
+        // should clearly exceed its uniform share of ~180.
+        assert!(july > 500, "july events {july}");
+    }
+}

@@ -1,0 +1,262 @@
+//! The log generator: turns a [`SystemModel`] into a validated
+//! [`FailureLog`].
+
+use failtypes::{FailureLog, FailureRecord, Hours, InvalidRecordError, SoftwareLocus};
+use failstats::ContinuousDist;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+use crate::arrivals;
+use crate::model::SystemModel;
+use crate::multigpu::{self, Involvement};
+use crate::spatial::NodeAssigner;
+
+/// Deterministic failure-log generator.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 42).generate()?;
+/// assert_eq!(log.len(), 338);
+/// assert_eq!(log.gpu_records().count(), 94);
+/// # Ok::<(), failtypes::InvalidRecordError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    model: SystemModel,
+    seed: u64,
+}
+
+impl Simulator {
+    /// Creates a simulator for the model with an explicit seed.
+    ///
+    /// The same `(model, seed)` pair always yields the same log.
+    pub fn new(model: SystemModel, seed: u64) -> Self {
+        Simulator { model, seed }
+    }
+
+    /// The model being simulated.
+    pub fn model(&self) -> &SystemModel {
+        &self.model
+    }
+
+    /// The seed in use.
+    pub const fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Generates the failure log.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidRecordError`] if the generated records violate a
+    /// log invariant — this indicates an inconsistent custom
+    /// [`SystemModel`] (the calibrated models cannot fail).
+    pub fn generate(&self) -> Result<FailureLog, InvalidRecordError> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let model = &self.model;
+        let n = model.total_failures() as usize;
+
+        // 1. Event times from the calibrated arrival process.
+        let times = arrivals::generate_times(model, n, &mut rng);
+
+        // 2. Exact category multiset, randomly interleaved over the
+        //    timeline (equivalent to thinning, so per-category TBF shapes
+        //    emerge correctly).
+        let mut categories = model.category_mix.to_multiset();
+        shuffle(&mut categories, &mut rng);
+
+        // 3. Node placement.
+        let mut nodes = Vec::with_capacity(n);
+        let mut assigner = NodeAssigner::new(model, &mut rng);
+        for &cat in &categories {
+            nodes.push(assigner.assign(cat, &mut rng));
+        }
+
+        // 4. GPU involvement for the GPU failures, conserving Table III.
+        let gpu_indices: Vec<usize> = (0..n).filter(|&i| categories[i].is_gpu()).collect();
+        let gpu_times: Vec<Hours> = gpu_indices.iter().map(|&i| times[i]).collect();
+        let involvement = multigpu::assign_involvement(model, &gpu_times, &mut rng);
+
+        // 5. Software root loci for software-category failures, conserving
+        //    the Fig. 3 multiset.
+        let software_indices: Vec<usize> = (0..n)
+            .filter(|&i| is_locus_bearing(model, categories[i]))
+            .collect();
+        let mut loci: Vec<SoftwareLocus> = model
+            .software_loci
+            .iter()
+            .flat_map(|&(l, c)| std::iter::repeat_n(l, c as usize))
+            .collect();
+        shuffle(&mut loci, &mut rng);
+
+        // 6. Repair times: per-category log-normal, modulated monthly.
+        let mut records = Vec::with_capacity(n);
+        let mut gpu_cursor = 0usize;
+        let mut sw_cursor = 0usize;
+        for i in 0..n {
+            let cat = categories[i];
+            let t = times[i];
+            let month = model.window.date_of(t).month();
+            let ttr_mult = model.monthly_ttr[month.index()];
+            let ttr = model.ttr.distribution(cat).sample(&mut rng) * ttr_mult;
+            let mut rec = FailureRecord::new(i as u32, t, Hours::new(ttr), cat, nodes[i]);
+            if cat.is_gpu() {
+                if let Involvement::Slots(slots) = &involvement[gpu_cursor] {
+                    rec = rec.with_gpus(slots.iter().copied());
+                }
+                gpu_cursor += 1;
+            }
+            if is_locus_bearing(model, cat) {
+                if let Some(&locus) = loci.get(sw_cursor) {
+                    rec = rec.with_locus(locus);
+                }
+                sw_cursor += 1;
+            }
+            records.push(rec);
+        }
+        debug_assert_eq!(gpu_cursor, gpu_indices.len());
+        debug_assert_eq!(sw_cursor, software_indices.len());
+
+        FailureLog::with_spec(model.generation, model.spec.clone(), model.window, records)
+    }
+}
+
+/// Whether records of this category carry a Fig. 3 root locus.
+fn is_locus_bearing(model: &SystemModel, cat: failtypes::Category) -> bool {
+    !model.software_loci.is_empty()
+        && matches!(
+            cat,
+            failtypes::Category::T3(failtypes::T3Category::Software)
+        )
+}
+
+/// Fisher–Yates shuffle (kept local to avoid a rand feature dependency).
+fn shuffle<T>(items: &mut [T], rng: &mut dyn RngCore) {
+    for i in (1..items.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ScenarioBuilder;
+    use failtypes::{Category, T2Category, T3Category};
+
+    #[test]
+    fn tsubame2_log_headline_numbers() {
+        let log = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
+        assert_eq!(log.len(), 897);
+        let gpu = log
+            .iter()
+            .filter(|r| r.category() == Category::T2(T2Category::Gpu))
+            .count();
+        assert_eq!(gpu, 398);
+        let cpu = log
+            .iter()
+            .filter(|r| r.category() == Category::T2(T2Category::Cpu))
+            .count();
+        assert_eq!(cpu, 16);
+    }
+
+    #[test]
+    fn tsubame3_log_headline_numbers() {
+        let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        assert_eq!(log.len(), 338);
+        let sw = log
+            .iter()
+            .filter(|r| r.category() == Category::T3(T3Category::Software))
+            .count();
+        assert_eq!(sw, 171);
+        // Every Software record carries a root locus; nothing else does.
+        for r in log.iter() {
+            if r.category() == Category::T3(T3Category::Software) {
+                assert!(r.locus().is_some());
+            } else {
+                assert!(r.locus().is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Simulator::new(SystemModel::tsubame3(), 7).generate().unwrap();
+        let b = Simulator::new(SystemModel::tsubame3(), 7).generate().unwrap();
+        assert_eq!(a, b);
+        let c = Simulator::new(SystemModel::tsubame3(), 8).generate().unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn involvement_totals_match_table3() {
+        let log = Simulator::new(SystemModel::tsubame2(), 1).generate().unwrap();
+        let mut by_count = [0u32; 4];
+        for r in log.gpu_records() {
+            let k = r.gpus().len();
+            by_count[k.min(3)] += 1;
+        }
+        assert_eq!(by_count, [30, 112, 128, 128]);
+    }
+
+    #[test]
+    fn non_gpu_records_have_no_involvement() {
+        let log = Simulator::new(SystemModel::tsubame3(), 2).generate().unwrap();
+        for r in log.iter() {
+            if !r.category().is_gpu() {
+                assert!(r.gpus().is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn ttrs_are_positive_and_plausible() {
+        let log = Simulator::new(SystemModel::tsubame3(), 3).generate().unwrap();
+        let ttrs: Vec<f64> = log.iter().map(|r| r.ttr().get()).collect();
+        assert!(ttrs.iter().all(|&t| t > 0.0));
+        let mean = failstats::mean(&ttrs).unwrap();
+        // Fig. 9 anchor: MTTR ≈ 55 h (sampling noise band).
+        assert!((mean - 55.0).abs() < 12.0, "MTTR {mean}");
+    }
+
+    #[test]
+    fn scenario_model_generates() {
+        let model = ScenarioBuilder::new("hypo")
+            .nodes(64)
+            .gpus_per_node(8)
+            .system_mtbf_hours(20.0)
+            .window_days(120)
+            .build()
+            .unwrap();
+        let expected = model.total_failures();
+        let log = Simulator::new(model, 5).generate().unwrap();
+        assert_eq!(log.len() as u32, expected);
+        // All slots within the 8-GPU node.
+        for r in log.gpu_records() {
+            for s in r.gpus() {
+                assert!(s.index() < 8);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_accessors() {
+        let sim = Simulator::new(SystemModel::tsubame2(), 99);
+        assert_eq!(sim.seed(), 99);
+        assert_eq!(sim.model().total_failures(), 897);
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

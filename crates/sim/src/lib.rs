@@ -1,0 +1,69 @@
+//! Calibrated discrete-event failure/repair simulator for multi-GPU
+//! supercomputer fleets.
+//!
+//! The Tsubame failure logs the DSN 2021 field study analyzed are closed
+//! data. This crate substitutes them with a generative model calibrated
+//! against every aggregate the paper publishes: the category mix (Fig. 2),
+//! software root loci (Fig. 3), per-node repeat behaviour (Fig. 4), GPU
+//! slot skew (Fig. 5), multi-GPU involvement (Table III), TBF and TTR
+//! distributions (Figs. 6-7, 9-10), multi-GPU temporal clustering
+//! (Fig. 8), and monthly modulation (Figs. 11-12). See [`calib`] for
+//! the per-number provenance.
+//!
+//! The output is an ordinary [`failtypes::FailureLog`], so the analysis
+//! toolkit cannot tell a generated log from a parsed one — which is the
+//! point: the round trip *generate → analyze → compare to the paper*
+//! validates the analysis code end to end.
+//!
+//! # Examples
+//!
+//! Generate both systems' logs and a hypothetical 8-GPU-per-node machine:
+//!
+//! ```
+//! use failsim::{ScenarioBuilder, Simulator, SystemModel};
+//!
+//! let t2 = Simulator::new(SystemModel::tsubame2(), 42).generate()?;
+//! let t3 = Simulator::new(SystemModel::tsubame3(), 43).generate()?;
+//! assert_eq!((t2.len(), t3.len()), (897, 338));
+//!
+//! let hypo = ScenarioBuilder::new("8-gpu-node")
+//!     .gpus_per_node(8)
+//!     .window_days(365)
+//!     .build()
+//!     .expect("valid scenario");
+//! let log = Simulator::new(hypo, 44).generate()?;
+//! assert!(!log.is_empty());
+//! # Ok::<(), failtypes::InvalidRecordError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod arrivals;
+pub mod calib;
+mod generator;
+mod model;
+mod multigpu;
+mod spatial;
+
+pub use generator::Simulator;
+pub use model::{
+    CategoryMix, ClusteringMode, InvolvementModel, NodeSelection, ScenarioBuilder, SlotSkew,
+    SystemModel, TbfModel, TtrModel,
+};
+pub use multigpu::{assign_involvement, Involvement};
+pub use spatial::NodeAssigner;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn public_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Simulator>();
+        assert_send_sync::<SystemModel>();
+        assert_send_sync::<ScenarioBuilder>();
+    }
+}

@@ -1,0 +1,424 @@
+//! GPU involvement: which and how many GPU slots a GPU failure touches.
+//!
+//! Table III's involvement counts are conserved exactly: the generator
+//! builds the precise multiset of involvement labels (e.g. Tsubame-2: 112
+//! single, 128 double, 128 triple, 30 unknown) and assigns them to the GPU
+//! failure events. Temporal clustering (Fig. 8) is produced during the
+//! assignment: within the excitation window after a multi-GPU failure, the
+//! odds that the next GPU failure also receives a multi-GPU label are
+//! boosted — the label multiset, and therefore Table III, is unchanged.
+
+use failtypes::{GpuSlot, Hours};
+use failstats::Categorical;
+use rand::{Rng, RngCore};
+
+use crate::model::{ClusteringMode, InvolvementModel, SlotSkew, SystemModel};
+
+/// The involvement assigned to one GPU failure event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Involvement {
+    /// Involvement was not recorded (no slot data).
+    Unknown,
+    /// The listed distinct slots failed together.
+    Slots(Vec<GpuSlot>),
+}
+
+impl Involvement {
+    /// Number of GPUs involved (zero for unknown).
+    pub fn gpu_count(&self) -> usize {
+        match self {
+            Involvement::Unknown => 0,
+            Involvement::Slots(s) => s.len(),
+        }
+    }
+
+    /// Whether more than one GPU is involved.
+    pub fn is_multi(&self) -> bool {
+        self.gpu_count() > 1
+    }
+}
+
+/// Assigns involvement labels to GPU failure events at the given times.
+///
+/// `times` must be ascending (the caller passes the GPU events of an
+/// already-sorted log). The returned vector is index-aligned with
+/// `times`.
+///
+/// The label multiset comes from `model.involvement`, truncated or padded
+/// with `Unknown` if the number of GPU events differs from the table total
+/// (the calibrated models always match exactly; what-if models are built
+/// to match by construction).
+pub fn assign_involvement(
+    model: &SystemModel,
+    times: &[Hours],
+    rng: &mut dyn RngCore,
+) -> Vec<Involvement> {
+    let mut labels = LabelPool::new(&model.involvement, times.len() as u32);
+    let slot_sampler = SlotSampler::new(model);
+    let (window, boost) = match model.clustering {
+        ClusteringMode::SelfExciting {
+            window_hours,
+            boost,
+        } => (window_hours, boost),
+        ClusteringMode::Independent => (0.0, 1.0),
+    };
+
+    let mut out = Vec::with_capacity(times.len());
+    let mut last_multi: Option<f64> = None;
+    for &t in times {
+        let excited =
+            window > 0.0 && last_multi.is_some_and(|lm| t.get() - lm <= window);
+        // Boost inside the excitation window, damp outside it: the label
+        // pool conserves the totals, so this purely redistributes the
+        // multi-GPU labels into bursts.
+        let b = if excited { boost } else { 1.0 / boost };
+        let multi = labels.draw_is_multi(b, rng);
+        let label = if multi {
+            let k = labels.draw_multi_size(rng);
+            last_multi = Some(t.get());
+            Involvement::Slots(slot_sampler.sample_distinct(k as usize, rng))
+        } else {
+            match labels.draw_non_multi_kind(rng) {
+                NonMulti::Single => Involvement::Slots(slot_sampler.sample_distinct(1, rng)),
+                NonMulti::Unknown => Involvement::Unknown,
+            }
+        };
+        out.push(label);
+    }
+    out
+}
+
+/// Remaining involvement labels during assignment.
+#[derive(Debug)]
+struct LabelPool {
+    /// Remaining counts per multi multiplicity (2, 3, ...).
+    multi: Vec<(u8, u32)>,
+    single: u32,
+    unknown: u32,
+}
+
+enum NonMulti {
+    Single,
+    Unknown,
+}
+
+impl LabelPool {
+    fn new(involvement: &InvolvementModel, events: u32) -> Self {
+        let mut pool = LabelPool {
+            multi: involvement
+                .counts()
+                .iter()
+                .filter(|&&(k, _)| k >= 2)
+                .copied()
+                .collect(),
+            single: involvement
+                .counts()
+                .iter()
+                .find(|&&(k, _)| k == 1)
+                .map_or(0, |&(_, c)| c),
+            unknown: involvement.unknown(),
+        };
+        // Reconcile the pool size with the actual event count: drop or add
+        // `unknown`/`single` labels, never multi labels (they are the
+        // calibrated quantity).
+        let total = pool.total();
+        if events > total {
+            pool.unknown += events - total;
+        } else {
+            let mut excess = total - events;
+            let drop_unknown = excess.min(pool.unknown);
+            pool.unknown -= drop_unknown;
+            excess -= drop_unknown;
+            let drop_single = excess.min(pool.single);
+            pool.single -= drop_single;
+            excess -= drop_single;
+            // Truly pathological: trim multi labels last.
+            for entry in pool.multi.iter_mut() {
+                let d = excess.min(entry.1);
+                entry.1 -= d;
+                excess -= d;
+            }
+        }
+        pool
+    }
+
+    fn total(&self) -> u32 {
+        self.single + self.unknown + self.multi_total()
+    }
+
+    fn multi_total(&self) -> u32 {
+        self.multi.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Draws whether the next event is multi-GPU, with odds boosted by
+    /// `boost`, and consumes nothing yet (the kind draws consume).
+    fn draw_is_multi(&mut self, boost: f64, rng: &mut dyn RngCore) -> bool {
+        let multi = self.multi_total() as f64;
+        let other = (self.single + self.unknown) as f64;
+        if multi == 0.0 {
+            return false;
+        }
+        if other == 0.0 {
+            return true;
+        }
+        let p = multi * boost / (multi * boost + other);
+        rng.gen::<f64>() < p
+    }
+
+    fn draw_multi_size(&mut self, rng: &mut dyn RngCore) -> u8 {
+        let total = self.multi_total();
+        debug_assert!(total > 0);
+        let mut u = rng.gen_range(0..total);
+        for entry in self.multi.iter_mut() {
+            if u < entry.1 {
+                entry.1 -= 1;
+                return entry.0;
+            }
+            u -= entry.1;
+        }
+        unreachable!("multi label pool underflow")
+    }
+
+    fn draw_non_multi_kind(&mut self, rng: &mut dyn RngCore) -> NonMulti {
+        let total = self.single + self.unknown;
+        debug_assert!(total > 0);
+        if rng.gen_range(0..total) < self.single {
+            self.single -= 1;
+            NonMulti::Single
+        } else {
+            self.unknown -= 1;
+            NonMulti::Unknown
+        }
+    }
+}
+
+/// Samples distinct GPU slots according to the model's slot skew.
+#[derive(Debug)]
+struct SlotSampler {
+    slots: u8,
+    weighted: Option<Categorical>,
+}
+
+impl SlotSampler {
+    fn new(model: &SystemModel) -> Self {
+        let slots = model.spec.gpus_per_node();
+        let weighted = match &model.slot_skew {
+            SlotSkew::Uniform => None,
+            SlotSkew::Weighted(w) => {
+                // Tolerate weight vectors shorter/longer than the slot
+                // count by resizing with the mean weight.
+                let mean = w.iter().sum::<f64>() / w.len().max(1) as f64;
+                let mut weights = w.clone();
+                weights.resize(slots as usize, mean.max(1e-9));
+                Categorical::new(&weights)
+            }
+        };
+        SlotSampler { slots, weighted }
+    }
+
+    fn sample_distinct(&self, k: usize, rng: &mut dyn RngCore) -> Vec<GpuSlot> {
+        let k = k.min(self.slots as usize);
+        let mut chosen: Vec<GpuSlot> = Vec::with_capacity(k);
+        while chosen.len() < k {
+            let slot = match &self.weighted {
+                Some(cat) => GpuSlot::new(cat.sample(rng) as u8),
+                None => GpuSlot::new(rng.gen_range(0..self.slots)),
+            };
+            if !chosen.contains(&slot) {
+                chosen.push(slot);
+            }
+        }
+        chosen.sort();
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn gpu_times(n: usize, gap: f64) -> Vec<Hours> {
+        (0..n).map(|i| Hours::new(i as f64 * gap)).collect()
+    }
+
+    fn count_by_size(inv: &[Involvement]) -> (u32, u32, u32, u32) {
+        let mut unknown = 0;
+        let mut single = 0;
+        let mut double = 0;
+        let mut triple_plus = 0;
+        for i in inv {
+            match i.gpu_count() {
+                0 => unknown += 1,
+                1 => single += 1,
+                2 => double += 1,
+                _ => triple_plus += 1,
+            }
+        }
+        (unknown, single, double, triple_plus)
+    }
+
+    #[test]
+    fn t2_label_multiset_is_conserved() {
+        let model = SystemModel::tsubame2();
+        let times = gpu_times(398, 34.5);
+        let mut rng = StdRng::seed_from_u64(1);
+        let inv = assign_involvement(&model, &times, &mut rng);
+        assert_eq!(inv.len(), 398);
+        let (unknown, single, double, triple) = count_by_size(&inv);
+        assert_eq!(unknown, 30);
+        assert_eq!(single, 112);
+        assert_eq!(double, 128);
+        assert_eq!(triple, 128);
+    }
+
+    #[test]
+    fn t3_label_multiset_is_conserved() {
+        let model = SystemModel::tsubame3();
+        let times = gpu_times(94, 260.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let inv = assign_involvement(&model, &times, &mut rng);
+        let (unknown, single, double, triple) = count_by_size(&inv);
+        assert_eq!(unknown, 13);
+        assert_eq!(single, 75);
+        assert_eq!(double, 4);
+        assert_eq!(triple, 2);
+        // Never all four GPUs on Tsubame-3 (Table III).
+        assert!(inv.iter().all(|i| i.gpu_count() < 4));
+    }
+
+    #[test]
+    fn slots_are_distinct_sorted_and_in_range() {
+        let model = SystemModel::tsubame2();
+        let times = gpu_times(398, 10.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for inv in assign_involvement(&model, &times, &mut rng) {
+            if let Involvement::Slots(slots) = inv {
+                for w in slots.windows(2) {
+                    assert!(w[0] < w[1], "slots not strictly ascending");
+                }
+                for s in &slots {
+                    assert!(s.index() < 3);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn event_count_mismatch_adjusts_unknown_first() {
+        let model = SystemModel::tsubame2();
+        // More events than the table: extra become Unknown.
+        let times = gpu_times(410, 10.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let inv = assign_involvement(&model, &times, &mut rng);
+        let (unknown, single, double, triple) = count_by_size(&inv);
+        assert_eq!(unknown, 42);
+        assert_eq!((single, double, triple), (112, 128, 128));
+        // Fewer events: unknown labels are dropped first.
+        let times = gpu_times(380, 10.0);
+        let inv = assign_involvement(&model, &times, &mut rng);
+        let (unknown, single, double, triple) = count_by_size(&inv);
+        assert_eq!(unknown, 12);
+        assert_eq!((single, double, triple), (112, 128, 128));
+    }
+
+    #[test]
+    fn clustered_multi_events_are_bursty() {
+        let model = SystemModel::tsubame2();
+        // Dense GPU event stream (gap 20 h, window 96 h → excitation
+        // frequently active).
+        let times = gpu_times(398, 20.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let inv = assign_involvement(&model, &times, &mut rng);
+        let multi_times: Vec<f64> = times
+            .iter()
+            .zip(&inv)
+            .filter(|(_, i)| i.is_multi())
+            .map(|(t, _)| t.get())
+            .collect();
+        let horizon = times.last().unwrap().get() + 1.0;
+        let clustered =
+            failstats::burstiness_report(&multi_times, horizon, 200.0, 40.0).unwrap();
+
+        // Ablation: independent assignment.
+        let mut model_flat = model.clone();
+        model_flat.clustering = ClusteringMode::Independent;
+        let mut rng = StdRng::seed_from_u64(5);
+        let inv_flat = assign_involvement(&model_flat, &times, &mut rng);
+        let multi_flat: Vec<f64> = times
+            .iter()
+            .zip(&inv_flat)
+            .filter(|(_, i)| i.is_multi())
+            .map(|(t, _)| t.get())
+            .collect();
+        let flat = failstats::burstiness_report(&multi_flat, horizon, 200.0, 40.0).unwrap();
+
+        assert!(
+            clustered.cv > flat.cv,
+            "clustered CV {} should exceed independent CV {}",
+            clustered.cv,
+            flat.cv
+        );
+    }
+
+    #[test]
+    fn empty_event_list() {
+        let model = SystemModel::tsubame3();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(assign_involvement(&model, &[], &mut rng).is_empty());
+    }
+
+    #[test]
+    fn involvement_helpers() {
+        assert_eq!(Involvement::Unknown.gpu_count(), 0);
+        assert!(!Involvement::Unknown.is_multi());
+        let multi = Involvement::Slots(vec![GpuSlot::new(0), GpuSlot::new(2)]);
+        assert!(multi.is_multi());
+        assert_eq!(multi.gpu_count(), 2);
+    }
+
+    #[test]
+    fn uniform_slot_skew_is_roughly_flat() {
+        let mut model = SystemModel::tsubame3();
+        model.slot_skew = SlotSkew::Uniform;
+        let times = gpu_times(94, 100.0);
+        let mut counts = [0u32; 4];
+        for seed in 0..200 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for inv in assign_involvement(&model, &times, &mut rng) {
+                if let Involvement::Slots(slots) = inv {
+                    for s in slots {
+                        counts[s.index() as usize] += 1;
+                    }
+                }
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        for &c in &counts {
+            let share = c as f64 / total as f64;
+            assert!((share - 0.25).abs() < 0.02, "share {share}");
+        }
+    }
+
+    #[test]
+    fn weighted_slot_skew_matches_fig5_shape() {
+        let model = SystemModel::tsubame3();
+        let times = gpu_times(94, 100.0);
+        let mut counts = [0u32; 4];
+        for seed in 0..300 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            for inv in assign_involvement(&model, &times, &mut rng) {
+                if let Involvement::Slots(slots) = inv {
+                    for s in slots {
+                        counts[s.index() as usize] += 1;
+                    }
+                }
+            }
+        }
+        // GPU 0 and GPU 3 considerably above GPU 1 and GPU 2 (Fig. 5b).
+        assert!(counts[0] > counts[1] * 3 / 2);
+        assert!(counts[3] > counts[2] * 3 / 2);
+    }
+}

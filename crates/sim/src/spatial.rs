@@ -1,0 +1,357 @@
+//! Node placement of failures.
+//!
+//! Fig. 4 shows a distinctive per-node occupancy: most failing nodes see a
+//! single failure, a small share see exactly two, and a heavy tail of
+//! repeat offenders absorbs the rest. The calibrated models reproduce it
+//! with a *defective pool*: a random subset of nodes (manufacturing
+//! variability, hot spots) receives a fixed share of the failures, the
+//! remainder falls uniformly. A Polya urn and a uniform baseline are kept
+//! as alternative hypotheses for the ablation benches. Tsubame-2
+//! additionally places software failures on previously failure-free nodes,
+//! reflecting the paper's observation that multi-failure Tsubame-2 nodes
+//! saw 352 hardware failures but only a single software failure.
+
+use failtypes::{Category, NodeId, RackId, SystemSpec};
+use rand::{Rng, RngCore};
+
+use crate::calib;
+use crate::model::{NodeSelection, SystemModel};
+
+/// Stateful node selector implementing the model's placement policy.
+#[derive(Debug)]
+pub struct NodeAssigner {
+    nodes: u32,
+    selection: NodeSelection,
+    software_fresh: bool,
+    /// One entry per past failure, naming its node — the urn's "balls".
+    history: Vec<NodeId>,
+    /// Per-node failure counts.
+    counts: Vec<u32>,
+    /// Nodes that have never failed (for the fresh-node rule); swap-removed
+    /// as they get used.
+    fresh: Vec<NodeId>,
+    /// The defective pool, when the policy uses one.
+    pool: Vec<NodeId>,
+}
+
+impl NodeAssigner {
+    /// Creates an assigner for the model's system, drawing the defective
+    /// pool (if the policy has one) from `rng`.
+    pub fn new(model: &SystemModel, rng: &mut dyn RngCore) -> Self {
+        let nodes = model.spec.nodes();
+        let pool = match model.node_selection {
+            NodeSelection::DefectivePool { pool_size, .. } => {
+                sample_rack_biased_pool(&model.spec, pool_size.min(nodes), rng)
+            }
+            _ => Vec::new(),
+        };
+        NodeAssigner {
+            nodes,
+            selection: model.node_selection,
+            software_fresh: model.software_prefers_fresh_nodes,
+            history: Vec::new(),
+            counts: vec![0; nodes as usize],
+            fresh: (0..nodes).map(NodeId::new).collect(),
+            pool,
+        }
+    }
+
+    /// Picks the node for the next failure of the given category and
+    /// records the outcome.
+    pub fn assign(&mut self, category: Category, rng: &mut dyn RngCore) -> NodeId {
+        let node = if self.software_fresh && category.is_software() {
+            self.pick_fresh(rng)
+        } else {
+            match self.selection {
+                NodeSelection::Uniform => NodeId::new(rng.gen_range(0..self.nodes)),
+                NodeSelection::DefectivePool { pool_share, .. } => {
+                    if !self.pool.is_empty() && rng.gen::<f64>() < pool_share {
+                        self.pool[rng.gen_range(0..self.pool.len())]
+                    } else {
+                        NodeId::new(rng.gen_range(0..self.nodes))
+                    }
+                }
+                NodeSelection::PolyaUrn {
+                    base,
+                    reinforcement,
+                } => self.pick_urn(base, reinforcement, rng),
+            }
+        };
+        self.record(node);
+        node
+    }
+
+    fn pick_fresh(&mut self, rng: &mut dyn RngCore) -> NodeId {
+        if self.fresh.is_empty() {
+            // Every node has failed already; fall back to uniform.
+            return NodeId::new(rng.gen_range(0..self.nodes));
+        }
+        let idx = rng.gen_range(0..self.fresh.len());
+        self.fresh[idx]
+    }
+
+    fn pick_urn(&mut self, base: f64, reinforcement: f64, rng: &mut dyn RngCore) -> NodeId {
+        let base_total = base * self.nodes as f64;
+        let reinf_total = reinforcement * self.history.len() as f64;
+        let u: f64 = rng.gen::<f64>() * (base_total + reinf_total);
+        if u < base_total || self.history.is_empty() {
+            // Base mass: uniform over all nodes.
+            NodeId::new(rng.gen_range(0..self.nodes))
+        } else {
+            // Reinforcement mass: proportional to past failures — pick a
+            // uniformly random past ball.
+            self.history[rng.gen_range(0..self.history.len())]
+        }
+    }
+
+    fn record(&mut self, node: NodeId) {
+        let idx = node.index() as usize;
+        if self.counts[idx] == 0 {
+            // Swap-remove the node from the fresh list.
+            if let Some(pos) = self.fresh.iter().position(|&n| n == node) {
+                self.fresh.swap_remove(pos);
+            }
+        }
+        self.counts[idx] += 1;
+        self.history.push(node);
+    }
+
+    /// Per-node failure counts so far.
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// The defective pool in use (empty for other policies).
+    pub fn pool(&self) -> &[NodeId] {
+        &self.pool
+    }
+}
+
+/// Draws `k` distinct node ids uniformly from `0..nodes` (partial
+/// Fisher–Yates). Retained as the unbiased baseline the tests compare
+/// the rack-biased sampler against.
+#[cfg_attr(not(test), allow(dead_code))]
+fn sample_distinct_nodes(nodes: u32, k: u32, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    let mut ids: Vec<u32> = (0..nodes).collect();
+    let k = k.min(nodes) as usize;
+    for i in 0..k {
+        let j = rng.gen_range(i..ids.len());
+        ids.swap(i, j);
+    }
+    ids.truncate(k);
+    ids.into_iter().map(NodeId::new).collect()
+}
+
+/// Draws `k` distinct defective nodes, preferentially from a random
+/// subset of "hot" racks (see `calib::rack`), producing the rack-level
+/// non-uniformity field studies report.
+fn sample_rack_biased_pool(spec: &SystemSpec, k: u32, rng: &mut dyn RngCore) -> Vec<NodeId> {
+    let racks = spec.racks();
+    let hot_count = ((racks as f64 * calib::rack::HOT_FRACTION).round() as u32)
+        .clamp(1, racks);
+    // Choose the hot racks.
+    let mut rack_ids: Vec<u32> = (0..racks).collect();
+    for i in 0..hot_count as usize {
+        let j = rng.gen_range(i..rack_ids.len());
+        rack_ids.swap(i, j);
+    }
+    let hot: Vec<RackId> = rack_ids[..hot_count as usize]
+        .iter()
+        .map(|&r| RackId::new(r))
+        .collect();
+    let hot_nodes: Vec<NodeId> = hot.iter().flat_map(|&r| spec.rack_nodes(r)).collect();
+
+    let mut pool = Vec::with_capacity(k as usize);
+    let mut in_pool = vec![false; spec.nodes() as usize];
+    let mut guard = 0u32;
+    while (pool.len() as u32) < k {
+        // Bail out to uniform filling if the hot racks are exhausted.
+        guard += 1;
+        let node = if rng.gen::<f64>() < calib::rack::HOT_POOL_SHARE
+            && guard < 50 * k
+            && !hot_nodes.is_empty()
+        {
+            hot_nodes[rng.gen_range(0..hot_nodes.len())]
+        } else {
+            NodeId::new(rng.gen_range(0..spec.nodes()))
+        };
+        let idx = node.index() as usize;
+        if !in_pool[idx] {
+            in_pool[idx] = true;
+            pool.push(node);
+        }
+    }
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SystemModel;
+    use failtypes::{T2Category, T3Category};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn node_count_histogram(counts: &[u32]) -> failstats::CountHistogram {
+        counts
+            .iter()
+            .filter(|&&c| c > 0)
+            .map(|&c| c as u64)
+            .collect()
+    }
+
+    #[test]
+    fn uniform_selection_spreads_failures() {
+        let mut model = SystemModel::tsubame2();
+        model.node_selection = NodeSelection::Uniform;
+        model.software_prefers_fresh_nodes = false;
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        for _ in 0..897 {
+            assigner.assign(Category::T2(T2Category::Gpu), &mut rng);
+        }
+        let hist = node_count_histogram(assigner.counts());
+        // With 897 failures on 1408 nodes uniformly, nodes with exactly
+        // one failure dominate heavily (~75%+) and deep repeats are rare.
+        assert!(hist.fraction_of(1) > 0.70);
+        assert!(hist.max_value().unwrap() <= 5);
+        assert!(assigner.pool().is_empty());
+    }
+
+    #[test]
+    fn defective_pool_creates_dip_then_tail() {
+        let model = SystemModel::tsubame2();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        assert_eq!(assigner.pool().len(), 165);
+        for _ in 0..777 {
+            assigner.assign(Category::T2(T2Category::Gpu), &mut rng);
+        }
+        let hist = node_count_histogram(assigner.counts());
+        // Deep repeat offenders exist (uniform placement caps around 4-5).
+        assert!(hist.max_value().unwrap() > 5);
+        // And exactly-one nodes still dominate.
+        assert!(hist.fraction_of(1) > hist.fraction_of(2) * 3.0);
+    }
+
+    #[test]
+    fn urn_selection_creates_repeat_offenders() {
+        let mut model = SystemModel::tsubame2();
+        model.node_selection = NodeSelection::PolyaUrn {
+            base: 1.0,
+            reinforcement: 4.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        for _ in 0..777 {
+            assigner.assign(Category::T2(T2Category::Gpu), &mut rng);
+        }
+        let hist = node_count_histogram(assigner.counts());
+        assert!(hist.max_value().unwrap() > 5);
+    }
+
+    #[test]
+    fn fresh_rule_sends_software_to_untouched_nodes() {
+        let model = SystemModel::tsubame2();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        // Seed hardware failures to create hot nodes.
+        for _ in 0..300 {
+            assigner.assign(Category::T2(T2Category::Gpu), &mut rng);
+        }
+        let before = assigner.counts().to_vec();
+        // Now software failures: all must land on previously untouched
+        // nodes.
+        for _ in 0..50 {
+            let node = assigner.assign(Category::T2(T2Category::OtherSw), &mut rng);
+            assert_eq!(before[node.index() as usize], 0, "landed on a hot node");
+        }
+    }
+
+    #[test]
+    fn fresh_rule_falls_back_when_exhausted() {
+        let mut model = SystemModel::tsubame2();
+        // Shrink the system so fresh nodes run out quickly.
+        model.spec = failtypes::SystemSpec::builder("tiny")
+            .nodes(4)
+            .gpus_per_node(3)
+            .build()
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        for _ in 0..40 {
+            let node = assigner.assign(Category::T2(T2Category::OtherSw), &mut rng);
+            assert!(node.index() < 4);
+        }
+        assert_eq!(assigner.counts().iter().sum::<u32>(), 40);
+    }
+
+    #[test]
+    fn t3_software_repeats_on_nodes() {
+        // Tsubame-3 has no fresh-node rule: software failures also land on
+        // the defective pool and repeat.
+        let model = SystemModel::tsubame3();
+        assert!(!model.software_prefers_fresh_nodes);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut assigner = NodeAssigner::new(&model, &mut rng);
+        for _ in 0..171 {
+            assigner.assign(Category::T3(T3Category::Software), &mut rng);
+        }
+        let hist = node_count_histogram(assigner.counts());
+        assert!(hist.fraction_above(1) > 0.2);
+    }
+
+    #[test]
+    fn assignments_are_deterministic() {
+        let model = SystemModel::tsubame3();
+        let run = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut assigner = NodeAssigner::new(&model, &mut rng);
+            (0..100)
+                .map(|_| assigner.assign(Category::T3(T3Category::Gpu), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(9), run(9));
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn rack_biased_pool_concentrates_in_hot_racks() {
+        let spec = failtypes::SystemSpec::tsubame2();
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = sample_rack_biased_pool(&spec, 165, &mut rng);
+        assert_eq!(pool.len(), 165);
+        let mut seen = std::collections::HashSet::new();
+        for n in &pool {
+            assert!(seen.insert(*n), "duplicate node {n}");
+        }
+        // Count pool nodes per rack: the busiest ~30% of racks should
+        // hold well over their uniform share.
+        let mut per_rack = vec![0usize; spec.racks() as usize];
+        for n in &pool {
+            per_rack[spec.rack_of(*n).index() as usize] += 1;
+        }
+        per_rack.sort_unstable_by(|a, b| b.cmp(a));
+        let hot_racks = (spec.racks() as f64 * 0.3).round() as usize;
+        let top: usize = per_rack[..hot_racks].iter().sum();
+        assert!(
+            top as f64 > 0.55 * pool.len() as f64,
+            "top racks hold {top} of {}",
+            pool.len()
+        );
+    }
+
+    #[test]
+    fn distinct_node_sampling() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let sample = sample_distinct_nodes(100, 40, &mut rng);
+        assert_eq!(sample.len(), 40);
+        let mut seen = std::collections::HashSet::new();
+        for n in &sample {
+            assert!(n.index() < 100);
+            assert!(seen.insert(*n), "duplicate node in pool");
+        }
+        // Requesting more than available clamps.
+        assert_eq!(sample_distinct_nodes(5, 10, &mut rng).len(), 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Weighted discrete sampling via Walker's alias method.
+//!
+//! The simulator draws a failure category for every event; the alias method
+//! makes that an O(1) operation regardless of how many categories a system
+//! reports.
+
+use rand::Rng;
+
+/// A discrete distribution over `0..n` with arbitrary non-negative
+/// weights, sampled in O(1) via Walker's alias tables.
+///
+/// # Examples
+///
+/// ```
+/// use failstats::Categorical;
+/// use rand::SeedableRng;
+///
+/// let d = Categorical::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+/// let idx = d.sample(&mut rng);
+/// assert!(idx == 0 || idx == 2); // index 1 has zero weight
+/// assert!((d.prob(2) - 0.75).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Categorical {
+    prob: Vec<f64>,
+    // Alias tables.
+    accept: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl Categorical {
+    /// Builds the alias tables from non-negative weights.
+    ///
+    /// Returns `None` when `weights` is empty, contains a negative or
+    /// non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Option<Self> {
+        if weights.is_empty() {
+            return None;
+        }
+        if weights.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+            return None;
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return None;
+        }
+        let n = weights.len();
+        let prob: Vec<f64> = weights.iter().map(|w| w / total).collect();
+
+        // Walker's alias construction with small/large worklists.
+        let mut scaled: Vec<f64> = prob.iter().map(|p| p * n as f64).collect();
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        let mut accept = vec![1.0; n];
+        let mut alias: Vec<usize> = (0..n).collect();
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            accept[s] = scaled[s];
+            alias[s] = l;
+            scaled[l] -= 1.0 - scaled[s];
+            if scaled[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Leftovers (numerical residue) accept with probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            accept[i] = 1.0;
+            alias[i] = i;
+        }
+        Some(Categorical {
+            prob,
+            accept,
+            alias,
+        })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Returns `true` when there are no categories (never, by
+    /// construction; provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Normalized probability of category `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn prob(&self, i: usize) -> f64 {
+        self.prob[i]
+    }
+
+    /// All normalized probabilities.
+    pub fn probs(&self) -> &[f64] {
+        &self.prob
+    }
+
+    /// Draws a category index.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> usize {
+        let n = self.prob.len();
+        let i = (rng.gen::<f64>() * n as f64) as usize % n;
+        if rng.gen::<f64>() < self.accept[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_weights() {
+        assert!(Categorical::new(&[]).is_none());
+        assert!(Categorical::new(&[0.0, 0.0]).is_none());
+        assert!(Categorical::new(&[1.0, -1.0]).is_none());
+        assert!(Categorical::new(&[1.0, f64::NAN]).is_none());
+        assert!(Categorical::new(&[1.0, f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn normalizes_probabilities() {
+        let d = Categorical::new(&[2.0, 6.0]).unwrap();
+        assert!((d.prob(0) - 0.25).abs() < 1e-12);
+        assert!((d.prob(1) - 0.75).abs() < 1e-12);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.probs().len(), 2);
+    }
+
+    #[test]
+    fn single_category_always_sampled() {
+        let d = Categorical::new(&[5.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(d.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_sampled() {
+        let d = Categorical::new(&[1.0, 0.0, 1.0, 0.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let i = d.sample(&mut rng);
+            assert!(i == 0 || i == 2, "sampled zero-weight index {i}");
+        }
+    }
+
+    #[test]
+    fn sampling_frequencies_match_weights() {
+        let weights = [44.37, 1.78, 12.0, 8.0, 33.85];
+        let d = Categorical::new(&weights).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400_000;
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..n {
+            counts[d.sample(&mut rng)] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let observed = counts[i] as f64 / n as f64;
+            assert!(
+                (observed - expected).abs() < 0.005,
+                "category {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavily_skewed_weights() {
+        let d = Categorical::new(&[1e-6, 1.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| d.sample(&mut rng) == 0).count();
+        // Expect about 0.0001% — allow a generous band around zero.
+        assert!(hits < 20, "hits {hits}");
+    }
+}

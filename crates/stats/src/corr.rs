@@ -1,0 +1,133 @@
+//! Correlation measures.
+//!
+//! RQ5 asks whether months with more failures also have longer recovery
+//! times; the paper answers with "no correlation". These functions quantify
+//! that claim on the regenerated data.
+
+/// Pearson product-moment correlation of two equal-length samples.
+///
+/// Returns `None` when the samples differ in length, have fewer than two
+/// points, or either side has zero variance.
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0];
+/// let y = [2.0, 4.0, 6.0];
+/// assert!((failstats::pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Mid-ranks of a sample (ties share the average rank).
+fn ranks(x: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..x.len()).collect();
+    idx.sort_by(|&a, &b| x[a].partial_cmp(&x[b]).expect("rank data must not contain NaN"));
+    let mut out = vec![0.0; x.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && x[idx[j + 1]] == x[idx[i]] {
+            j += 1;
+        }
+        // Average 1-based rank of the tie group [i, j].
+        let rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation (Pearson on mid-ranks; tie-aware).
+///
+/// Returns `None` under the same conditions as [`pearson`].
+///
+/// ```
+/// // A monotone but non-linear relationship is perfect for Spearman.
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [1.0, 8.0, 27.0, 64.0];
+/// assert!((failstats::spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+/// ```
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up: Vec<f64> = x.iter().map(|v| 2.0 * v + 1.0).collect();
+        let down: Vec<f64> = x.iter().map(|v| -3.0 * v).collect();
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_is_near_zero() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        let y = [1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+        assert!(spearman(&x, &y).unwrap().abs() < 0.2);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(pearson(&[1.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 2.0], &[2.0]).is_none());
+        assert!(pearson(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+        assert!(spearman(&[], &[]).is_none());
+        assert!(spearman(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn ranks_handle_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+        let r = ranks(&[5.0, 5.0, 5.0]);
+        assert_eq!(r, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn spearman_is_scale_invariant() {
+        let x = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let y = [2.0, 11.0, 5.0, 90.0, 7.0];
+        let a = spearman(&x, &y).unwrap();
+        let xs: Vec<f64> = x.iter().map(|v| v * 1000.0).collect();
+        let ys: Vec<f64> = y.iter().map(|v| v.powi(3)).collect();
+        let b = spearman(&xs, &ys).unwrap();
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_symmetry() {
+        let x = [1.0, 4.0, 2.0, 7.0];
+        let y = [3.0, 1.0, 9.0, 2.0];
+        assert!((pearson(&x, &y).unwrap() - pearson(&y, &x).unwrap()).abs() < 1e-12);
+    }
+}

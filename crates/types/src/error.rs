@@ -1,0 +1,203 @@
+//! Error types for the domain model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error returned when a category or root-locus label fails to parse.
+///
+/// ```
+/// use failtypes::T2Category;
+/// let err = "Quantum".parse::<T2Category>().unwrap_err();
+/// assert!(err.to_string().contains("Quantum"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseCategoryError {
+    label: String,
+}
+
+impl ParseCategoryError {
+    /// Creates an error recording the offending label.
+    pub fn new(label: impl Into<String>) -> Self {
+        ParseCategoryError {
+            label: label.into(),
+        }
+    }
+
+    /// Returns the label that failed to parse.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Display for ParseCategoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown failure category label `{}`", self.label)
+    }
+}
+
+impl Error for ParseCategoryError {}
+
+/// Error returned when building an invalid [`crate::SystemSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidSpecError {
+    reason: &'static str,
+}
+
+impl InvalidSpecError {
+    /// Creates an error with a static reason.
+    pub const fn new(reason: &'static str) -> Self {
+        InvalidSpecError { reason }
+    }
+
+    /// Returns the reason the specification was rejected.
+    pub const fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for InvalidSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid system specification: {}", self.reason)
+    }
+}
+
+impl Error for InvalidSpecError {}
+
+/// Error returned when a [`crate::FailureRecord`] violates a log invariant.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InvalidRecordError {
+    /// The failure time is negative, non-finite, or outside the log window.
+    TimeOutOfWindow {
+        /// The offending offset in hours.
+        offset: f64,
+        /// The window length in hours.
+        window: f64,
+    },
+    /// The time to recovery is negative or non-finite.
+    InvalidTtr {
+        /// The offending duration in hours.
+        ttr: f64,
+    },
+    /// The record references a node outside the system.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: u32,
+        /// The number of nodes in the system.
+        nodes: u32,
+    },
+    /// The record references a GPU slot outside the node.
+    SlotOutOfRange {
+        /// The offending slot index.
+        slot: u8,
+        /// The number of GPU slots per node.
+        slots: u8,
+    },
+    /// The record lists the same GPU slot twice.
+    DuplicateSlot {
+        /// The duplicated slot index.
+        slot: u8,
+    },
+    /// The record carries GPU involvement but is not a GPU failure.
+    UnexpectedGpuInvolvement,
+    /// The record carries a software root locus but is not a software
+    /// failure.
+    UnexpectedSoftwareLocus,
+    /// The record's category belongs to the other system.
+    CategorySystemMismatch,
+}
+
+impl fmt::Display for InvalidRecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidRecordError::TimeOutOfWindow { offset, window } => write!(
+                f,
+                "failure time {offset} h lies outside the observation window of {window} h"
+            ),
+            InvalidRecordError::InvalidTtr { ttr } => {
+                write!(f, "time to recovery {ttr} h is not a valid duration")
+            }
+            InvalidRecordError::NodeOutOfRange { node, nodes } => {
+                write!(f, "node index {node} exceeds system size {nodes}")
+            }
+            InvalidRecordError::SlotOutOfRange { slot, slots } => {
+                write!(f, "GPU slot {slot} exceeds {slots} GPUs per node")
+            }
+            InvalidRecordError::DuplicateSlot { slot } => {
+                write!(f, "GPU slot {slot} listed more than once")
+            }
+            InvalidRecordError::UnexpectedGpuInvolvement => {
+                write!(f, "non-GPU failure carries GPU involvement data")
+            }
+            InvalidRecordError::UnexpectedSoftwareLocus => {
+                write!(f, "non-software failure carries a software root locus")
+            }
+            InvalidRecordError::CategorySystemMismatch => {
+                write!(f, "failure category belongs to the other system generation")
+            }
+        }
+    }
+}
+
+impl Error for InvalidRecordError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_reports_label() {
+        let e = ParseCategoryError::new("Foo");
+        assert_eq!(e.label(), "Foo");
+        assert_eq!(e.to_string(), "unknown failure category label `Foo`");
+    }
+
+    #[test]
+    fn spec_error_reports_reason() {
+        let e = InvalidSpecError::new("nope");
+        assert_eq!(e.reason(), "nope");
+        assert!(e.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn record_error_messages_are_specific() {
+        let cases: Vec<(InvalidRecordError, &str)> = vec![
+            (
+                InvalidRecordError::TimeOutOfWindow {
+                    offset: -1.0,
+                    window: 100.0,
+                },
+                "outside",
+            ),
+            (InvalidRecordError::InvalidTtr { ttr: -3.0 }, "recovery"),
+            (
+                InvalidRecordError::NodeOutOfRange {
+                    node: 9,
+                    nodes: 5,
+                },
+                "node index",
+            ),
+            (
+                InvalidRecordError::SlotOutOfRange { slot: 7, slots: 4 },
+                "slot",
+            ),
+            (InvalidRecordError::DuplicateSlot { slot: 1 }, "more than once"),
+            (InvalidRecordError::UnexpectedGpuInvolvement, "non-GPU"),
+            (InvalidRecordError::UnexpectedSoftwareLocus, "non-software"),
+            (InvalidRecordError::CategorySystemMismatch, "other system"),
+        ];
+        for (err, needle) in cases {
+            assert!(
+                err.to_string().contains(needle),
+                "{err} should mention {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ParseCategoryError>();
+        assert_err::<InvalidSpecError>();
+        assert_err::<InvalidRecordError>();
+    }
+}

@@ -1,0 +1,1 @@
+//! Integration test suite for the failscope workspace. See `tests/*.rs`.
