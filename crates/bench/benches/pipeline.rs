@@ -5,9 +5,10 @@
 //! Run with `cargo bench -p failbench --bench pipeline`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use failbench::{experiments, runner};
 use failscope::{
-    per_category_ttr, CategoryBreakdown, NodeDistribution, SeasonalAnalysis, TbfAnalysis,
-    TtrAnalysis,
+    per_category_tbf, per_category_ttr, AvailabilityAnalysis, CategoryBreakdown, LogView,
+    NodeDistribution, SeasonalAnalysis, TbfAnalysis, TtrAnalysis,
 };
 use failsim::{ScenarioBuilder, Simulator, SystemModel};
 use failstats::{bootstrap_ci, bootstrap_ci_parallel, fit, ks_test_dist, ContinuousDist, Ecdf};
@@ -117,6 +118,57 @@ fn bench_analyses(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_engine(c: &mut Criterion) {
+    let log = Simulator::new(SystemModel::tsubame2(), 42)
+        .generate()
+        .expect("valid model");
+    let mut group = c.benchmark_group("engine");
+
+    // The indexed-view refactor: build every per-analysis index once...
+    group.bench_function("logview_build", |b| {
+        b.iter(|| LogView::new(black_box(&log)))
+    });
+    // ...versus what the analyses did before — each re-scanning and
+    // re-sorting the raw log on its own.
+    group.bench_function("resort_per_analysis", |b| {
+        b.iter(|| {
+            let log = black_box(&log);
+            (
+                TtrAnalysis::from_log(log),
+                TbfAnalysis::from_log(log),
+                per_category_ttr(log),
+                per_category_tbf(log, 5),
+                AvailabilityAnalysis::from_log(log),
+                SeasonalAnalysis::from_log(log),
+            )
+        })
+    });
+
+    // View-backed report vs. the same report re-deriving everything.
+    group.bench_function("report_via_view", |b| {
+        b.iter(|| failscope::render_report(black_box(&log)))
+    });
+
+    group.finish();
+}
+
+fn bench_repro_pipeline(c: &mut Criterion) {
+    // The full experiment catalog, serial vs. parallel. Logs are warmed
+    // in the shared LogStore first so this isolates analysis/runner cost
+    // (the cold-start comparison is `repro bench`).
+    let catalog = experiments::catalog();
+    let threads = failstats::available_threads();
+    let _ = runner::run_catalog_with(&catalog, 1); // warm the store
+    let mut group = c.benchmark_group("repro_pipeline");
+    group.bench_function("pipeline_serial", |b| {
+        b.iter(|| runner::run_catalog_with(black_box(&catalog), 1))
+    });
+    group.bench_function(format!("pipeline_parallel_{threads}t"), |b| {
+        b.iter(|| runner::run_catalog_with(black_box(&catalog), threads))
+    });
+    group.finish();
+}
+
 fn bench_stats(c: &mut Criterion) {
     use rand::SeedableRng;
     let truth = failstats::Weibull::new(1.4, 70.0).expect("valid params");
@@ -154,6 +206,7 @@ criterion_group! {
         .sample_size(20)
         .warm_up_time(Duration::from_millis(300))
         .measurement_time(Duration::from_millis(1500));
-    targets = bench_generation, bench_scaling, bench_serialization, bench_analyses, bench_stats
+    targets = bench_generation, bench_scaling, bench_serialization, bench_analyses,
+        bench_engine, bench_repro_pipeline, bench_stats
 }
 criterion_main!(benches);

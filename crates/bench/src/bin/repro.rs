@@ -4,72 +4,100 @@
 //! Usage:
 //!
 //! ```sh
-//! cargo run -p failbench --bin repro -- all        # every experiment
-//! cargo run -p failbench --bin repro -- fig6 fig9  # specific ones
-//! cargo run -p failbench --bin repro -- ablations  # design ablations
-//! cargo run -p failbench --bin repro -- list       # list ids
+//! cargo run -p failbench --bin repro -- all             # every experiment
+//! cargo run -p failbench --bin repro -- fig6 fig9       # specific ones
+//! cargo run -p failbench --bin repro -- ablations       # design ablations
+//! cargo run -p failbench --bin repro -- list            # list ids (runs nothing)
+//! cargo run -p failbench --bin repro -- all --threads 4 # bounded worker pool
+//! cargo run -p failbench --bin repro -- bench           # serial-vs-parallel timing
 //! ```
+//!
+//! Experiments run on a worker pool (default: all host cores; bound it
+//! with `--threads N`). Results are collected in declaration order and
+//! every log comes from the shared, seeded
+//! [`LogStore`](failbench::LogStore), so the output is byte-identical
+//! to a serial run at any thread count.
+//!
+//! `bench` times a cold serial pass against a cold parallel pass over
+//! the full catalog, verifies the outputs match byte for byte, and
+//! writes `BENCH_pipeline.json` (override the path with `--json PATH`).
 //!
 //! Exits non-zero when any requested experiment fails its checks.
 
-use failbench::experiments::{self, ablations, extensions, ALL_IDS};
-use failbench::Experiment;
+use std::time::Instant;
+
+use failbench::experiments;
+use failbench::runner::{self, CatalogEntry};
+use failbench::LogStore;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: repro [all | ablations | extensions | list | <id>...]");
-        eprintln!("ids: {}", ALL_IDS.join(", "));
-        std::process::exit(2);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::new();
+    let mut threads = 0usize; // 0 = host parallelism
+    let mut json_path = String::from("BENCH_pipeline.json");
+    let mut iter = raw.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = n,
+                None => usage("--threads needs a positive integer"),
+            },
+            "--json" => match iter.next() {
+                Some(path) => json_path = path.clone(),
+                None => usage("--json needs a path"),
+            },
+            "--help" | "-h" => usage(""),
+            _ => args.push(arg.clone()),
+        }
     }
+    if args.is_empty() {
+        usage("no experiments requested");
+    }
+    if threads > 0 {
+        runner::set_threads(threads);
+    }
+
+    let catalog = experiments::catalog();
     if args.iter().any(|a| a == "list") {
-        for id in ALL_IDS {
+        for (id, _) in &catalog {
             println!("{id}");
-        }
-        for exp in ablations::all() {
-            println!("{}", exp.id);
-        }
-        for exp in extensions::all() {
-            println!("{}", exp.id);
         }
         return;
     }
+    if args.iter().any(|a| a == "bench") {
+        bench(&catalog, &json_path);
+        return;
+    }
 
-    let mut selected: Vec<Experiment> = Vec::new();
+    let mut selected: Vec<CatalogEntry> = Vec::new();
     for arg in &args {
         match arg.as_str() {
-            "all" => {
-                selected.extend(ALL_IDS.iter().map(|id| {
-                    experiments::run(id).expect("ALL_IDS entries are valid")
-                }));
-                selected.extend(ablations::all());
-                selected.extend(extensions::all());
+            "all" => selected.extend(&catalog),
+            "ablations" => {
+                selected.extend(catalog.iter().filter(|e| e.0.starts_with("ablate_")));
             }
-            "ablations" => selected.extend(ablations::all()),
-            "extensions" => selected.extend(extensions::all()),
-            id => match experiments::run(id) {
-                Some(exp) => selected.push(exp),
+            "extensions" => {
+                selected.extend(catalog.iter().filter(|e| e.0.starts_with("ext_")));
+            }
+            id => match catalog.iter().find(|e| e.0 == id) {
+                Some(entry) => selected.push(*entry),
                 None => {
-                    // Maybe it names an ablation.
-                    match ablations::all()
-                        .into_iter()
-                        .chain(extensions::all())
-                        .find(|e| e.id == id)
-                    {
-                        Some(exp) => selected.push(exp),
-                        None => {
-                            eprintln!("unknown experiment `{id}`; try `repro list`");
-                            std::process::exit(2);
-                        }
-                    }
+                    eprintln!("unknown experiment `{id}`; try `repro list`");
+                    std::process::exit(2);
                 }
             },
         }
     }
-    selected.dedup_by(|a, b| a.id == b.id);
+    let mut seen = Vec::new();
+    selected.retain(|(id, _)| {
+        let fresh = !seen.contains(id);
+        seen.push(*id);
+        fresh
+    });
 
+    let results = runner::run_catalog(&selected);
     let mut failed = 0;
-    for exp in &selected {
+    for exp in &results {
         println!("{}", exp.render());
         if !exp.passes() {
             failed += 1;
@@ -77,10 +105,82 @@ fn main() {
     }
     println!(
         "{} of {} experiments reproduced",
-        selected.len() - failed,
-        selected.len()
+        results.len() - failed,
+        results.len()
     );
     if failed > 0 {
         std::process::exit(1);
     }
+}
+
+/// Times a cold serial pass vs. a cold parallel pass over the whole
+/// catalog and records the comparison as JSON.
+fn bench(catalog: &[CatalogEntry], json_path: &str) {
+    let store = LogStore::global();
+    let threads = runner::threads();
+
+    store.clear();
+    let start = Instant::now();
+    let serial = runner::run_catalog_with(catalog, 1);
+    let serial_seconds = start.elapsed().as_secs_f64();
+    let serial_sims = store.simulations();
+
+    store.clear();
+    let start = Instant::now();
+    let parallel = runner::run_catalog_with(catalog, threads);
+    let parallel_seconds = start.elapsed().as_secs_f64();
+
+    let identical = serial.len() == parallel.len()
+        && serial
+            .iter()
+            .zip(&parallel)
+            .all(|(s, p)| s.render() == p.render());
+    let speedup = serial_seconds / parallel_seconds.max(f64::MIN_POSITIVE);
+
+    println!("pipeline bench: {} experiments", catalog.len());
+    println!("  logs simulated per pass: {serial_sims} (exactly once each)");
+    println!("  serial   (1 thread):  {serial_seconds:.3} s");
+    println!("  parallel ({threads} threads): {parallel_seconds:.3} s");
+    println!("  speedup: {speedup:.2}x, outputs identical: {identical}");
+
+    let json = format!(
+        "{{\n  \"experiments\": {},\n  \"threads\": {},\n  \"logs_simulated\": {},\n  \"serial_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"identical_output\": {}\n}}\n",
+        catalog.len(),
+        threads,
+        serial_sims,
+        serial_seconds,
+        parallel_seconds,
+        speedup,
+        identical
+    );
+    match std::fs::write(json_path, &json) {
+        Ok(()) => println!("  wrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if !identical {
+        eprintln!("parallel output diverged from serial");
+        std::process::exit(1);
+    }
+}
+
+fn usage(problem: &str) -> ! {
+    if !problem.is_empty() {
+        eprintln!("error: {problem}");
+    }
+    eprintln!(
+        "usage: repro [--threads N] [--json PATH] \
+         [all | ablations | extensions | list | bench | <id>...]"
+    );
+    eprintln!(
+        "ids: {}",
+        experiments::catalog()
+            .iter()
+            .map(|e| e.0)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
 }

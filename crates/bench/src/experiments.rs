@@ -11,49 +11,65 @@ use failscope::{
     LocusBreakdown, MultiGpuTemporal, NodeDistribution, PepComparison, SeasonalAnalysis,
     SlotDistribution, TbfAnalysis, TtrAnalysis,
 };
+use std::sync::Arc;
+
 use failsim::{ClusteringMode, NodeSelection, Simulator, SlotSkew, SystemModel, TbfModel};
 use failtypes::{
     ComponentClass, Domain, FailureLog, SoftwareLocus, SystemSpec, T2Category,
     T3Category,
 };
-use parking_lot::Mutex;
 
 use crate::check::{Check, Experiment};
+use crate::logstore::LogStore;
+use crate::runner::{self, CatalogEntry};
 
 /// Canonical seed for the Tsubame-2 log.
 pub const T2_SEED: u64 = 42;
 /// Canonical seed for the Tsubame-3 log.
 pub const T3_SEED: u64 = 43;
 
-static LOG_CACHE: Mutex<Option<(FailureLog, FailureLog)>> = Mutex::new(None);
-
-/// The canonical pair of generated logs (cached; cloning a log is cheap
-/// relative to regenerating it).
-pub fn standard_logs() -> (FailureLog, FailureLog) {
-    let mut cache = LOG_CACHE.lock();
-    cache
-        .get_or_insert_with(|| {
-            let t2 = Simulator::new(SystemModel::tsubame2(), T2_SEED)
-                .generate()
-                .expect("calibrated model is valid");
-            let t3 = Simulator::new(SystemModel::tsubame3(), T3_SEED)
-                .generate()
-                .expect("calibrated model is valid");
-            (t2, t3)
-        })
-        .clone()
+/// The canonical pair of generated logs, shared from the process-wide
+/// [`LogStore`]: each is simulated exactly once per process, and every
+/// experiment holds the same `Arc` — no record vectors are cloned.
+pub fn standard_logs() -> (Arc<FailureLog>, Arc<FailureLog>) {
+    let store = LogStore::global();
+    (
+        store.get(&SystemModel::tsubame2(), T2_SEED),
+        store.get(&SystemModel::tsubame3(), T3_SEED),
+    )
 }
 
-/// Averages a per-log statistic over `n` seeds of a model.
-fn seed_average(model: impl Fn() -> SystemModel, base_seed: u64, n: u64, f: impl Fn(&FailureLog) -> f64) -> f64 {
-    let mut sum = 0.0;
-    for s in 0..n {
-        let log = Simulator::new(model(), base_seed + s * 997)
-            .generate()
-            .expect("calibrated model is valid");
-        sum += f(&log);
-    }
-    sum / n as f64
+/// Averages a per-log statistic over `n` seeds of a model, using the
+/// process-wide thread count ([`crate::runner::threads`]).
+fn seed_average(
+    model: impl Fn() -> SystemModel + Sync,
+    base_seed: u64,
+    n: u64,
+    f: impl Fn(&FailureLog) -> f64 + Sync,
+) -> f64 {
+    seed_average_with(model, base_seed, n, runner::threads(), f)
+}
+
+/// Averages a per-log statistic over `n` seeds of a model on up to
+/// `threads` workers.
+///
+/// Seed `s` of the sweep is `base_seed + s * 997` regardless of thread
+/// count, logs come from the shared [`LogStore`], and the per-seed
+/// values are reduced **in seed order**, so the average is bit-identical
+/// at any `threads` value.
+pub fn seed_average_with(
+    model: impl Fn() -> SystemModel + Sync,
+    base_seed: u64,
+    n: u64,
+    threads: usize,
+    f: impl Fn(&FailureLog) -> f64 + Sync,
+) -> f64 {
+    let store = LogStore::global();
+    let values = failstats::par_map_ordered(n as usize, threads, |s| {
+        let log = store.get(&model(), base_seed + s as u64 * 997);
+        f(&log)
+    });
+    values.iter().sum::<f64>() / n as f64
 }
 
 /// All experiment ids in paper order.
@@ -84,6 +100,41 @@ pub fn run(id: &str) -> Option<Experiment> {
         "pep" => pep(),
         _ => return None,
     })
+}
+
+/// Every experiment in the workspace — the paper figures in
+/// [`ALL_IDS`] order, then the design [`ablations`], then the
+/// [`extensions`] — as `(id, constructor)` pairs, listed **without
+/// executing anything**.
+///
+/// This is what the `repro` binary and the parallel runner iterate:
+/// resolving an id is a string comparison, and running the catalog on
+/// N threads preserves exactly this order.
+pub fn catalog() -> Vec<CatalogEntry> {
+    vec![
+        ("table1", table1 as fn() -> Experiment),
+        ("table2", table2),
+        ("fig2", fig2),
+        ("fig3", fig3),
+        ("fig4", fig4),
+        ("fig5", fig5),
+        ("table3", table3),
+        ("fig6", fig6),
+        ("fig7", fig7),
+        ("fig8", fig8),
+        ("fig9", fig9),
+        ("fig10", fig10),
+        ("fig11", fig11),
+        ("fig12", fig12),
+        ("pep", pep),
+        ("ablate_node_selection", ablations::node_selection),
+        ("ablate_slot_skew", ablations::slot_skew),
+        ("ablate_tbf_family", ablations::tbf_family),
+        ("ablate_tbf_quantile", ablations::tbf_quantile),
+        ("ext_overlap", extensions::overlap),
+        ("ext_survival", extensions::survival),
+        ("ext_racks", extensions::racks),
+    ]
 }
 
 /// Table I — node configurations of the two systems.
@@ -1155,13 +1206,41 @@ mod tests {
     }
 
     #[test]
-    fn standard_logs_are_cached_and_stable() {
+    fn standard_logs_are_simulated_exactly_once() {
         let (a2, a3) = standard_logs();
         let (b2, b3) = standard_logs();
-        assert_eq!(a2, b2);
-        assert_eq!(a3, b3);
+        // The same allocation is shared, not an equal clone.
+        assert!(Arc::ptr_eq(&a2, &b2));
+        assert!(Arc::ptr_eq(&a3, &b3));
         assert_eq!(a2.len(), 897);
         assert_eq!(a3.len(), 338);
+        // Exactly-once invariant on the shared store: every distinct
+        // (model, seed) key was simulated once, however many experiments
+        // and threads have already run in this process.
+        let store = LogStore::global();
+        assert_eq!(store.simulations(), store.entries());
+    }
+
+    #[test]
+    fn catalog_lists_without_running_and_covers_every_id() {
+        let entries = catalog();
+        let ids: Vec<&str> = entries.iter().map(|e| e.0).collect();
+        assert_eq!(&ids[..ALL_IDS.len()], ALL_IDS, "figures come first, in paper order");
+        assert_eq!(entries.len(), ALL_IDS.len() + 4 + 3);
+        // Each constructor produces the experiment its id promises.
+        for (id, make) in entries {
+            assert_eq!(make().id, id);
+        }
+    }
+
+    #[test]
+    fn seed_average_is_bit_identical_at_any_thread_count() {
+        let stat = |log: &FailureLog| log.len() as f64 / 100.0 + 0.1;
+        let serial = seed_average_with(SystemModel::tsubame3, 9000, 4, 1, stat);
+        for threads in [2, 4, 8] {
+            let parallel = seed_average_with(SystemModel::tsubame3, 9000, 4, threads, stat);
+            assert_eq!(serial.to_bits(), parallel.to_bits(), "threads = {threads}");
+        }
     }
 
     #[test]

@@ -56,9 +56,10 @@ COMMANDS
       Generate a what-if system's log (trend: rate ramps X -> Y x base).
   summary <FILE>
       One-paragraph structural summary of a log.
-  report <FILE>
-      Full five-RQ reliability report.
-  compare <OLD> <NEW>
+  report <FILE> [--threads N]
+      Full five-RQ reliability report (sections computed in parallel;
+      output is identical at any thread count).
+  compare <OLD> <NEW> [--threads N]
       Cross-generation comparison (MTBF/MTTR/PEP factors).
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
@@ -172,19 +173,27 @@ pub fn summary(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolves the `--threads` flag (default: host parallelism). The
+/// rendered output is byte-identical at every thread count.
+fn threads_flag(args: &ParsedArgs) -> Result<usize, CliError> {
+    Ok(args.flag_or("threads", failstats::available_threads())?)
+}
+
 /// `failctl report`.
 pub fn report(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["threads"])?;
+    let threads = threads_flag(args)?;
     let log = load(args.positional(0, "file")?)?;
-    Ok(failscope::render_report(&log))
+    Ok(failscope::render_report_threaded(&log, threads))
 }
 
 /// `failctl compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&[])?;
+    args.reject_unknown_flags(&["threads"])?;
+    let threads = threads_flag(args)?;
     let older = load(args.positional(0, "old")?)?;
     let newer = load(args.positional(1, "new")?)?;
-    Ok(failscope::render_comparison(&older, &newer))
+    Ok(failscope::render_comparison_threaded(&older, &newer, threads))
 }
 
 /// `failctl anonymize`.
@@ -459,6 +468,11 @@ mod tests {
 
         let r = report(&parse(&["report", path])).expect("reports");
         assert!(r.contains("Failure categories"));
+        let r1 = report(&parse(&["report", path, "--threads", "1"])).expect("reports");
+        let r4 = report(&parse(&["report", path, "--threads", "4"])).expect("reports");
+        assert_eq!(r, r1, "default thread count changes nothing");
+        assert_eq!(r1, r4, "thread count changes the report");
+        assert!(report(&parse(&["report", path, "--thread", "4"])).is_err());
 
         let c = checkpoint(&parse(&["checkpoint", path, "--cost", "0.1"])).expect("plans");
         assert!(c.contains("daly interval"));

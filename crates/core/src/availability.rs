@@ -10,6 +10,8 @@
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// Repair-overlap and availability metrics of one log.
 ///
 /// # Examples
@@ -87,6 +89,78 @@ impl AvailabilityAnalysis {
         }
 
         let total_repair_hours: f64 = intervals.iter().map(|&(s, e)| e - s).sum();
+        Some(AvailabilityAnalysis {
+            failures: n,
+            window_hours,
+            nodes: log.spec().nodes(),
+            total_repair_hours,
+            overlapping_arrivals,
+            mean_concurrent_repairs: weighted_hours / window_hours,
+            max_concurrent_repairs: max_concurrent as usize,
+            busy_fraction: busy_hours / window_hours,
+        })
+    }
+
+    /// Computes the metrics from a prebuilt [`LogView`]; `None` for an
+    /// empty log.
+    ///
+    /// Exploits the view's time order twice where [`Self::from_log`]
+    /// works on unordered intervals: overlapping arrivals come from a
+    /// single running maximum over earlier repair ends (`O(n)` instead of
+    /// `O(n²)`), and the sweep events come from merging the pre-sorted
+    /// start and end arrays instead of sorting `2n` events.
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        if view.is_empty() {
+            return None;
+        }
+        let log = view.log();
+        let window_hours = log.window().duration().get();
+        let n = view.len();
+        let starts = view.times();
+        let ends = view.recoveries();
+
+        // Records are time-sorted, so an arrival overlaps an earlier
+        // repair exactly when it lands before the running max of earlier
+        // repair ends.
+        let mut overlapping_arrivals = 0;
+        let mut max_end = f64::NEG_INFINITY;
+        for i in 0..n {
+            if starts[i] < max_end {
+                overlapping_arrivals += 1;
+            }
+            max_end = max_end.max(ends[i]);
+        }
+
+        // Merge the sorted starts and sorted ends into the same
+        // event sequence `from_log` gets by sorting, with ends before
+        // starts at equal times.
+        let ends_sorted = view.recoveries_sorted();
+        let mut current = 0i64;
+        let mut max_concurrent = 0i64;
+        let mut weighted_hours = 0.0;
+        let mut busy_hours = 0.0;
+        let mut prev_t = 0.0;
+        let (mut si, mut ei) = (0usize, 0usize);
+        while si < n || ei < n {
+            let take_end = ei < n && (si >= n || ends_sorted[ei] <= starts[si]);
+            let (t, delta) = if take_end {
+                ei += 1;
+                (ends_sorted[ei - 1], -1i64)
+            } else {
+                si += 1;
+                (starts[si - 1], 1i64)
+            };
+            let span = (t - prev_t).max(0.0);
+            weighted_hours += current as f64 * span;
+            if current > 0 {
+                busy_hours += span;
+            }
+            current += delta;
+            max_concurrent = max_concurrent.max(current);
+            prev_t = t;
+        }
+
+        let total_repair_hours: f64 = (0..n).map(|i| ends[i] - starts[i]).sum();
         Some(AvailabilityAnalysis {
             failures: n,
             window_hours,

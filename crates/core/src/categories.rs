@@ -5,6 +5,8 @@ use std::collections::BTreeMap;
 use failtypes::{Category, ComponentClass, Domain, FailureLog, SoftwareLocus};
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// One row of a category breakdown: a category, its count, and its share
 /// of all failures.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +54,23 @@ impl CategoryBreakdown {
                 category,
                 count,
                 fraction: count as f64 / total.max(1) as f64,
+            })
+            .collect();
+        shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.category.cmp(&b.category)));
+        CategoryBreakdown { shares, total }
+    }
+
+    /// Computes the breakdown from a prebuilt [`LogView`], reusing its
+    /// category partitions instead of re-counting the log.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let total = view.len();
+        let mut shares: Vec<CategoryShare> = view
+            .category_indices()
+            .iter()
+            .map(|(&category, indices)| CategoryShare {
+                category,
+                count: indices.len(),
+                fraction: indices.len() as f64 / total.max(1) as f64,
             })
             .collect();
         shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.category.cmp(&b.category)));
@@ -133,6 +152,22 @@ impl ClassBreakdown {
         }
     }
 
+    /// Computes the breakdown from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let mut counts: Vec<(ComponentClass, usize)> =
+            ComponentClass::ALL.iter().map(|&c| (c, 0)).collect();
+        for (category, indices) in view.category_indices() {
+            let class = category.component_class();
+            if let Some(entry) = counts.iter_mut().find(|(c, _)| *c == class) {
+                entry.1 += indices.len();
+            }
+        }
+        ClassBreakdown {
+            counts,
+            total: view.len(),
+        }
+    }
+
     /// `(class, count)` rows in the canonical class order.
     pub fn counts(&self) -> &[(ComponentClass, usize)] {
         &self.counts
@@ -186,6 +221,23 @@ impl DomainBreakdown {
         out
     }
 
+    /// Computes the split from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let mut out = DomainBreakdown {
+            hardware: 0,
+            software: 0,
+            unknown: 0,
+        };
+        for (category, indices) in view.category_indices() {
+            match category.domain() {
+                Domain::Hardware => out.hardware += indices.len(),
+                Domain::Software => out.software += indices.len(),
+                Domain::Unknown => out.unknown += indices.len(),
+            }
+        }
+        out
+    }
+
     /// Total failures.
     pub fn total(&self) -> usize {
         self.hardware + self.software + self.unknown
@@ -230,6 +282,23 @@ impl LocusBreakdown {
         let mut shares: Vec<LocusShare> = counts
             .into_iter()
             .map(|(locus, count)| LocusShare {
+                locus,
+                count,
+                fraction: count as f64 / total.max(1) as f64,
+            })
+            .collect();
+        shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.locus.cmp(&b.locus)));
+        LocusBreakdown { shares, total }
+    }
+
+    /// Computes the breakdown from a prebuilt [`LogView`], reusing its
+    /// locus counts.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let total: usize = view.locus_counts().values().sum();
+        let mut shares: Vec<LocusShare> = view
+            .locus_counts()
+            .iter()
+            .map(|(&locus, &count)| LocusShare {
                 locus,
                 count,
                 fraction: count as f64 / total.max(1) as f64,

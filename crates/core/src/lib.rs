@@ -42,6 +42,7 @@
 
 mod availability;
 mod categories;
+mod logview;
 mod multigpu;
 mod rates;
 mod survival;
@@ -57,18 +58,26 @@ pub use availability::AvailabilityAnalysis;
 pub use categories::{
     CategoryBreakdown, CategoryShare, ClassBreakdown, DomainBreakdown, LocusBreakdown, LocusShare,
 };
+pub use logview::LogView;
 pub use rates::{laplace_trend, rolling_rate, LaplaceTrend, RateBin};
 pub use survival::{node_lifetimes, NodeSurvival};
 pub use multigpu::{InvolvementRow, InvolvementTable};
 pub use pep::{Pep, PepComparison};
-pub use report::{render_comparison, render_report};
+pub use report::{
+    render_comparison, render_comparison_threaded, render_report, render_report_threaded,
+};
 pub use seasonal::{MonthBucket, SeasonalAnalysis};
 pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
 pub use tbf::{
-    class_mtbf_hours, gpu_involvement_mtbf_hours, per_category_tbf, CategoryTbf, TbfAnalysis,
+    class_mtbf_hours, class_mtbf_hours_view, gpu_involvement_mtbf_hours,
+    gpu_involvement_mtbf_hours_view, per_category_tbf, per_category_tbf_view, CategoryTbf,
+    TbfAnalysis,
 };
 pub use temporal::MultiGpuTemporal;
-pub use ttr::{domain_ttr_spread, per_category_ttr, rare_but_costly, CategoryTtr, TtrAnalysis};
+pub use ttr::{
+    domain_ttr_spread, per_category_ttr, per_category_ttr_view, rare_but_costly, CategoryTtr,
+    TtrAnalysis,
+};
 
 #[cfg(test)]
 mod tests {

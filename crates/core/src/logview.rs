@@ -1,0 +1,292 @@
+//! A precomputed, indexed view over a [`FailureLog`].
+//!
+//! Every analysis in this crate starts from the same raw material: the
+//! time-ordered records, their per-category partitions, per-node and
+//! per-slot occurrence counts, and the repair-duration sample. Computed
+//! per analysis, those indexes are rebuilt (and the TTR sample re-sorted)
+//! once per figure. [`LogView`] builds them **once** in a single pass
+//! over the log, and each analysis gains a `from_view` constructor that
+//! consumes the shared indexes — producing results identical to its
+//! `from_log` sibling, which the equivalence suite in `tests/` asserts.
+
+use std::collections::BTreeMap;
+
+use failtypes::{Category, FailureLog, NodeId, SoftwareLocus};
+
+/// Shared indexes over one log: time order, category partitions, count
+/// maps, and pre-sorted repair durations.
+///
+/// # Examples
+///
+/// ```
+/// use failscope::{LogView, TtrAnalysis};
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let view = LogView::new(&log);
+/// let direct = TtrAnalysis::from_log(&log).unwrap();
+/// let indexed = TtrAnalysis::from_view(&view).unwrap();
+/// assert_eq!(direct, indexed);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogView<'a> {
+    log: &'a FailureLog,
+    times: Vec<f64>,
+    ttrs_sorted: Vec<f64>,
+    recoveries: Vec<f64>,
+    recoveries_sorted: Vec<f64>,
+    category_indices: BTreeMap<Category, Vec<u32>>,
+    locus_counts: BTreeMap<SoftwareLocus, usize>,
+    node_counts: BTreeMap<NodeId, u64>,
+    slot_counts: Vec<usize>,
+    rack_counts: Vec<usize>,
+    gpu_involvements: usize,
+    multi_gpu_times: Vec<f64>,
+    month_ttrs: Vec<Vec<f64>>,
+}
+
+impl<'a> LogView<'a> {
+    /// Indexes `log` in one pass (plus two `sort_unstable` calls for the
+    /// pre-sorted duration arrays).
+    pub fn new(log: &'a FailureLog) -> Self {
+        let n = log.len();
+        let spec = log.spec();
+        let window_hours = log.window().duration().get();
+        let months = log.window().months();
+        let slots = spec.gpus_per_node() as usize;
+
+        let mut times = Vec::with_capacity(n);
+        let mut ttrs = Vec::with_capacity(n);
+        let mut recoveries = Vec::with_capacity(n);
+        let mut category_indices: BTreeMap<Category, Vec<u32>> = BTreeMap::new();
+        let mut locus_counts: BTreeMap<SoftwareLocus, usize> = BTreeMap::new();
+        let mut node_counts: BTreeMap<NodeId, u64> = BTreeMap::new();
+        let mut slot_counts = vec![0usize; slots];
+        let mut rack_counts = vec![0usize; spec.racks() as usize];
+        let mut gpu_involvements = 0usize;
+        let mut multi_gpu_times = Vec::new();
+        let mut month_ttrs: Vec<Vec<f64>> = vec![Vec::new(); months.len()];
+
+        for (i, rec) in log.iter().enumerate() {
+            let time = rec.time().get();
+            let ttr = rec.ttr().get();
+            times.push(time);
+            ttrs.push(ttr);
+            recoveries.push(rec.recovery_time().get().min(window_hours));
+            category_indices
+                .entry(rec.category())
+                .or_default()
+                .push(i as u32);
+            if let Some(locus) = rec.locus() {
+                *locus_counts.entry(locus).or_insert(0) += 1;
+            }
+            *node_counts.entry(rec.node()).or_insert(0) += 1;
+            rack_counts[spec.rack_of(rec.node()).index() as usize] += 1;
+            if rec.category().is_gpu() {
+                gpu_involvements += rec.gpus().len().max(1);
+                for slot in rec.gpus() {
+                    if (slot.index() as usize) < slots {
+                        slot_counts[slot.index() as usize] += 1;
+                    }
+                }
+                if rec.is_multi_gpu() {
+                    multi_gpu_times.push(time);
+                }
+            }
+            let date = log.window().date_of(rec.time());
+            if let Some(idx) = months.iter().position(|&m| m == date.year_month()) {
+                month_ttrs[idx].push(ttr);
+            }
+        }
+
+        let mut ttrs_sorted = ttrs;
+        ttrs_sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("TTRs are finite"));
+        let mut recoveries_sorted = recoveries.clone();
+        recoveries_sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+
+        LogView {
+            log,
+            times,
+            ttrs_sorted,
+            recoveries,
+            recoveries_sorted,
+            category_indices,
+            locus_counts,
+            node_counts,
+            slot_counts,
+            rack_counts,
+            gpu_involvements,
+            multi_gpu_times,
+            month_ttrs,
+        }
+    }
+
+    /// The underlying log.
+    pub const fn log(&self) -> &'a FailureLog {
+        self.log
+    }
+
+    /// Number of failures.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when the log holds no failures.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Failure times in hours, in log (time) order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Repair durations in hours, sorted ascending.
+    pub fn ttrs_sorted(&self) -> &[f64] {
+        &self.ttrs_sorted
+    }
+
+    /// Repair-completion times clamped to the window, in log order.
+    pub fn recoveries(&self) -> &[f64] {
+        &self.recoveries
+    }
+
+    /// Repair-completion times clamped to the window, sorted ascending.
+    pub fn recoveries_sorted(&self) -> &[f64] {
+        &self.recoveries_sorted
+    }
+
+    /// Record indices (into log order) partitioned by category; each
+    /// partition preserves time order.
+    pub fn category_indices(&self) -> &BTreeMap<Category, Vec<u32>> {
+        &self.category_indices
+    }
+
+    /// Number of failures in one category.
+    pub fn category_count(&self, category: Category) -> usize {
+        self.category_indices
+            .get(&category)
+            .map_or(0, Vec::len)
+    }
+
+    /// The failure times of one category, in time order.
+    pub fn category_times(&self, category: Category) -> Vec<f64> {
+        self.category_indices
+            .get(&category)
+            .map_or_else(Vec::new, |idx| {
+                idx.iter().map(|&i| self.times[i as usize]).collect()
+            })
+    }
+
+    /// The repair durations of one category, in time order.
+    pub fn category_ttrs(&self, category: Category) -> Vec<f64> {
+        self.category_indices
+            .get(&category)
+            .map_or_else(Vec::new, |idx| {
+                idx.iter()
+                    .map(|&i| {
+                        let rec = &self.log.records()[i as usize];
+                        rec.ttr().get()
+                    })
+                    .collect()
+            })
+    }
+
+    /// Software root-locus counts over records that carry one.
+    pub fn locus_counts(&self) -> &BTreeMap<SoftwareLocus, usize> {
+        &self.locus_counts
+    }
+
+    /// Failure counts per node (only failing nodes appear).
+    pub fn node_counts(&self) -> &BTreeMap<NodeId, u64> {
+        &self.node_counts
+    }
+
+    /// GPU-failure involvements per slot, indexed by slot number.
+    pub fn slot_counts(&self) -> &[usize] {
+        &self.slot_counts
+    }
+
+    /// Failure counts per rack, indexed by rack number.
+    pub fn rack_counts(&self) -> &[usize] {
+        &self.rack_counts
+    }
+
+    /// Total per-GPU involvements (a failure touching 3 GPUs counts 3;
+    /// unknown involvement counts 1).
+    pub const fn gpu_involvements(&self) -> usize {
+        self.gpu_involvements
+    }
+
+    /// Arrival times of multi-GPU failures, in time order.
+    pub fn multi_gpu_times(&self) -> &[f64] {
+        &self.multi_gpu_times
+    }
+
+    /// Repair durations bucketed by the `(year, month)` the failure
+    /// occurred in, aligned with `log.window().months()`.
+    pub fn month_ttrs(&self) -> &[Vec<f64>] {
+        &self.month_ttrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failsim::{Simulator, SystemModel};
+
+    fn t2() -> FailureLog {
+        Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap()
+    }
+
+    #[test]
+    fn indexes_are_consistent_with_the_log() {
+        let log = t2();
+        let view = LogView::new(&log);
+        assert_eq!(view.len(), log.len());
+        assert_eq!(view.times().len(), 897);
+        // Category partitions cover every record exactly once.
+        let total: usize = view.category_indices().values().map(Vec::len).sum();
+        assert_eq!(total, log.len());
+        // Node counts sum to the record count.
+        let nodes: u64 = view.node_counts().values().sum();
+        assert_eq!(nodes as usize, log.len());
+        // Rack counts sum to the record count.
+        assert_eq!(view.rack_counts().iter().sum::<usize>(), log.len());
+        // Month buckets cover every record (the window spans all times).
+        assert_eq!(
+            view.month_ttrs().iter().map(Vec::len).sum::<usize>(),
+            log.len()
+        );
+        // Sorted arrays are sorted and complete.
+        assert_eq!(view.ttrs_sorted().len(), log.len());
+        assert!(view.ttrs_sorted().windows(2).all(|w| w[0] <= w[1]));
+        assert!(view.recoveries_sorted().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn partitions_preserve_time_order() {
+        let log = t2();
+        let view = LogView::new(&log);
+        for indices in view.category_indices().values() {
+            assert!(indices.windows(2).all(|w| w[0] < w[1]));
+        }
+        for times in view
+            .category_indices()
+            .keys()
+            .map(|&c| view.category_times(c))
+        {
+            assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn empty_log_view() {
+        let log = t2().filtered(|_| false);
+        let view = LogView::new(&log);
+        assert!(view.is_empty());
+        assert!(view.category_indices().is_empty());
+        assert!(view.multi_gpu_times().is_empty());
+        assert_eq!(view.gpu_involvements(), 0);
+    }
+}

@@ -1,32 +1,41 @@
 //! Operator-facing plain-text reports assembled from the analyses.
+//!
+//! The report is a fixed sequence of independent sections, each a pure
+//! function of a shared [`LogView`]. [`render_report_threaded`] renders
+//! the sections on a worker pool and concatenates them in declaration
+//! order, so the output is byte-identical at every thread count;
+//! [`render_report`] is the single-threaded entry point.
 
 use std::fmt::Write as _;
 
 use failtypes::FailureLog;
 
 use crate::categories::{CategoryBreakdown, LocusBreakdown};
+use crate::logview::LogView;
 use crate::multigpu::InvolvementTable;
 use crate::pep::PepComparison;
 use crate::seasonal::SeasonalAnalysis;
 use crate::spatial::{NodeDistribution, SlotDistribution};
-use crate::tbf::{per_category_tbf, TbfAnalysis};
+use crate::tbf::{per_category_tbf_view, TbfAnalysis};
 use crate::temporal::MultiGpuTemporal;
-use crate::ttr::{per_category_ttr, TtrAnalysis};
+use crate::ttr::{per_category_ttr_view, TtrAnalysis};
 
-/// Renders the full single-system reliability report (all five research
-/// questions) as plain text.
-///
-/// # Examples
-///
-/// ```
-/// use failsim::{Simulator, SystemModel};
-///
-/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
-/// let text = failscope::render_report(&log);
-/// assert!(text.contains("Failure categories"));
-/// assert!(text.contains("MTBF"));
-/// ```
-pub fn render_report(log: &FailureLog) -> String {
+/// The report sections in print order. Each is independent, so the
+/// threaded renderer can compute them concurrently.
+const SECTIONS: &[fn(&LogView<'_>) -> String] = &[
+    section_header,
+    section_categories,
+    section_spatial,
+    section_involvement,
+    section_tbf,
+    section_ttr_and_racks,
+    section_availability,
+    section_survival,
+    section_seasonal,
+];
+
+fn section_header(view: &LogView<'_>) -> String {
+    let log = view.log();
     let mut out = String::new();
     let _ = writeln!(out, "=== Reliability report: {} ===", log.spec().name());
     let _ = writeln!(
@@ -36,9 +45,12 @@ pub fn render_report(log: &FailureLog) -> String {
         log.window(),
         log.window().duration().days()
     );
+    out
+}
 
-    // RQ1 — categories.
-    let cats = CategoryBreakdown::from_log(log);
+fn section_categories(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    let cats = CategoryBreakdown::from_view(view);
     let _ = writeln!(out, "\n-- Failure categories (RQ1) --");
     for share in cats.shares() {
         let _ = writeln!(
@@ -49,7 +61,7 @@ pub fn render_report(log: &FailureLog) -> String {
             share.fraction * 100.0
         );
     }
-    let loci = LocusBreakdown::from_log(log);
+    let loci = LocusBreakdown::from_view(view);
     if loci.total() > 0 {
         let _ = writeln!(out, "\n-- Software root loci (Fig. 3) --");
         for share in loci.shares() {
@@ -62,9 +74,12 @@ pub fn render_report(log: &FailureLog) -> String {
             );
         }
     }
+    out
+}
 
-    // RQ2 — spatial.
-    let nodes = NodeDistribution::from_log(log);
+fn section_spatial(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    let nodes = NodeDistribution::from_view(view);
     let _ = writeln!(out, "\n-- Per-node distribution (RQ2) --");
     let _ = writeln!(
         out,
@@ -79,7 +94,7 @@ pub fn render_report(log: &FailureLog) -> String {
         nodes.fraction_with_exactly(2) * 100.0,
         nodes.fraction_with_multiple() * 100.0
     );
-    let slots = SlotDistribution::from_log(log);
+    let slots = SlotDistribution::from_view(view);
     if slots.total_involvements() > 0 {
         let _ = writeln!(out, "  GPU slot shares:");
         for s in slots.shares() {
@@ -92,9 +107,12 @@ pub fn render_report(log: &FailureLog) -> String {
             );
         }
     }
+    out
+}
 
-    // RQ3 — multi-GPU involvement.
-    let inv = InvolvementTable::from_log(log);
+fn section_involvement(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    let inv = InvolvementTable::from_log(view.log());
     if inv.known() > 0 {
         let _ = writeln!(out, "\n-- Multi-GPU involvement (RQ3, Table III) --");
         for row in inv.rows() {
@@ -108,9 +126,12 @@ pub fn render_report(log: &FailureLog) -> String {
         }
         let _ = writeln!(out, "  unknown involvement: {}", inv.unknown());
     }
+    out
+}
 
-    // RQ4 — TBF.
-    if let Some(tbf) = TbfAnalysis::from_log(log) {
+fn section_tbf(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    if let Some(tbf) = TbfAnalysis::from_view(view) {
         let _ = writeln!(out, "\n-- Time between failures (RQ4) --");
         let (mtbf_lo, mtbf_hi) = tbf.mtbf_ci_hours(0.95);
         let _ = writeln!(
@@ -123,7 +144,7 @@ pub fn render_report(log: &FailureLog) -> String {
             tbf.quantile(0.5),
             tbf.p75_hours()
         );
-        let rows = per_category_tbf(log, 5);
+        let rows = per_category_tbf_view(view, 5);
         for row in rows.iter().take(5) {
             let _ = writeln!(
                 out,
@@ -135,7 +156,7 @@ pub fn render_report(log: &FailureLog) -> String {
         }
     }
 
-    if let Some(t) = MultiGpuTemporal::from_log(log, 96.0) {
+    if let Some(t) = MultiGpuTemporal::from_view(view, 96.0) {
         let _ = writeln!(
             out,
             "  multi-GPU clustering: CV {:.2}, follow-up within {:.0} h: {:.0}% (poisson {:.0}%)",
@@ -145,9 +166,12 @@ pub fn render_report(log: &FailureLog) -> String {
             t.poisson_baseline * 100.0
         );
     }
+    out
+}
 
-    // RQ5 — TTR.
-    if let Some(ttr) = TtrAnalysis::from_log(log) {
+fn section_ttr_and_racks(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    if let Some(ttr) = TtrAnalysis::from_view(view) {
         let _ = writeln!(out, "\n-- Time to recovery (RQ5) --");
         let _ = writeln!(
             out,
@@ -157,7 +181,7 @@ pub fn render_report(log: &FailureLog) -> String {
             ttr.quantile(0.9),
             ttr.max_hours()
         );
-        let rows = per_category_ttr(log);
+        let rows = per_category_ttr_view(view);
         if let Some(worst) = rows.last() {
             let _ = writeln!(
                 out,
@@ -171,7 +195,7 @@ pub fn render_report(log: &FailureLog) -> String {
     }
 
     // Rack-level distribution (related-work generalizability claim).
-    let racks = crate::spatial::RackDistribution::from_log(log);
+    let racks = crate::spatial::RackDistribution::from_view(view);
     if let Some(test) = racks.uniformity_test() {
         let k = (racks.shares().len() as f64 * 0.2).round().max(1.0) as usize;
         let _ = writeln!(
@@ -184,9 +208,12 @@ pub fn render_report(log: &FailureLog) -> String {
             racks.top_rack_share(k) * 100.0
         );
     }
+    out
+}
 
-    // Repair overlap / availability (RQ5 implication 1).
-    if let Some(avail) = crate::availability::AvailabilityAnalysis::from_log(log) {
+fn section_availability(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    if let Some(avail) = crate::availability::AvailabilityAnalysis::from_view(view) {
         let _ = writeln!(out, "\n-- Repair overlap and availability --");
         let _ = writeln!(
             out,
@@ -202,8 +229,12 @@ pub fn render_report(log: &FailureLog) -> String {
             avail.node_hours_lost()
         );
     }
+    out
+}
 
-    // Node survival.
+fn section_survival(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    let log = view.log();
     if let Some(surv) = crate::survival::NodeSurvival::from_log(log) {
         let horizon = log.window().duration().get();
         let _ = writeln!(out, "\n-- Node survival (time to first failure) --");
@@ -217,9 +248,12 @@ pub fn render_report(log: &FailureLog) -> String {
             surv.survival_at(horizon)
         );
     }
+    out
+}
 
-    // Seasonal.
-    let seasonal = SeasonalAnalysis::from_log(log);
+fn section_seasonal(view: &LogView<'_>) -> String {
+    let mut out = String::new();
+    let seasonal = SeasonalAnalysis::from_view(view);
     if let Some(r) = seasonal.density_ttr_correlation() {
         let _ = writeln!(out, "\n-- Seasonal (Figs. 11-12) --");
         let counts = seasonal.monthly_failure_counts();
@@ -238,13 +272,50 @@ pub fn render_report(log: &FailureLog) -> String {
             );
         }
     }
-
     out
+}
+
+/// Renders the full single-system reliability report (all five research
+/// questions) as plain text.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let text = failscope::render_report(&log);
+/// assert!(text.contains("Failure categories"));
+/// assert!(text.contains("MTBF"));
+/// ```
+pub fn render_report(log: &FailureLog) -> String {
+    render_report_threaded(log, 1)
+}
+
+/// [`render_report`] with the sections rendered on up to `threads`
+/// workers. The sections are concatenated in declaration order, so the
+/// output is byte-identical to the serial render at any thread count.
+pub fn render_report_threaded(log: &FailureLog, threads: usize) -> String {
+    let view = LogView::new(log);
+    failstats::par_map_ordered(SECTIONS.len(), threads, |i| SECTIONS[i](&view)).concat()
 }
 
 /// Renders the two-generation comparison (MTBF/MTTR factors and the
 /// performance-error-proportionality argument).
 pub fn render_comparison(older: &FailureLog, newer: &FailureLog) -> String {
+    render_comparison_threaded(older, newer, 1)
+}
+
+/// [`render_comparison`] with the per-log analyses computed on up to
+/// `threads` workers; output is identical at any thread count.
+pub fn render_comparison_threaded(
+    older: &FailureLog,
+    newer: &FailureLog,
+    threads: usize,
+) -> String {
+    let logs = [older, newer];
+    let ttrs = failstats::par_map_ordered(2, threads, |i| TtrAnalysis::from_log(logs[i]));
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -269,8 +340,7 @@ pub fn render_comparison(older: &FailureLog, newer: &FailureLog) -> String {
             );
         }
     }
-    let (a, b) = (TtrAnalysis::from_log(older), TtrAnalysis::from_log(newer));
-    if let (Some(a), Some(b)) = (a, b) {
+    if let [Some(a), Some(b)] = &ttrs[..] {
         let _ = writeln!(
             out,
             "  MTTR: {:.1} h -> {:.1} h (time to recovery is not improving)",
@@ -315,6 +385,15 @@ mod tests {
     }
 
     #[test]
+    fn threaded_render_is_byte_identical() {
+        let log = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
+        let serial = render_report(&log);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, render_report_threaded(&log, threads));
+        }
+    }
+
+    #[test]
     fn comparison_report() {
         let t2 = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
         let t3 = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
@@ -322,6 +401,7 @@ mod tests {
         assert!(text.contains("compute (Rpeak)"));
         assert!(text.contains("MTTR"));
         assert!(text.contains("reliability improved more slowly"));
+        assert_eq!(text, render_comparison_threaded(&t2, &t3, 4));
     }
 
     #[test]

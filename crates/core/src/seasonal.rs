@@ -5,6 +5,8 @@ use failstats::Summary;
 use failtypes::{FailureLog, Month};
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// One calendar month's failures in one year.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MonthBucket {
@@ -44,6 +46,23 @@ impl SeasonalAnalysis {
                 month,
                 failures: ttr_values.len(),
                 ttr: Summary::from_data(&ttr_values),
+            })
+            .collect();
+        SeasonalAnalysis { buckets }
+    }
+
+    /// Buckets from a prebuilt [`LogView`], reusing its month-bucketed
+    /// repair durations instead of re-resolving every record's date.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let months = view.log().window().months();
+        let buckets = months
+            .into_iter()
+            .zip(view.month_ttrs())
+            .map(|((year, month), ttr_values)| MonthBucket {
+                year,
+                month,
+                failures: ttr_values.len(),
+                ttr: Summary::from_data(ttr_values),
             })
             .collect();
         SeasonalAnalysis { buckets }
@@ -165,30 +184,28 @@ mod tests {
     #[test]
     fn fig11_t2_second_half_ttr_uplift() {
         // Average over seeds: Tsubame-2's TTR is higher in Jul-Dec.
-        let mut deltas = Vec::new();
-        for seed in 0..8 {
-            let log = Simulator::new(SystemModel::tsubame2(), 500 + seed)
+        let deltas = failstats::par_map_ordered(8, failstats::available_threads(), |seed| {
+            let log = Simulator::new(SystemModel::tsubame2(), 500 + seed as u64)
                 .generate()
                 .unwrap();
             let s = SeasonalAnalysis::from_log(&log);
             let (h1, h2) = s.half_year_ttr_means().unwrap();
-            deltas.push(h2 - h1);
-        }
+            h2 - h1
+        });
         let mean_delta = failstats::mean(&deltas).unwrap();
         assert!(mean_delta > 0.0, "T2 second-half uplift {mean_delta}");
     }
 
     #[test]
     fn fig11_t3_no_half_year_trend() {
-        let mut deltas = Vec::new();
-        for seed in 0..8 {
-            let log = Simulator::new(SystemModel::tsubame3(), 600 + seed)
+        let deltas = failstats::par_map_ordered(8, failstats::available_threads(), |seed| {
+            let log = Simulator::new(SystemModel::tsubame3(), 600 + seed as u64)
                 .generate()
                 .unwrap();
             let s = SeasonalAnalysis::from_log(&log);
             let (h1, h2) = s.half_year_ttr_means().unwrap();
-            deltas.push(h2 - h1);
-        }
+            h2 - h1
+        });
         let mean_delta = failstats::mean(&deltas).unwrap().abs();
         // No systematic uplift either way (band sized to TTR noise).
         assert!(mean_delta < 8.0, "T3 half-year delta {mean_delta}");
@@ -198,14 +215,13 @@ mod tests {
     fn rq5_density_does_not_predict_ttr() {
         // Average |r| across seeds stays small: no correlation between a
         // month's failure count and its mean TTR.
-        let mut rs = Vec::new();
-        for seed in 0..8 {
-            let log = Simulator::new(SystemModel::tsubame3(), 700 + seed)
+        let rs = failstats::par_map_ordered(8, failstats::available_threads(), |seed| {
+            let log = Simulator::new(SystemModel::tsubame3(), 700 + seed as u64)
                 .generate()
                 .unwrap();
             let s = SeasonalAnalysis::from_log(&log);
-            rs.push(s.density_ttr_correlation().unwrap());
-        }
+            s.density_ttr_correlation().unwrap()
+        });
         let mean_abs = failstats::mean(&rs.iter().map(|r| r.abs()).collect::<Vec<_>>()).unwrap();
         assert!(mean_abs < 0.35, "mean |r| {mean_abs}");
         let mean = failstats::mean(&rs).unwrap();

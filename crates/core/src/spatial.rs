@@ -7,6 +7,8 @@ use failstats::{chi_square_gof, ChiSquareTest, CountHistogram};
 use failtypes::{Domain, FailureLog, GpuSlot, NodeId, RackId};
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// Per-node failure-count distribution (Fig. 4).
 ///
 /// # Examples
@@ -54,6 +56,31 @@ impl NodeDistribution {
             failing_nodes: counts.len(),
             histogram,
             total_nodes: log.spec().nodes(),
+            multi_node_hardware,
+            multi_node_software,
+        }
+    }
+
+    /// Computes the distribution from a prebuilt [`LogView`], reusing
+    /// its per-node counts.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let counts = view.node_counts();
+        let histogram: CountHistogram = counts.values().copied().collect();
+        let mut multi_node_hardware = 0;
+        let mut multi_node_software = 0;
+        for rec in view.log().iter() {
+            if counts[&rec.node()] > 1 {
+                match rec.category().domain() {
+                    Domain::Hardware => multi_node_hardware += 1,
+                    Domain::Software => multi_node_software += 1,
+                    Domain::Unknown => {}
+                }
+            }
+        }
+        NodeDistribution {
+            failing_nodes: counts.len(),
+            histogram,
+            total_nodes: view.log().spec().nodes(),
             multi_node_hardware,
             multi_node_software,
         }
@@ -153,6 +180,29 @@ impl SlotDistribution {
         }
     }
 
+    /// Computes the distribution from a prebuilt [`LogView`], reusing
+    /// its per-slot counts.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let counts = view.slot_counts();
+        let slots = counts.len();
+        let total: usize = counts.iter().sum();
+        let mean = total as f64 / slots.max(1) as f64;
+        let shares = counts
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| SlotShare {
+                slot: GpuSlot::new(i as u8),
+                count,
+                fraction: count as f64 / total.max(1) as f64,
+                relative_to_mean: if mean > 0.0 { count as f64 / mean } else { 0.0 },
+            })
+            .collect();
+        SlotDistribution {
+            shares,
+            total_involvements: total,
+        }
+    }
+
     /// Per-slot rows in slot order.
     pub fn shares(&self) -> &[SlotShare] {
         &self.shares
@@ -216,6 +266,26 @@ impl RackDistribution {
         RackDistribution {
             shares,
             total: log.len(),
+        }
+    }
+
+    /// Computes the distribution from a prebuilt [`LogView`], reusing
+    /// its per-rack counts.
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        let spec = view.log().spec();
+        let shares = view
+            .rack_counts()
+            .iter()
+            .enumerate()
+            .map(|(i, &count)| RackShare {
+                rack: RackId::new(i as u32),
+                count,
+                nodes: spec.rack_nodes(RackId::new(i as u32)).count() as u32,
+            })
+            .collect();
+        RackDistribution {
+            shares,
+            total: view.len(),
         }
     }
 
@@ -298,12 +368,12 @@ mod tests {
         // Averages over seeds to tame small-sample noise; Tsubame-3's
         // three-failure share is ~1.5x Tsubame-2's.
         let avg = |gen: fn() -> SystemModel| -> f64 {
-            (0..8)
-                .map(|s| {
-                    let log = Simulator::new(gen(), 1000 + s).generate().unwrap();
-                    NodeDistribution::from_log(&log).fraction_with_exactly(3)
-                })
-                .sum::<f64>()
+            failstats::par_map_ordered(8, failstats::available_threads(), |s| {
+                let log = Simulator::new(gen(), 1000 + s as u64).generate().unwrap();
+                NodeDistribution::from_log(&log).fraction_with_exactly(3)
+            })
+            .iter()
+            .sum::<f64>()
                 / 8.0
         };
         let ratio = avg(SystemModel::tsubame3) / avg(SystemModel::tsubame2);
@@ -349,14 +419,21 @@ mod tests {
         // Only ~100 slot involvements exist on Tsubame-3, so a single
         // seed is noisy; accumulate across seeds.
         let mut c = [0usize; 4];
-        for seed in 0..8 {
-            let log = Simulator::new(SystemModel::tsubame3(), 43 + seed * 997)
+        let per_seed = failstats::par_map_ordered(8, failstats::available_threads(), |seed| {
+            let log = Simulator::new(SystemModel::tsubame3(), 43 + seed as u64 * 997)
                 .generate()
                 .unwrap();
             let d = SlotDistribution::from_log(&log);
             assert_eq!(d.shares().len(), 4);
+            let mut counts = [0usize; 4];
             for (i, share) in d.shares().iter().enumerate() {
-                c[i] += share.count;
+                counts[i] = share.count;
+            }
+            counts
+        });
+        for counts in per_seed {
+            for (i, count) in counts.into_iter().enumerate() {
+                c[i] += count;
             }
         }
         // Outer slots (0, 3) considerably above inner (1, 2).
@@ -408,14 +485,13 @@ mod tests {
         model.node_selection = failsim::NodeSelection::Uniform;
         model.software_prefers_fresh_nodes = false;
         // A single seed can reject at 1% by luck; demand most seeds pass.
-        let mut passes = 0;
-        for seed in 0..8 {
-            let log = Simulator::new(model.clone(), 9000 + seed).generate().unwrap();
+        let passes: usize = failstats::par_map_ordered(8, failstats::available_threads(), |seed| {
+            let log = Simulator::new(model.clone(), 9000 + seed as u64).generate().unwrap();
             let d = RackDistribution::from_log(&log);
-            if !d.uniformity_test().expect("non-empty").rejects_at(0.01) {
-                passes += 1;
-            }
-        }
+            usize::from(!d.uniformity_test().expect("non-empty").rejects_at(0.01))
+        })
+        .iter()
+        .sum();
         assert!(passes >= 6, "only {passes}/8 uniform runs looked uniform");
     }
 

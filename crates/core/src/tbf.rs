@@ -4,6 +4,8 @@ use failstats::{Ecdf, Summary};
 use failtypes::{Category, ComponentClass, FailureLog};
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// System-wide time-between-failures analysis (Fig. 6).
 ///
 /// # Examples
@@ -39,6 +41,20 @@ impl TbfAnalysis {
             mtbf_hours: log.window().duration().get() / log.len() as f64,
             window_hours: log.window().duration().get(),
             failures: log.len(),
+        })
+    }
+
+    /// Computes the analysis from a prebuilt [`LogView`], reusing its
+    /// time array; `None` for logs with fewer than two failures.
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        let gaps = failstats::inter_arrival_times(view.times());
+        let ecdf = Ecdf::new(gaps)?;
+        let window_hours = view.log().window().duration().get();
+        Some(TbfAnalysis {
+            ecdf,
+            mtbf_hours: window_hours / view.len() as f64,
+            window_hours,
+            failures: view.len(),
         })
     }
 
@@ -111,6 +127,18 @@ pub fn class_mtbf_hours(log: &FailureLog, class: ComponentClass) -> Option<f64> 
     (count > 0).then(|| log.window().duration().get() / count as f64)
 }
 
+/// [`class_mtbf_hours`] from a prebuilt [`LogView`], reusing its
+/// category partitions.
+pub fn class_mtbf_hours_view(view: &LogView<'_>, class: ComponentClass) -> Option<f64> {
+    let count: usize = view
+        .category_indices()
+        .iter()
+        .filter(|(category, _)| category.component_class() == class)
+        .map(|(_, indices)| indices.len())
+        .sum();
+    (count > 0).then(|| view.log().window().duration().get() / count as f64)
+}
+
 /// GPU MTBF counting each involved GPU separately (a failure touching 3
 /// GPUs counts three times; unknown involvement counts once). Returns
 /// `None` when no GPU failures exist.
@@ -120,6 +148,13 @@ pub fn gpu_involvement_mtbf_hours(log: &FailureLog) -> Option<f64> {
         .map(|r| r.gpus().len().max(1))
         .sum();
     (count > 0).then(|| log.window().duration().get() / count as f64)
+}
+
+/// [`gpu_involvement_mtbf_hours`] from a prebuilt [`LogView`], reusing
+/// its involvement counter.
+pub fn gpu_involvement_mtbf_hours_view(view: &LogView<'_>) -> Option<f64> {
+    let count = view.gpu_involvements();
+    (count > 0).then(|| view.log().window().duration().get() / count as f64)
 }
 
 /// One row of the per-category TBF table (Fig. 7).
@@ -147,6 +182,29 @@ pub fn per_category_tbf(log: &FailureLog, min_events: usize) -> Vec<CategoryTbf>
         if times.len() < min_events.max(2) {
             continue;
         }
+        let gaps = failstats::inter_arrival_times(&times);
+        if let Some(summary) = Summary::from_data(&gaps) {
+            out.push(CategoryTbf { category, summary });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.summary
+            .mean()
+            .partial_cmp(&b.summary.mean())
+            .expect("means are finite")
+    });
+    out
+}
+
+/// [`per_category_tbf`] from a prebuilt [`LogView`], reusing its
+/// time-ordered category partitions instead of re-grouping the log.
+pub fn per_category_tbf_view(view: &LogView<'_>, min_events: usize) -> Vec<CategoryTbf> {
+    let mut out = Vec::new();
+    for (&category, indices) in view.category_indices() {
+        if indices.len() < min_events.max(2) {
+            continue;
+        }
+        let times = view.category_times(category);
         let gaps = failstats::inter_arrival_times(&times);
         if let Some(summary) = Summary::from_data(&gaps) {
             out.push(CategoryTbf { category, summary });

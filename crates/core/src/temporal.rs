@@ -9,6 +9,8 @@ use failstats::BurstinessReport;
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// Temporal-clustering analysis of multi-GPU failures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MultiGpuTemporal {
@@ -38,12 +40,29 @@ impl MultiGpuTemporal {
             .filter(|r| r.is_multi_gpu())
             .map(|r| r.time().get())
             .collect();
-        let horizon = log.window().duration().get();
+        Self::from_times(&times, log.window().duration().get(), follow_up_hours)
+    }
+
+    /// Computes the analysis from a prebuilt [`LogView`], reusing its
+    /// multi-GPU arrival times.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `follow_up_hours` is not positive.
+    pub fn from_view(view: &LogView<'_>, follow_up_hours: f64) -> Option<Self> {
+        Self::from_times(
+            view.multi_gpu_times(),
+            view.log().window().duration().get(),
+            follow_up_hours,
+        )
+    }
+
+    fn from_times(times: &[f64], horizon: f64, follow_up_hours: f64) -> Option<Self> {
         // Count windows sized to hold a handful of events on average.
         let count_window = (horizon / (times.len().max(1) as f64 / 4.0)).max(1.0);
         let report =
-            failstats::burstiness_report(&times, horizon, count_window, follow_up_hours)?;
-        let gaps = failstats::inter_arrival_times(&times);
+            failstats::burstiness_report(times, horizon, count_window, follow_up_hours)?;
+        let gaps = failstats::inter_arrival_times(times);
         let mean_gap = failstats::mean(&gaps)?;
         Some(MultiGpuTemporal {
             report,
@@ -77,29 +96,27 @@ mod tests {
     #[test]
     fn fig8_t2_multi_gpu_failures_cluster() {
         // Average across seeds: clustering is a distributional property.
-        let mut clustered = 0;
-        for seed in 0..10 {
-            let log = Simulator::new(SystemModel::tsubame2(), 100 + seed)
-                .generate()
-                .unwrap();
-            let t = MultiGpuTemporal::from_log(&log, 96.0).unwrap();
-            if t.report.cv > 1.0 {
-                clustered += 1;
-            }
-        }
+        let clustered: usize =
+            failstats::par_map_ordered(10, failstats::available_threads(), |seed| {
+                let log = Simulator::new(SystemModel::tsubame2(), 100 + seed as u64)
+                    .generate()
+                    .unwrap();
+                let t = MultiGpuTemporal::from_log(&log, 96.0).unwrap();
+                usize::from(t.report.cv > 1.0)
+            })
+            .iter()
+            .sum();
         assert!(clustered >= 8, "only {clustered}/10 runs showed CV > 1");
     }
 
     #[test]
     fn fig8_follow_up_beats_poisson_baseline() {
-        let mut factors = Vec::new();
-        for seed in 0..10 {
-            let log = Simulator::new(SystemModel::tsubame2(), 200 + seed)
+        let factors = failstats::par_map_ordered(10, failstats::available_threads(), |seed| {
+            let log = Simulator::new(SystemModel::tsubame2(), 200 + seed as u64)
                 .generate()
                 .unwrap();
-            let t = MultiGpuTemporal::from_log(&log, 96.0).unwrap();
-            factors.push(t.clustering_factor());
-        }
+            MultiGpuTemporal::from_log(&log, 96.0).unwrap().clustering_factor()
+        });
         let mean = failstats::mean(&factors).unwrap();
         assert!(mean > 1.05, "mean clustering factor {mean}");
     }
@@ -108,12 +125,10 @@ mod tests {
     fn ablation_independent_assignment_is_not_clustered() {
         let mut model = SystemModel::tsubame2();
         model.clustering = ClusteringMode::Independent;
-        let mut cvs = Vec::new();
-        for seed in 0..10 {
-            let log = Simulator::new(model.clone(), 300 + seed).generate().unwrap();
-            let t = MultiGpuTemporal::from_log(&log, 96.0).unwrap();
-            cvs.push(t.report.cv);
-        }
+        let cvs = failstats::par_map_ordered(10, failstats::available_threads(), |seed| {
+            let log = Simulator::new(model.clone(), 300 + seed as u64).generate().unwrap();
+            MultiGpuTemporal::from_log(&log, 96.0).unwrap().report.cv
+        });
         let mean_cv = failstats::mean(&cvs).unwrap();
         // Thinned renewal arrivals: CV stays near 1.
         assert!(
@@ -124,17 +139,23 @@ mod tests {
 
     #[test]
     fn clustered_exceeds_independent() {
-        let mut sum_on = 0.0;
-        let mut sum_off = 0.0;
-        for seed in 0..10 {
-            let on = Simulator::new(SystemModel::tsubame2(), 400 + seed)
+        let pairs = failstats::par_map_ordered(10, failstats::available_threads(), |seed| {
+            let on = Simulator::new(SystemModel::tsubame2(), 400 + seed as u64)
                 .generate()
                 .unwrap();
-            sum_on += MultiGpuTemporal::from_log(&on, 96.0).unwrap().report.cv;
             let mut model = SystemModel::tsubame2();
             model.clustering = ClusteringMode::Independent;
-            let off = Simulator::new(model, 400 + seed).generate().unwrap();
-            sum_off += MultiGpuTemporal::from_log(&off, 96.0).unwrap().report.cv;
+            let off = Simulator::new(model, 400 + seed as u64).generate().unwrap();
+            (
+                MultiGpuTemporal::from_log(&on, 96.0).unwrap().report.cv,
+                MultiGpuTemporal::from_log(&off, 96.0).unwrap().report.cv,
+            )
+        });
+        let mut sum_on = 0.0;
+        let mut sum_off = 0.0;
+        for (on, off) in pairs {
+            sum_on += on;
+            sum_off += off;
         }
         assert!(sum_on > sum_off, "on {sum_on} off {sum_off}");
     }

@@ -4,6 +4,8 @@ use failstats::{Ecdf, Summary};
 use failtypes::{Category, Domain, FailureLog};
 use serde::{Deserialize, Serialize};
 
+use crate::LogView;
+
 /// System-wide time-to-recovery analysis (Fig. 9).
 ///
 /// # Examples
@@ -28,6 +30,15 @@ impl TtrAnalysis {
         let ttrs: Vec<f64> = log.iter().map(|r| r.ttr().get()).collect();
         Some(TtrAnalysis {
             ecdf: Ecdf::new(ttrs)?,
+        })
+    }
+
+    /// Computes the analysis from a prebuilt [`LogView`], reusing its
+    /// pre-sorted TTR sample instead of re-sorting; `None` for empty
+    /// logs.
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        Some(TtrAnalysis {
+            ecdf: Ecdf::from_sorted(view.ttrs_sorted().to_vec())?,
         })
     }
 
@@ -84,6 +95,31 @@ pub fn per_category_ttr(log: &FailureLog) -> Vec<CategoryTtr> {
     let mut out: Vec<CategoryTtr> = by_cat
         .into_iter()
         .filter_map(|(category, ttrs)| {
+            Summary::from_data(&ttrs).map(|summary| CategoryTtr {
+                category,
+                share_of_failures: ttrs.len() as f64 / total,
+                summary,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        a.summary
+            .mean()
+            .partial_cmp(&b.summary.mean())
+            .expect("means are finite")
+    });
+    out
+}
+
+/// [`per_category_ttr`] from a prebuilt [`LogView`], reusing its
+/// time-ordered category partitions instead of re-grouping the log.
+pub fn per_category_ttr_view(view: &LogView<'_>) -> Vec<CategoryTtr> {
+    let total = view.len().max(1) as f64;
+    let mut out: Vec<CategoryTtr> = view
+        .category_indices()
+        .keys()
+        .filter_map(|&category| {
+            let ttrs = view.category_ttrs(category);
             Summary::from_data(&ttrs).map(|summary| CategoryTtr {
                 category,
                 share_of_failures: ttrs.len() as f64 / total,
@@ -222,9 +258,10 @@ mod tests {
         // differ somewhere.
         let rows = per_category_ttr(&t2());
         let mean_order: Vec<Category> = rows.iter().map(|r| r.category).collect();
-        let mut iqr_rows = rows.clone();
-        iqr_rows.sort_by(|a, b| a.summary.iqr().partial_cmp(&b.summary.iqr()).unwrap());
-        let iqr_order: Vec<Category> = iqr_rows.iter().map(|r| r.category).collect();
+        let mut iqr_keys: Vec<(f64, Category)> =
+            rows.iter().map(|r| (r.summary.iqr(), r.category)).collect();
+        iqr_keys.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let iqr_order: Vec<Category> = iqr_keys.into_iter().map(|(_, c)| c).collect();
         assert_ne!(mean_order, iqr_order);
     }
 

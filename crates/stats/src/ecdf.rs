@@ -39,6 +39,23 @@ impl Ecdf {
         Some(Ecdf { sorted: sample })
     }
 
+    /// Builds an ECDF from a sample that is already sorted ascending,
+    /// skipping the `O(n log n)` sort of [`Ecdf::new`] — the fast path
+    /// for pre-indexed log views.
+    ///
+    /// Returns `None` when the sample is empty, contains NaN, or is not
+    /// actually nondecreasing (so a bad caller degrades to `None`, never
+    /// to a silently wrong CDF).
+    pub fn from_sorted(sample: Vec<f64>) -> Option<Self> {
+        if sample.is_empty() || sample.iter().any(|x| x.is_nan()) {
+            return None;
+        }
+        if sample.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(Ecdf { sorted: sample })
+    }
+
     /// Number of observations.
     pub fn n(&self) -> usize {
         self.sorted.len()
@@ -152,6 +169,23 @@ mod tests {
     fn rejects_empty_and_nan() {
         assert!(Ecdf::new(vec![]).is_none());
         assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn from_sorted_matches_new() {
+        let sample = vec![9.0, 1.0, 4.0, 4.0, 2.5];
+        let via_new = Ecdf::new(sample.clone()).unwrap();
+        let mut sorted = sample;
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        let via_sorted = Ecdf::from_sorted(sorted).unwrap();
+        assert_eq!(via_new, via_sorted);
+    }
+
+    #[test]
+    fn from_sorted_rejects_bad_input() {
+        assert!(Ecdf::from_sorted(vec![]).is_none());
+        assert!(Ecdf::from_sorted(vec![1.0, f64::NAN]).is_none());
+        assert!(Ecdf::from_sorted(vec![2.0, 1.0]).is_none());
     }
 
     #[test]

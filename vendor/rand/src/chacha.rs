@@ -1,0 +1,231 @@
+//! ChaCha12 keystream generator, bit-compatible with `rand_chacha` 0.3.
+//!
+//! `rand_chacha` exposes ChaCha through `rand_core`'s `BlockRng`, which
+//! buffers **four** 64-byte blocks (64 `u32` words) per refill and has
+//! idiosyncratic `next_u64` semantics when a read straddles the buffer
+//! edge. Both behaviours are load-bearing for stream compatibility and
+//! are reproduced here exactly.
+
+use crate::{RngCore, SeedableRng};
+
+/// `"expand 32-byte k"` as little-endian words.
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+/// Words per refill: `BlockRng<ChaCha12Core>` buffers 4 ChaCha blocks.
+const BUFFER_WORDS: usize = 64;
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: 64-bit counter in words 12–13, 64-bit stream id
+/// (always zero for `from_seed`) in words 14–15.
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    // state[14], state[15]: stream id, zero.
+
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (word, init) in state.iter_mut().zip(initial) {
+        *word = word.wrapping_add(init);
+    }
+    state
+}
+
+/// A ChaCha generator with 12 rounds, wrapped in `BlockRng`-compatible
+/// buffering. This is exactly `rand`'s `StdRng` core.
+#[derive(Clone)]
+pub struct ChaCha12Rng {
+    key: [u32; 8],
+    counter: u64,
+    results: [u32; BUFFER_WORDS],
+    index: usize,
+}
+
+impl std::fmt::Debug for ChaCha12Rng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChaCha12Rng").finish_non_exhaustive()
+    }
+}
+
+impl ChaCha12Rng {
+    /// Refills the buffer with the next four blocks and positions the
+    /// read index (mirrors `BlockRng::generate_and_set`).
+    fn generate_and_set(&mut self, index: usize) {
+        for block in 0..4 {
+            let words = chacha_block(&self.key, self.counter + block as u64, 12);
+            self.results[block * 16..(block + 1) * 16].copy_from_slice(&words);
+        }
+        self.counter = self.counter.wrapping_add(4);
+        self.index = index;
+    }
+}
+
+impl SeedableRng for ChaCha12Rng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        ChaCha12Rng {
+            key,
+            counter: 0,
+            results: [0; BUFFER_WORDS],
+            index: BUFFER_WORDS, // empty: first read triggers a refill
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.index >= BUFFER_WORDS {
+            self.generate_and_set(0);
+        }
+        let value = self.results[self.index];
+        self.index += 1;
+        value
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // BlockRng::next_u64: low word first, with special handling when
+        // the read would straddle a refill.
+        let read_u64 = |results: &[u32; BUFFER_WORDS], index: usize| {
+            u64::from(results[index + 1]) << 32 | u64::from(results[index])
+        };
+        let index = self.index;
+        if index < BUFFER_WORDS - 1 {
+            self.index += 2;
+            read_u64(&self.results, index)
+        } else if index >= BUFFER_WORDS {
+            self.generate_and_set(2);
+            read_u64(&self.results, 0)
+        } else {
+            let low = u64::from(self.results[BUFFER_WORDS - 1]);
+            self.generate_and_set(1);
+            low | (u64::from(self.results[0]) << 32)
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        // BlockRng::fill_bytes via fill_via_u32_chunks: consume whole
+        // words as little-endian bytes; a partially used trailing word is
+        // still fully consumed.
+        let mut written = 0;
+        while written < dest.len() {
+            if self.index >= BUFFER_WORDS {
+                self.generate_and_set(0);
+            }
+            let remaining = &mut dest[written..];
+            let available = &self.results[self.index..];
+            let words = remaining.len().div_ceil(4).min(available.len());
+            for (i, word) in available[..words].iter().enumerate() {
+                let bytes = word.to_le_bytes();
+                let start = i * 4;
+                let take = bytes.len().min(remaining.len() - start);
+                remaining[start..start + take].copy_from_slice(&bytes[..take]);
+            }
+            self.index += words;
+            written += (words * 4).min(remaining.len());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The original djb ChaCha20 test vector (all-zero key, zero
+    /// counter/nonce): validates the quarter round, state layout, and
+    /// final addition. ChaCha12 differs only in round count.
+    #[test]
+    fn chacha20_known_answer() {
+        let key = [0u32; 8];
+        let block = chacha_block(&key, 0, 20);
+        let mut bytes = Vec::new();
+        for word in &block {
+            bytes.extend_from_slice(&word.to_le_bytes());
+        }
+        assert_eq!(
+            &bytes[..16],
+            &[
+                0x76, 0xb8, 0xe0, 0xad, 0xa0, 0xf1, 0x3d, 0x90, 0x40, 0x5d, 0x6a, 0xe5, 0x53,
+                0x86, 0xbd, 0x28
+            ]
+        );
+    }
+
+    #[test]
+    fn counter_advances_by_four_per_refill() {
+        let mut rng = ChaCha12Rng::from_seed([1; 32]);
+        assert_eq!(rng.counter, 0);
+        rng.next_u32();
+        assert_eq!(rng.counter, 4);
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        assert_eq!(rng.counter, 4);
+        rng.next_u32();
+        assert_eq!(rng.counter, 8);
+    }
+
+    #[test]
+    fn next_u64_straddles_refill_like_block_rng() {
+        // Consume 63 words, then next_u64 must take word 63 as the low
+        // half and word 0 of the *next* refill as the high half.
+        let mut rng = ChaCha12Rng::from_seed([2; 32]);
+        let mut reference = ChaCha12Rng::from_seed([2; 32]);
+        let words: Vec<u32> = (0..64).map(|_| reference.next_u32()).collect();
+        let next_words: Vec<u32> = (0..64).map(|_| reference.next_u32()).collect();
+
+        for _ in 0..63 {
+            rng.next_u32();
+        }
+        let straddled = rng.next_u64();
+        assert_eq!(
+            straddled,
+            u64::from(words[63]) | (u64::from(next_words[0]) << 32)
+        );
+        // Index was set to 1, so the next u32 is word 1 of the new block.
+        assert_eq!(rng.next_u32(), next_words[1]);
+    }
+
+    #[test]
+    fn blocks_are_sequential_in_buffer() {
+        let mut rng = ChaCha12Rng::from_seed([3; 32]);
+        let mut stream = Vec::new();
+        for _ in 0..128 {
+            stream.push(rng.next_u32());
+        }
+        let mut key = [0u32; 8];
+        for (word, chunk) in key.iter_mut().zip([3u8; 32].chunks_exact(4)) {
+            *word = u32::from_le_bytes(chunk.try_into().unwrap());
+        }
+        for (block_idx, chunk) in stream.chunks_exact(16).enumerate() {
+            let expect = chacha_block(&key, block_idx as u64, 12);
+            assert_eq!(chunk, expect, "block {block_idx}");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The `Standard` distribution and uniform range sampling, matching
+//! `rand` 0.8.5's algorithms bit for bit.
+
+use crate::RngCore;
+
+pub mod uniform;
+
+/// A distribution that can produce values of `T` from a generator.
+pub trait Distribution<T> {
+    /// Samples one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution over a type's value range (floats: the
+/// half-open unit interval).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // rand 0.8 "Multiply-based" conversion: 53 random mantissa bits.
+        let value = rng.next_u64() >> (64 - 53);
+        value as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        let value = rng.next_u32() >> (32 - 24);
+        value as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        // rand 0.8 compares the most significant bit of a u32.
+        (rng.next_u32() as i32) < 0
+    }
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $method:ident),+ $(,)?) => {
+        $(
+            impl Distribution<$ty> for Standard {
+                fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                    rng.$method() as $ty
+                }
+            }
+        )+
+    };
+}
+
+standard_int! {
+    u8 => next_u32,
+    u16 => next_u32,
+    u32 => next_u32,
+    u64 => next_u64,
+    usize => next_u64,
+    i8 => next_u32,
+    i16 => next_u32,
+    i32 => next_u32,
+    i64 => next_u64,
+    isize => next_u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn standard_f64_uses_53_bits_of_one_u64() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let x: f64 = a.gen();
+        let word = b.next_u64();
+        assert_eq!(x, (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64));
+    }
+
+    #[test]
+    fn standard_u32_consumes_one_word() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let x: u32 = a.gen();
+        assert_eq!(x, b.next_u32());
+        assert_eq!(a.next_u32(), b.next_u32());
+    }
+}

@@ -1,0 +1,231 @@
+//! Uniform range sampling, reproducing `rand` 0.8.5's
+//! `UniformInt::sample_single[_inclusive]` (widening-multiply rejection)
+//! and `UniformFloat::sample_single` exactly.
+
+use crate::{Rng, RngCore};
+use std::ops::{Range, RangeInclusive};
+
+/// Types that can be sampled uniformly from a range.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from the half-open range `[low, high)`.
+    fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+
+    /// Uniform sample from the inclusive range `[low, high]`.
+    fn sample_single_inclusive<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+/// Range-like arguments accepted by `Rng::gen_range`.
+pub trait SampleRange<T> {
+    /// Samples one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+
+    /// Whether the range contains no values.
+    fn is_empty(&self) -> bool;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_single(self.start, self.end, rng)
+    }
+
+    fn is_empty(&self) -> bool {
+        !(self.start < self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_single_inclusive(start, end, rng)
+    }
+
+    fn is_empty(&self) -> bool {
+        !(self.start() <= self.end())
+    }
+}
+
+/// Widening multiply: `(high_word, low_word)` of `a * b`.
+trait WideningMultiply: Sized {
+    fn wmul(self, other: Self) -> (Self, Self);
+}
+
+impl WideningMultiply for u32 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let t = self as u64 * other as u64;
+        ((t >> 32) as u32, t as u32)
+    }
+}
+
+impl WideningMultiply for u64 {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let t = self as u128 * other as u128;
+        ((t >> 64) as u64, t as u64)
+    }
+}
+
+impl WideningMultiply for usize {
+    #[inline]
+    fn wmul(self, other: Self) -> (Self, Self) {
+        let (hi, lo) = (self as u64).wmul(other as u64);
+        (hi as usize, lo as usize)
+    }
+}
+
+// rand 0.8's UniformInt type mapping: u8/u16 widen to u32 and use a
+// modulo-computed zone; u32/u64/usize sample at their own width with a
+// leading-zeros zone.
+macro_rules! uniform_int {
+    ($ty:ty, $unsigned:ty, $u_large:ty, $use_mod_zone:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "UniformSampler::sample_single: low >= high");
+                Self::sample_single_inclusive(low, high - 1, rng)
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                assert!(
+                    low <= high,
+                    "UniformSampler::sample_single_inclusive: low > high"
+                );
+                let range =
+                    high.wrapping_sub(low).wrapping_add(1) as $unsigned as $u_large;
+                // Wrapped to zero: the whole type range is valid.
+                if range == 0 {
+                    return rng.gen();
+                }
+                let zone = if $use_mod_zone {
+                    let ints_to_reject = (<$u_large>::MAX - range + 1) % range;
+                    <$u_large>::MAX - ints_to_reject
+                } else {
+                    (range << range.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $u_large = rng.gen();
+                    let (hi, lo) = v.wmul(range);
+                    if lo <= zone {
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    };
+}
+
+uniform_int!(u8, u8, u32, true);
+uniform_int!(u16, u16, u32, true);
+uniform_int!(u32, u32, u32, false);
+uniform_int!(u64, u64, u64, false);
+uniform_int!(usize, usize, usize, false);
+uniform_int!(i8, u8, u32, true);
+uniform_int!(i16, u16, u32, true);
+uniform_int!(i32, u32, u32, false);
+uniform_int!(i64, u64, u64, false);
+uniform_int!(isize, usize, usize, false);
+
+// rand 0.8's UniformFloat::sample_single: a value in [1, 2) from the
+// mantissa bits, shifted and scaled into [low, high).
+macro_rules! uniform_float {
+    ($ty:ty, $uty:ty, $next:ident, $bits_to_discard:expr, $mantissa_bits:expr, $exponent_bias:expr) => {
+        impl SampleUniform for $ty {
+            fn sample_single<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                debug_assert!(
+                    low.is_finite() && high.is_finite() && low < high,
+                    "UniformSampler::sample_single: invalid range"
+                );
+                let scale = high - low;
+                let value: $uty = rng.$next() >> $bits_to_discard;
+                let value1_2 = <$ty>::from_bits(($exponent_bias << $mantissa_bits) | value);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + low
+            }
+
+            fn sample_single_inclusive<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                rng: &mut R,
+            ) -> Self {
+                // rand 0.8 floats treat inclusive ranges like half-open
+                // ones for single sampling.
+                Self::sample_single(low, high, rng)
+            }
+        }
+    };
+}
+
+uniform_float!(f64, u64, next_u64, 12, 52, 1023u64);
+uniform_float!(f32, u32, next_u32, 9, 23, 127u32);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn u32_range_consumes_u32_words() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let range = 540u32;
+        let x = a.gen_range(0u32..range);
+        // One accepted widening-multiply draw from a single u32.
+        let v = b.next_u32();
+        let (hi, lo) = v.wmul(range);
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        assert!(lo <= zone, "seed 1 draw is accepted immediately");
+        assert_eq!(x, hi);
+    }
+
+    #[test]
+    fn usize_range_matches_manual_rejection_loop() {
+        let mut a = StdRng::seed_from_u64(2);
+        let mut b = StdRng::seed_from_u64(2);
+        let range = 10u64;
+        let x = a.gen_range(0usize..10);
+        let zone = (range << range.leading_zeros()).wrapping_sub(1);
+        let expected = loop {
+            let v = b.next_u64();
+            let (hi, lo) = v.wmul(range);
+            if lo <= zone {
+                break hi;
+            }
+        };
+        assert_eq!(x as u64, expected);
+        // Post-draw streams align (both consumed the same words).
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn full_type_range_falls_back_to_standard() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let x = a.gen_range(0u64..=u64::MAX);
+        assert_eq!(x, b.next_u64());
+    }
+
+    #[test]
+    fn float_range_matches_bit_construction() {
+        let mut a = StdRng::seed_from_u64(4);
+        let mut b = StdRng::seed_from_u64(4);
+        let x = a.gen_range(10.0f64..20.0);
+        let value = b.next_u64() >> 12;
+        let value1_2 = f64::from_bits((1023u64 << 52) | value);
+        assert_eq!(x, (value1_2 - 1.0) * 10.0 + 10.0);
+        assert!((10.0..20.0).contains(&x));
+    }
+
+    #[test]
+    fn inclusive_u8_range_is_exact() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0u8..=3) as usize] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Named generator types.
+
+use crate::chacha::ChaCha12Rng;
+use crate::{RngCore, SeedableRng};
+
+/// The standard generator: ChaCha with 12 rounds, exactly as in `rand`
+/// 0.8. Deterministic per seed and portable across platforms.
+#[derive(Clone, Debug)]
+pub struct StdRng(ChaCha12Rng);
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.fill_bytes(dest)
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        StdRng(ChaCha12Rng::from_seed(seed))
+    }
+}

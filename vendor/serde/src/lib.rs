@@ -1,0 +1,17 @@
+// Vendored dependency: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` trait names and the derive
+//! macros under the same paths as the real crate, so `use
+//! serde::{Serialize, Deserialize}` and `#[derive(...)]` keep working.
+//! The workspace's only on-disk format is `faillog`'s hand-rolled CSV,
+//! so no serde machinery beyond the names is needed.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

