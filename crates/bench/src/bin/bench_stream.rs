@@ -1,0 +1,183 @@
+//! Benchmarks the streaming subsystem against the batch pipeline and
+//! verifies their equivalence, writing `BENCH_stream.json`.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run -p failbench --bin bench_stream --release           # default path
+//! cargo run -p failbench --bin bench_stream -- --json PATH
+//! ```
+//!
+//! Three measurements per calibrated model (Tsubame 2.5 and 3.0):
+//!
+//! 1. **batch** — building the full `LogView` index from a finished
+//!    log, the cost the batch report pipeline pays;
+//! 2. **stream** — feeding the same records one at a time through
+//!    `failwatch::WatchState` (index + sketches + windows + EWMAs);
+//! 3. **watch** — a full `failwatch::run` replay with drift detection
+//!    and the injected MTTR-regression scenario, checking that the
+//!    canonical alert fires.
+//!
+//! Equivalence is checked the same way the test suite does: category
+//! partitions, month buckets and sorted TTRs must be identical, and
+//! MTBF / mean gap / MTTR must match the batch analyses bit for bit.
+//! Exits non-zero when any equivalence or alert check fails.
+
+use std::time::Instant;
+
+use failscope::{LogView, TbfAnalysis, TtrAnalysis};
+use failsim::{ReplayClock, Simulator, SystemModel};
+use failtypes::{AlertKind, FailureLog};
+use failwatch::{
+    Baseline, DriftConfig, DriftDetector, SimSource, StateConfig, WatchConfig, WatchState,
+};
+
+/// Timing repetitions; the reported seconds are for the fastest pass.
+const REPS: usize = 10;
+
+fn main() {
+    let mut json_path = String::from("BENCH_stream.json");
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--json" => match iter.next() {
+                Some(path) => json_path = path,
+                None => {
+                    eprintln!("--json needs a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown argument `{other}`; usage: bench_stream [--json PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut total_records = 0usize;
+    let mut batch_seconds = 0.0f64;
+    let mut stream_seconds = 0.0f64;
+    let mut all_equivalent = true;
+    let mut all_exact = true;
+
+    for model in [SystemModel::tsubame2(), SystemModel::tsubame3()] {
+        let log = Simulator::new(model.clone(), 42)
+            .generate()
+            .expect("calibrated model simulates");
+        total_records += log.len();
+
+        let batch = best_of(REPS, || {
+            let view = LogView::new(&log);
+            assert!(view.len() == log.len());
+        });
+        let stream = best_of(REPS, || {
+            let state = ingest_all(&log);
+            assert!(state.len() == log.len());
+        });
+        batch_seconds += batch;
+        stream_seconds += stream;
+
+        let state = ingest_all(&log);
+        let (equivalent, exact) = check_equivalence(&log, &state);
+        all_equivalent &= equivalent;
+        all_exact &= exact;
+        println!(
+            "{}: {} records | batch index {:.1} us | stream ingest {:.1} us | equivalent: {equivalent}",
+            log.spec().name(),
+            log.len(),
+            batch * 1e6,
+            stream * 1e6,
+        );
+    }
+
+    // Full watch replay with the injected regression scenario.
+    let start = Instant::now();
+    let mut source = SimSource::new(SystemModel::tsubame2(), 42, ReplayClock::unpaced())
+        .expect("simulates")
+        .with_mttr_injection(5.0, 0.5);
+    let baseline = Baseline::from_model(SystemModel::tsubame2(), 1).expect("simulates");
+    let detector = DriftDetector::new(baseline, DriftConfig::default());
+    let mut sink = Vec::new();
+    let outcome = failwatch::run(
+        &mut source,
+        Some(detector),
+        &WatchConfig::default(),
+        &mut sink,
+    )
+    .expect("watch replay runs");
+    let watch_seconds = start.elapsed().as_secs_f64();
+    let regression_alerts = outcome
+        .alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::MttrRegression)
+        .count();
+    println!(
+        "watch replay: {} records, {} alert(s), {} MTTR-regression, {:.3} s",
+        outcome.records,
+        outcome.alerts.len(),
+        regression_alerts,
+        watch_seconds
+    );
+
+    let records_per_second = total_records as f64 / stream_seconds.max(f64::MIN_POSITIVE);
+    let json = format!(
+        "{{\n  \"records\": {total_records},\n  \"batch_seconds\": {batch_seconds:.6},\n  \
+         \"stream_seconds\": {stream_seconds:.6},\n  \
+         \"stream_records_per_second\": {records_per_second:.0},\n  \
+         \"equivalent\": {all_equivalent},\n  \"sketches_exact\": {all_exact},\n  \
+         \"watch_replay_seconds\": {watch_seconds:.6},\n  \
+         \"injected_regression_alerts\": {regression_alerts}\n}}\n"
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("wrote {json_path}"),
+        Err(err) => {
+            eprintln!("failed to write {json_path}: {err}");
+            std::process::exit(1);
+        }
+    }
+    if !all_equivalent {
+        eprintln!("streaming state diverged from the batch pipeline");
+        std::process::exit(1);
+    }
+    if regression_alerts == 0 {
+        eprintln!("injected MTTR regression did not alert");
+        std::process::exit(1);
+    }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn ingest_all(log: &FailureLog) -> WatchState {
+    let mut state = WatchState::for_log(log, StateConfig::default());
+    for rec in log.iter() {
+        state.ingest(rec.clone()).expect("valid in-order records");
+    }
+    state
+}
+
+/// Record-by-record state vs the batch pipeline: structures identical,
+/// headline estimates bit-identical. Returns (equivalent, sketches
+/// still exact).
+fn check_equivalence(log: &FailureLog, state: &WatchState) -> (bool, bool) {
+    let view = LogView::new(log);
+    let tbf = TbfAnalysis::from_log(log).expect("non-empty log");
+    let ttr = TtrAnalysis::from_log(log).expect("non-empty log");
+    let sv = state.view();
+    let structures = sv.category_indices() == view.category_indices()
+        && sv.month_ttrs() == view.month_ttrs()
+        && sv.ttrs_sorted() == view.ttrs_sorted()
+        && sv.slot_counts() == view.slot_counts()
+        && sv.node_counts() == view.node_counts();
+    let bitwise = state.mtbf_hours().map(f64::to_bits) == Some(tbf.mtbf_hours().to_bits())
+        && state.mean_gap_hours().map(f64::to_bits) == Some(tbf.mean_gap_hours().to_bits())
+        && state.mttr_hours().map(f64::to_bits) == Some(ttr.mttr_hours().to_bits());
+    (structures && bitwise, state.sketches_exact())
+}

@@ -1,11 +1,16 @@
 //! Minimal dependency-free argument parsing for `failctl`.
 //!
 //! Grammar: `failctl <command> [positional...] [--flag value]...`. Flags
-//! always take exactly one value; unknown flags are an error, so typos
+//! take exactly one value, except for the known boolean switches in
+//! [`SWITCHES`] which take none; unknown flags are an error, so typos
 //! fail loudly rather than being ignored.
 
 use std::collections::BTreeMap;
 use std::fmt;
+
+/// Valueless boolean flags: present means `true`. Everything else in
+/// `--flag value` position must carry a value.
+pub const SWITCHES: &[&str] = &["follow"];
 
 /// A parse failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,9 +51,12 @@ impl ParsedArgs {
         let mut flags = BTreeMap::new();
         while let Some(arg) = iter.next() {
             if let Some(key) = arg.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?;
+                let value = if SWITCHES.contains(&key) {
+                    String::from("true")
+                } else {
+                    iter.next()
+                        .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?
+                };
                 if flags.insert(key.to_string(), value).is_some() {
                     return Err(ArgError(format!("flag --{key} given twice")));
                 }
@@ -66,6 +74,11 @@ impl ParsedArgs {
     /// Returns the raw value of a flag.
     pub fn flag(&self, key: &str) -> Option<&str> {
         self.flags.get(key).map(String::as_str)
+    }
+
+    /// `true` when a boolean switch (see [`SWITCHES`]) was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
     }
 
     /// Returns a flag parsed to `T`, or `default` when absent.
@@ -148,6 +161,18 @@ mod tests {
         let p = parse(&["gen", "--sede", "1"]).unwrap();
         assert!(p.reject_unknown_flags(&["seed"]).is_err());
         assert!(p.reject_unknown_flags(&["sede"]).is_ok());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let p = parse(&["watch", "log.fslog", "--follow", "--threads", "2"]).unwrap();
+        assert!(p.switch("follow"));
+        assert_eq!(p.positional(0, "path").unwrap(), "log.fslog");
+        assert_eq!(p.flag("threads"), Some("2"));
+        let p = parse(&["watch", "log.fslog"]).unwrap();
+        assert!(!p.switch("follow"));
+        // A switch at the end of the line needs no trailing value.
+        assert!(parse(&["watch", "log.fslog", "--follow"]).is_ok());
     }
 
     #[test]

@@ -2,13 +2,19 @@
 //! output as a `String` so they are directly unit-testable.
 
 use std::fmt::Write as _;
+use std::io;
 
+use faillog::TimeRange;
 use failmitigate::{
     required_crews, simulate_staffing, CheckpointPlan, OperationsPlan, PlanConfig, SparePolicy,
 };
 use failscope::{AvailabilityAnalysis, NodeSurvival, TbfAnalysis};
-use failsim::{ScenarioBuilder, Simulator, SystemModel};
+use failsim::{ReplayClock, ScenarioBuilder, Simulator, SystemModel};
 use failtypes::{ComponentClass, FailureLog, Generation};
+use failwatch::{
+    Baseline, DriftConfig, DriftDetector, EventSource, SimSource, StateConfig, TailSource,
+    WatchConfig,
+};
 
 use crate::args::{ArgError, ParsedArgs};
 
@@ -56,11 +62,18 @@ COMMANDS
       Generate a what-if system's log (trend: rate ramps X -> Y x base).
   summary <FILE>
       One-paragraph structural summary of a log.
-  report <FILE> [--threads N]
+  report <FILE> [--threads N] [--since T] [--until T]
       Full five-RQ reliability report (sections computed in parallel;
-      output is identical at any thread count).
-  compare <OLD> <NEW> [--threads N]
+      output is identical at any thread count). T is hours from the
+      window start or a YYYY-MM-DD date.
+  compare <OLD> <NEW> [--threads N] [--since T] [--until T]
       Cross-generation comparison (MTBF/MTTR/PEP factors).
+  watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
+        [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
+        [--max-records N] [--max-idle N] [--inject-mttr F] [--threads N]
+      Stream a log (or an accelerated simulated replay) through the
+      online monitor: NDJSON drift alerts against a calibrated
+      baseline, plus periodic summaries.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -84,7 +97,35 @@ COMMANDS
 }
 
 fn load(path: &str) -> Result<FailureLog, CliError> {
-    faillog::load(path).map_err(run_err)
+    // Parse errors carry their 1-based line number and offending field;
+    // prefixing the path makes the message directly actionable.
+    faillog::load(path).map_err(|e| CliError::Run(format!("{path}: {e}")))
+}
+
+/// Resolves `--since`/`--until` (hours or `YYYY-MM-DD`) against a log's
+/// observation window.
+fn time_range(args: &ParsedArgs, log: &FailureLog) -> Result<TimeRange, CliError> {
+    let mut range = TimeRange::default();
+    if let Some(raw) = args.flag("since") {
+        range.since = Some(
+            faillog::parse_time_bound(raw, log.window())
+                .map_err(|e| CliError::Run(format!("--since: {e}")))?,
+        );
+    }
+    if let Some(raw) = args.flag("until") {
+        range.until = Some(
+            faillog::parse_time_bound(raw, log.window())
+                .map_err(|e| CliError::Run(format!("--until: {e}")))?,
+        );
+    }
+    Ok(range)
+}
+
+/// Loads a log and applies any `--since`/`--until` filtering.
+fn load_clipped(args: &ParsedArgs, path: &str) -> Result<FailureLog, CliError> {
+    let log = load(path)?;
+    let range = time_range(args, &log)?;
+    Ok(faillog::clip(&log, range))
 }
 
 /// `failctl generate`.
@@ -181,18 +222,18 @@ fn threads_flag(args: &ParsedArgs) -> Result<usize, CliError> {
 
 /// `failctl report`.
 pub fn report(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads"])?;
+    args.reject_unknown_flags(&["threads", "since", "until"])?;
     let threads = threads_flag(args)?;
-    let log = load(args.positional(0, "file")?)?;
+    let log = load_clipped(args, args.positional(0, "file")?)?;
     Ok(failscope::render_report_threaded(&log, threads))
 }
 
 /// `failctl compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads"])?;
+    args.reject_unknown_flags(&["threads", "since", "until"])?;
     let threads = threads_flag(args)?;
-    let older = load(args.positional(0, "old")?)?;
-    let newer = load(args.positional(1, "new")?)?;
+    let older = load_clipped(args, args.positional(0, "old")?)?;
+    let newer = load_clipped(args, args.positional(1, "new")?)?;
     Ok(failscope::render_comparison_threaded(&older, &newer, threads))
 }
 
@@ -396,6 +437,119 @@ pub fn racks(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn model_by_name(name: &str) -> Result<SystemModel, CliError> {
+    match name {
+        "tsubame2" => Ok(SystemModel::tsubame2()),
+        "tsubame3" => Ok(SystemModel::tsubame3()),
+        other => Err(CliError::Run(format!(
+            "unknown model `{other}` (use tsubame2 or tsubame3)"
+        ))),
+    }
+}
+
+/// `failctl watch`: streams a log file or a simulated replay through
+/// the online monitor, writing NDJSON alerts and periodic summaries to
+/// `out` as they happen (which is why this one takes a writer instead
+/// of returning a `String`).
+pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), CliError> {
+    args.reject_unknown_flags(&[
+        "follow",
+        "accel",
+        "seed",
+        "inject-mttr",
+        "baseline",
+        "window",
+        "refresh",
+        "max-records",
+        "max-idle",
+        "threads",
+    ])?;
+    let source_arg = args.positional(0, "path|sim:MODEL")?;
+
+    let mut source: Box<dyn EventSource> = if let Some(name) = source_arg.strip_prefix("sim:") {
+        let clock = match args.flag("accel").unwrap_or("max") {
+            "max" => ReplayClock::unpaced(),
+            raw => {
+                let rate: f64 = raw.parse().map_err(|_| {
+                    CliError::Run(format!(
+                        "invalid --accel value `{raw}` (sim hours per wall second, or `max`)"
+                    ))
+                })?;
+                ReplayClock::new(rate)
+            }
+        };
+        let seed: u64 = args.flag_or("seed", 42)?;
+        let mut src = SimSource::new(model_by_name(name)?, seed, clock).map_err(run_err)?;
+        if let Some(raw) = args.flag("inject-mttr") {
+            let factor: f64 = raw.parse().map_err(|_| {
+                CliError::Run(format!("invalid --inject-mttr value `{raw}`"))
+            })?;
+            if !(factor.is_finite() && factor > 0.0) {
+                return Err(CliError::Run("--inject-mttr must be positive".into()));
+            }
+            // The canonical regression scenario: repairs slow down by
+            // `factor` halfway through the replay.
+            src = src.with_mttr_injection(factor, 0.5);
+        }
+        Box::new(src)
+    } else {
+        for flag in ["accel", "seed", "inject-mttr"] {
+            if args.flag(flag).is_some() {
+                return Err(CliError::Run(format!(
+                    "--{flag} only applies to sim: sources"
+                )));
+            }
+        }
+        Box::new(TailSource::open(source_arg, args.switch("follow")).map_err(run_err)?)
+    };
+
+    let baseline = match args.flag("baseline") {
+        Some("none") => None,
+        Some(name) => Some(Baseline::from_model(model_by_name(name)?, 1).map_err(run_err)?),
+        // Default: the calibrated model matching the stream's system
+        // generation, so drift means "unlike the paper's machine".
+        None => Some(
+            Baseline::from_model(SystemModel::for_generation(source.generation()), 1)
+                .map_err(run_err)?,
+        ),
+    };
+    let detector = baseline.map(|b| DriftDetector::new(b, DriftConfig::default()));
+
+    let config = WatchConfig {
+        state: StateConfig {
+            window: args.flag_or("window", StateConfig::default().window)?,
+            ..StateConfig::default()
+        },
+        refresh_every: args.flag_or("refresh", 100)?,
+        max_idle_polls: args
+            .flag("max-idle")
+            .map(|raw| {
+                raw.parse::<u64>()
+                    .map_err(|_| CliError::Run(format!("invalid --max-idle value `{raw}`")))
+            })
+            .transpose()?,
+        max_records: args
+            .flag("max-records")
+            .map(|raw| {
+                raw.parse::<usize>()
+                    .map_err(|_| CliError::Run(format!("invalid --max-records value `{raw}`")))
+            })
+            .transpose()?,
+        threads: threads_flag(args)?,
+        ..WatchConfig::default()
+    };
+    failwatch::run(source.as_mut(), detector, &config, out).map_err(run_err)?;
+    Ok(())
+}
+
+/// `failctl watch` via the uniform dispatch path: buffers the stream
+/// and returns it as a string (main.rs streams to stdout instead).
+pub fn watch(args: &ParsedArgs) -> Result<String, CliError> {
+    let mut buf = Vec::new();
+    watch_stream(args, &mut buf)?;
+    String::from_utf8(buf).map_err(|_| CliError::Run("watch produced non-UTF8 output".into()))
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
     match args.command.as_str() {
@@ -412,6 +566,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "staffing" => staffing(args),
         "plan" => plan(args),
         "racks" => racks(args),
+        "watch" => watch(args),
         "help" | "--help" | "-h" => Ok(help()),
         other => Err(CliError::Run(format!(
             "unknown command `{other}`; try `failctl help`"
@@ -568,5 +723,81 @@ mod tests {
         assert!(dispatch(&parse(&["frobnicate"])).is_err());
         // Missing file errors are reported, not panicked.
         assert!(dispatch(&parse(&["report", "/no/such/file"])).is_err());
+    }
+
+    #[test]
+    fn load_errors_carry_path_line_and_field() {
+        let path = temp_path("broken.fslog");
+        std::fs::write(
+            &path,
+            "# failscope-log v1\n# generation: Tsubame-3\n# name: Tsubame-3\n# nodes: 540\n\
+             # gpus-per-node: 4\n# window: 2017-05-09..2020-02-22\n\
+             id,time_h,ttr_h,category,node,gpus,locus\n0,12.0,oops,GPU,5,0,\n",
+        )
+        .expect("write");
+        let err = load(path.to_str().unwrap()).unwrap_err().to_string();
+        assert!(err.contains("broken.fslog"), "{err}");
+        assert!(err.contains("line 8"), "{err}");
+        assert!(err.contains("ttr_h"), "{err}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn report_since_until_filters_the_window() {
+        let path = temp_path("clip.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame3", "--out", p])).expect("generates");
+        let full = report(&parse(&["report", p])).expect("reports");
+        let early = report(&parse(&["report", p, "--until", "1000"])).expect("reports");
+        assert_ne!(full, early, "clipping must change the report");
+        // A date bound resolves against the window (T3 starts 2017-08-01).
+        let dated =
+            report(&parse(&["report", p, "--since", "2017-10-01"])).expect("reports");
+        assert_ne!(full, dated);
+        // An empty clip errors cleanly rather than panicking.
+        assert!(report(&parse(&["report", p, "--since", "banana"])).is_err());
+        let c = compare(&parse(&["compare", p, p, "--until", "2000"])).expect("compares");
+        assert!(c.contains("MTBF"));
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn watch_replays_a_simulation_and_alerts_on_injected_regression() {
+        let out = watch(&parse(&[
+            "watch",
+            "sim:tsubame3",
+            "--accel",
+            "max",
+            "--inject-mttr",
+            "5.0",
+        ]))
+        .expect("watches");
+        assert!(out.contains("# failwatch: sim:"), "{out}");
+        assert!(out.contains("\"kind\":\"mttr_regression\""), "{out}");
+        assert!(out.contains("# watch done:"), "{out}");
+        // Deterministic across thread counts.
+        let t1 = watch(&parse(&[
+            "watch", "sim:tsubame3", "--inject-mttr", "5.0", "--threads", "1",
+        ]))
+        .expect("watches");
+        let t4 = watch(&parse(&[
+            "watch", "sim:tsubame3", "--inject-mttr", "5.0", "--threads", "4",
+        ]))
+        .expect("watches");
+        assert_eq!(t1, t4);
+    }
+
+    #[test]
+    fn watch_reads_a_log_file() {
+        let path = temp_path("watch.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", p])).expect("generates");
+        let out = watch(&parse(&["watch", p, "--baseline", "tsubame2"])).expect("watches");
+        assert!(out.contains("897 records"), "{out}");
+        // File sources reject sim-only flags; sim baseline name checked.
+        assert!(watch(&parse(&["watch", p, "--inject-mttr", "2.0"])).is_err());
+        assert!(watch(&parse(&["watch", "sim:cray"])).is_err());
+        assert!(watch(&parse(&["watch", p, "--baseline", "cray"])).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
     }
 }

@@ -17,6 +17,18 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    // `watch` streams: alerts and summaries must reach the terminal as
+    // they happen, not after the stream ends.
+    if parsed.command == "watch" {
+        let stdout = std::io::stdout();
+        return match commands::watch_stream(&parsed, &mut stdout.lock()) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("failctl: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match commands::dispatch(&parsed) {
         Ok(output) => {
             print!("{output}");

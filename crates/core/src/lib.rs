@@ -50,6 +50,7 @@ mod pep;
 mod report;
 mod seasonal;
 mod spatial;
+mod streamview;
 mod tbf;
 mod temporal;
 mod ttr;
@@ -68,6 +69,7 @@ pub use report::{
 };
 pub use seasonal::{MonthBucket, SeasonalAnalysis};
 pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
+pub use streamview::{StreamView, StreamViewError};
 pub use tbf::{
     class_mtbf_hours, class_mtbf_hours_view, gpu_involvement_mtbf_hours,
     gpu_involvement_mtbf_hours_view, per_category_tbf, per_category_tbf_view, CategoryTbf,

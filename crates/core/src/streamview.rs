@@ -1,0 +1,414 @@
+//! An incrementally built counterpart to [`LogView`](crate::LogView).
+//!
+//! [`StreamView`] maintains the same indexes a [`crate::LogView`] builds
+//! in one batch pass — time-ordered times, sorted repair durations,
+//! category partitions, node/slot/rack counts, month buckets — but
+//! accepts records **one at a time** as a live stream delivers them.
+//! After pushing every record of a log in time order, each index is
+//! equal to the batch one (the streaming equivalence suite in `tests/`
+//! asserts this per model/seed), so online consumers such as `failwatch`
+//! inherit the batch pipeline's semantics for free.
+//!
+//! Sorted arrays are maintained by binary-search insertion; each push is
+//! `O(n)` worst case on the sorted arrays, which is far below the cost
+//! of re-sorting per record and irrelevant at field-log sizes (hundreds
+//! to thousands of failures over years).
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use failtypes::{
+    Category, FailureLog, FailureRecord, Generation, InvalidRecordError, Month, NodeId,
+    ObservationWindow, SoftwareLocus, SystemSpec,
+};
+
+/// Error from [`StreamView::push`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamViewError {
+    /// The record's failure time precedes the previously pushed record;
+    /// streams must deliver records in time order.
+    OutOfOrder {
+        /// Time of the previously pushed record, hours.
+        prev: f64,
+        /// Time of the rejected record, hours.
+        time: f64,
+    },
+    /// The record violates a log invariant for this system.
+    Invalid(InvalidRecordError),
+}
+
+impl fmt::Display for StreamViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamViewError::OutOfOrder { prev, time } => write!(
+                f,
+                "out-of-order record: time {time} h after a record at {prev} h"
+            ),
+            StreamViewError::Invalid(e) => write!(f, "invalid record: {e}"),
+        }
+    }
+}
+
+impl Error for StreamViewError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamViewError::Invalid(e) => Some(e),
+            StreamViewError::OutOfOrder { .. } => None,
+        }
+    }
+}
+
+impl From<InvalidRecordError> for StreamViewError {
+    fn from(e: InvalidRecordError) -> Self {
+        StreamViewError::Invalid(e)
+    }
+}
+
+/// Incrementally maintained indexes over a record stream, mirroring
+/// [`crate::LogView`] field for field.
+///
+/// # Examples
+///
+/// ```
+/// use failscope::{LogView, StreamView};
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let mut sv = StreamView::new(log.generation(), log.spec().clone(), log.window());
+/// for rec in log.iter() {
+///     sv.push(rec.clone()).unwrap();
+/// }
+/// let bv = LogView::new(&log);
+/// assert_eq!(sv.times(), bv.times());
+/// assert_eq!(sv.ttrs_sorted(), bv.ttrs_sorted());
+/// assert_eq!(sv.month_ttrs(), bv.month_ttrs());
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamView {
+    generation: Generation,
+    spec: SystemSpec,
+    window: ObservationWindow,
+    months: Vec<(i32, Month)>,
+    records: Vec<FailureRecord>,
+    times: Vec<f64>,
+    ttrs_sorted: Vec<f64>,
+    recoveries: Vec<f64>,
+    recoveries_sorted: Vec<f64>,
+    category_indices: BTreeMap<Category, Vec<u32>>,
+    locus_counts: BTreeMap<SoftwareLocus, usize>,
+    node_counts: BTreeMap<NodeId, u64>,
+    slot_counts: Vec<usize>,
+    rack_counts: Vec<usize>,
+    gpu_involvements: usize,
+    multi_gpu_times: Vec<f64>,
+    month_ttrs: Vec<Vec<f64>>,
+}
+
+/// Inserts `x` into an ascending `Vec` at its binary-search position.
+fn sorted_insert(v: &mut Vec<f64>, x: f64) {
+    let pos = v.partition_point(|&y| y <= x);
+    v.insert(pos, x);
+}
+
+impl StreamView {
+    /// An empty view for a system described by `spec` over `window`.
+    pub fn new(generation: Generation, spec: SystemSpec, window: ObservationWindow) -> Self {
+        let months = window.months();
+        let slots = spec.gpus_per_node() as usize;
+        let racks = spec.racks() as usize;
+        StreamView {
+            generation,
+            spec,
+            window,
+            month_ttrs: vec![Vec::new(); months.len()],
+            months,
+            records: Vec::new(),
+            times: Vec::new(),
+            ttrs_sorted: Vec::new(),
+            recoveries: Vec::new(),
+            recoveries_sorted: Vec::new(),
+            category_indices: BTreeMap::new(),
+            locus_counts: BTreeMap::new(),
+            node_counts: BTreeMap::new(),
+            slot_counts: vec![0; slots],
+            rack_counts: vec![0; racks],
+            gpu_involvements: 0,
+            multi_gpu_times: Vec::new(),
+        }
+    }
+
+    /// An empty view shaped like `log` (same generation, spec, window).
+    pub fn for_log(log: &FailureLog) -> Self {
+        StreamView::new(log.generation(), log.spec().clone(), log.window())
+    }
+
+    /// Validates and incorporates one record, updating every index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamViewError::Invalid`] if the record violates an
+    /// invariant, [`StreamViewError::OutOfOrder`] if its time precedes
+    /// the last pushed record. The view is unchanged on error.
+    pub fn push(&mut self, rec: FailureRecord) -> Result<(), StreamViewError> {
+        rec.validate(self.generation, &self.spec, self.window)?;
+        let time = rec.time().get();
+        if let Some(&prev) = self.times.last() {
+            if time < prev {
+                return Err(StreamViewError::OutOfOrder { prev, time });
+            }
+        }
+
+        let i = self.records.len() as u32;
+        let ttr = rec.ttr().get();
+        let window_hours = self.window.duration().get();
+        self.times.push(time);
+        sorted_insert(&mut self.ttrs_sorted, ttr);
+        let recovery = rec.recovery_time().get().min(window_hours);
+        self.recoveries.push(recovery);
+        sorted_insert(&mut self.recoveries_sorted, recovery);
+        self.category_indices
+            .entry(rec.category())
+            .or_default()
+            .push(i);
+        if let Some(locus) = rec.locus() {
+            *self.locus_counts.entry(locus).or_insert(0) += 1;
+        }
+        *self.node_counts.entry(rec.node()).or_insert(0) += 1;
+        self.rack_counts[self.spec.rack_of(rec.node()).index() as usize] += 1;
+        if rec.category().is_gpu() {
+            self.gpu_involvements += rec.gpus().len().max(1);
+            for slot in rec.gpus() {
+                if (slot.index() as usize) < self.slot_counts.len() {
+                    self.slot_counts[slot.index() as usize] += 1;
+                }
+            }
+            if rec.is_multi_gpu() {
+                self.multi_gpu_times.push(time);
+            }
+        }
+        let date = self.window.date_of(rec.time());
+        if let Some(idx) = self.months.iter().position(|&m| m == date.year_month()) {
+            self.month_ttrs[idx].push(ttr);
+        }
+        self.records.push(rec);
+        Ok(())
+    }
+
+    /// Snapshots the accumulated records as a validated [`FailureLog`],
+    /// so any batch analysis can run on the live state.
+    pub fn to_log(&self) -> FailureLog {
+        FailureLog::with_spec(
+            self.generation,
+            self.spec.clone(),
+            self.window,
+            self.records.clone(),
+        )
+        .expect("pushed records were validated")
+    }
+
+    /// The system generation this view is indexed for.
+    pub const fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// The system spec this view is indexed for.
+    pub const fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The observation window.
+    pub const fn window(&self) -> ObservationWindow {
+        self.window
+    }
+
+    /// The accumulated records, in arrival (time) order.
+    pub fn records(&self) -> &[FailureRecord] {
+        &self.records
+    }
+
+    /// Number of records pushed so far.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// `true` when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Failure times in hours, in arrival order.
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Repair durations in hours, sorted ascending.
+    pub fn ttrs_sorted(&self) -> &[f64] {
+        &self.ttrs_sorted
+    }
+
+    /// Repair-completion times clamped to the window, in arrival order.
+    pub fn recoveries(&self) -> &[f64] {
+        &self.recoveries
+    }
+
+    /// Repair-completion times clamped to the window, sorted ascending.
+    pub fn recoveries_sorted(&self) -> &[f64] {
+        &self.recoveries_sorted
+    }
+
+    /// Record indices partitioned by category, each in time order.
+    pub fn category_indices(&self) -> &BTreeMap<Category, Vec<u32>> {
+        &self.category_indices
+    }
+
+    /// Number of failures in one category.
+    pub fn category_count(&self, category: Category) -> usize {
+        self.category_indices.get(&category).map_or(0, Vec::len)
+    }
+
+    /// The failure times of one category, in time order.
+    pub fn category_times(&self, category: Category) -> Vec<f64> {
+        self.category_indices
+            .get(&category)
+            .map_or_else(Vec::new, |idx| {
+                idx.iter().map(|&i| self.times[i as usize]).collect()
+            })
+    }
+
+    /// The repair durations of one category, in time order.
+    pub fn category_ttrs(&self, category: Category) -> Vec<f64> {
+        self.category_indices
+            .get(&category)
+            .map_or_else(Vec::new, |idx| {
+                idx.iter()
+                    .map(|&i| self.records[i as usize].ttr().get())
+                    .collect()
+            })
+    }
+
+    /// Software root-locus counts over records that carry one.
+    pub fn locus_counts(&self) -> &BTreeMap<SoftwareLocus, usize> {
+        &self.locus_counts
+    }
+
+    /// Failure counts per node (only failing nodes appear).
+    pub fn node_counts(&self) -> &BTreeMap<NodeId, u64> {
+        &self.node_counts
+    }
+
+    /// GPU-failure involvements per slot, indexed by slot number.
+    pub fn slot_counts(&self) -> &[usize] {
+        &self.slot_counts
+    }
+
+    /// Failure counts per rack, indexed by rack number.
+    pub fn rack_counts(&self) -> &[usize] {
+        &self.rack_counts
+    }
+
+    /// Total per-GPU involvements (a failure touching 3 GPUs counts 3;
+    /// unknown involvement counts 1).
+    pub const fn gpu_involvements(&self) -> usize {
+        self.gpu_involvements
+    }
+
+    /// Arrival times of multi-GPU failures, in time order.
+    pub fn multi_gpu_times(&self) -> &[f64] {
+        &self.multi_gpu_times
+    }
+
+    /// Repair durations bucketed by the `(year, month)` of the failure,
+    /// aligned with `window.months()`.
+    pub fn month_ttrs(&self) -> &[Vec<f64>] {
+        &self.month_ttrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LogView;
+    use failsim::{Simulator, SystemModel};
+    use failtypes::Hours;
+
+    fn feed(log: &FailureLog) -> StreamView {
+        let mut sv = StreamView::for_log(log);
+        for rec in log.iter() {
+            sv.push(rec.clone()).unwrap();
+        }
+        sv
+    }
+
+    #[test]
+    fn matches_batch_view_on_every_index() {
+        for (model, seed) in [
+            (SystemModel::tsubame2(), 42),
+            (SystemModel::tsubame3(), 43),
+        ] {
+            let log = Simulator::new(model, seed).generate().unwrap();
+            let sv = feed(&log);
+            let bv = LogView::new(&log);
+            assert_eq!(sv.len(), bv.len());
+            assert_eq!(sv.times(), bv.times());
+            assert_eq!(sv.ttrs_sorted(), bv.ttrs_sorted());
+            assert_eq!(sv.recoveries(), bv.recoveries());
+            assert_eq!(sv.recoveries_sorted(), bv.recoveries_sorted());
+            assert_eq!(sv.category_indices(), bv.category_indices());
+            assert_eq!(sv.locus_counts(), bv.locus_counts());
+            assert_eq!(sv.node_counts(), bv.node_counts());
+            assert_eq!(sv.slot_counts(), bv.slot_counts());
+            assert_eq!(sv.rack_counts(), bv.rack_counts());
+            assert_eq!(sv.gpu_involvements(), bv.gpu_involvements());
+            assert_eq!(sv.multi_gpu_times(), bv.multi_gpu_times());
+            assert_eq!(sv.month_ttrs(), bv.month_ttrs());
+        }
+    }
+
+    #[test]
+    fn snapshot_log_equals_source_log() {
+        let log = Simulator::new(SystemModel::tsubame3(), 7).generate().unwrap();
+        let sv = feed(&log);
+        assert_eq!(sv.to_log(), log);
+    }
+
+    #[test]
+    fn rejects_out_of_order_and_invalid_records() {
+        let log = Simulator::new(SystemModel::tsubame3(), 7).generate().unwrap();
+        let mut sv = StreamView::for_log(&log);
+        sv.push(log.records()[5].clone()).unwrap();
+        let err = sv.push(log.records()[0].clone()).unwrap_err();
+        assert!(matches!(err, StreamViewError::OutOfOrder { .. }), "{err}");
+        assert_eq!(sv.len(), 1, "view unchanged on error");
+
+        let mut bad = log.records()[6].clone();
+        bad = FailureRecord::new(
+            bad.id(),
+            Hours::new(-1.0),
+            bad.ttr(),
+            bad.category(),
+            bad.node(),
+        );
+        let err = sv.push(bad).unwrap_err();
+        assert!(matches!(err, StreamViewError::Invalid(_)), "{err}");
+        assert!(err.source().is_some());
+        assert_eq!(sv.len(), 1);
+    }
+
+    #[test]
+    fn equal_times_are_accepted() {
+        let log = Simulator::new(SystemModel::tsubame3(), 7).generate().unwrap();
+        let mut sv = StreamView::for_log(&log);
+        let rec = log.records()[0].clone();
+        sv.push(rec.clone()).unwrap();
+        let dup = FailureRecord::new(
+            rec.id() + 1,
+            rec.time(),
+            rec.ttr(),
+            rec.category(),
+            rec.node(),
+        );
+        sv.push(dup).unwrap();
+        assert_eq!(sv.len(), 2);
+    }
+}

@@ -113,73 +113,14 @@ pub fn to_string(log: &FailureLog) -> Result<String, WriteLogError> {
 pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
     let mut lines = r.lines().enumerate();
 
-    let (_, magic) = next_line(&mut lines)?;
-    if magic.trim() != MAGIC {
-        return Err(ParseLogError::Header(format!(
-            "expected `{MAGIC}`, found `{}`",
-            magic.trim()
-        )));
-    }
-
-    let mut generation: Option<Generation> = None;
-    let mut name: Option<String> = None;
-    let mut nodes: Option<u32> = None;
-    let mut gpus: Option<u8> = None;
-    let mut window: Option<ObservationWindow> = None;
-
-    // Header block: `# key: value` lines until the column row.
-    let header_end;
+    let mut header = HeaderParser::new();
     loop {
         let (lineno, line) = next_line(&mut lines)?;
-        let line = line.trim().to_string();
-        if line == COLUMNS {
-            header_end = lineno;
+        if header.feed(lineno, &line)? {
             break;
         }
-        let Some(rest) = line.strip_prefix("# ") else {
-            return Err(ParseLogError::Header(format!(
-                "unexpected line {} before column header: `{line}`",
-                lineno + 1
-            )));
-        };
-        let Some((key, value)) = rest.split_once(": ") else {
-            return Err(ParseLogError::Header(format!("malformed field `{rest}`")));
-        };
-        match key {
-            "generation" => {
-                generation = Some(match value {
-                    "Tsubame-2" => Generation::Tsubame2,
-                    "Tsubame-3" => Generation::Tsubame3,
-                    other => {
-                        return Err(ParseLogError::Header(format!(
-                            "unknown generation `{other}`"
-                        )))
-                    }
-                });
-            }
-            "name" => name = Some(value.to_string()),
-            "nodes" => {
-                nodes = Some(value.parse().map_err(|_| {
-                    ParseLogError::Header(format!("invalid node count `{value}`"))
-                })?)
-            }
-            "gpus-per-node" => {
-                gpus = Some(value.parse().map_err(|_| {
-                    ParseLogError::Header(format!("invalid GPU count `{value}`"))
-                })?)
-            }
-            "window" => window = Some(parse_window(value)?),
-            other => {
-                return Err(ParseLogError::Header(format!("unknown field `{other}`")));
-            }
-        }
     }
-    let _ = header_end;
-
-    let generation =
-        generation.ok_or_else(|| ParseLogError::Header("missing `generation`".into()))?;
-    let window = window.ok_or_else(|| ParseLogError::Header("missing `window`".into()))?;
-    let spec = rebuild_spec(generation, name, nodes, gpus)?;
+    let (generation, spec, window) = header.finish()?;
 
     let mut records = Vec::new();
     for (lineno, line) in lines {
@@ -188,7 +129,10 @@ pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
         if line.is_empty() {
             continue;
         }
-        records.push(parse_row(lineno + 1, line, generation)?);
+        let rec = parse_row(lineno + 1, line, generation)?;
+        rec.validate(generation, &spec, window)
+            .map_err(|e| ParseLogError::invalid_row(lineno + 1, e))?;
+        records.push(rec);
     }
     Ok(FailureLog::with_spec(generation, spec, window, records)?)
 }
@@ -208,6 +152,101 @@ fn next_line<R: BufRead>(lines: &mut Lines<'_, R>) -> Result<(usize, String), Pa
     match lines.next() {
         Some((i, line)) => Ok((i, line?)),
         None => Err(ParseLogError::Header("unexpected end of file".into())),
+    }
+}
+
+/// Incremental parser for the `failscope-log v1` header block, shared by
+/// the batch reader and the streaming tailer: feed raw lines until it
+/// reports completion, then [`HeaderParser::finish`] yields the metadata.
+pub(crate) struct HeaderParser {
+    saw_magic: bool,
+    generation: Option<Generation>,
+    name: Option<String>,
+    nodes: Option<u32>,
+    gpus: Option<u8>,
+    window: Option<ObservationWindow>,
+}
+
+impl HeaderParser {
+    pub(crate) fn new() -> Self {
+        HeaderParser {
+            saw_magic: false,
+            generation: None,
+            name: None,
+            nodes: None,
+            gpus: None,
+            window: None,
+        }
+    }
+
+    /// Consumes one raw line (`lineno` is 0-based). Returns `Ok(true)`
+    /// once the column row has been consumed and the header is complete.
+    pub(crate) fn feed(&mut self, lineno: usize, raw: &str) -> Result<bool, ParseLogError> {
+        let line = raw.trim();
+        if !self.saw_magic {
+            if line != MAGIC {
+                return Err(ParseLogError::Header(format!(
+                    "expected `{MAGIC}`, found `{line}`"
+                )));
+            }
+            self.saw_magic = true;
+            return Ok(false);
+        }
+        if line == COLUMNS {
+            return Ok(true);
+        }
+        let Some(rest) = line.strip_prefix("# ") else {
+            return Err(ParseLogError::Header(format!(
+                "unexpected line {} before column header: `{line}`",
+                lineno + 1
+            )));
+        };
+        let Some((key, value)) = rest.split_once(": ") else {
+            return Err(ParseLogError::Header(format!("malformed field `{rest}`")));
+        };
+        match key {
+            "generation" => {
+                self.generation = Some(match value {
+                    "Tsubame-2" => Generation::Tsubame2,
+                    "Tsubame-3" => Generation::Tsubame3,
+                    other => {
+                        return Err(ParseLogError::Header(format!(
+                            "unknown generation `{other}`"
+                        )))
+                    }
+                });
+            }
+            "name" => self.name = Some(value.to_string()),
+            "nodes" => {
+                self.nodes = Some(value.parse().map_err(|_| {
+                    ParseLogError::Header(format!("invalid node count `{value}`"))
+                })?)
+            }
+            "gpus-per-node" => {
+                self.gpus = Some(value.parse().map_err(|_| {
+                    ParseLogError::Header(format!("invalid GPU count `{value}`"))
+                })?)
+            }
+            "window" => self.window = Some(parse_window(value)?),
+            other => {
+                return Err(ParseLogError::Header(format!("unknown field `{other}`")));
+            }
+        }
+        Ok(false)
+    }
+
+    /// Finalizes the header into `(generation, spec, window)`.
+    pub(crate) fn finish(
+        self,
+    ) -> Result<(Generation, SystemSpec, ObservationWindow), ParseLogError> {
+        let generation = self
+            .generation
+            .ok_or_else(|| ParseLogError::Header("missing `generation`".into()))?;
+        let window = self
+            .window
+            .ok_or_else(|| ParseLogError::Header("missing `window`".into()))?;
+        let spec = rebuild_spec(generation, self.name, self.nodes, self.gpus)?;
+        Ok((generation, spec, window))
     }
 }
 
@@ -253,7 +292,7 @@ fn rebuild_spec(
         .map_err(|e| ParseLogError::Header(e.to_string()))
 }
 
-fn parse_row(
+pub(crate) fn parse_row(
     lineno: usize,
     line: &str,
     generation: Generation,
@@ -265,20 +304,20 @@ fn parse_row(
             format!("expected 7 fields, found {}", fields.len()),
         ));
     }
-    let id: u32 = fields[0]
-        .parse()
-        .map_err(|_| ParseLogError::row(lineno, format!("invalid id `{}`", fields[0])))?;
-    let time: f64 = fields[1]
-        .parse()
-        .map_err(|_| ParseLogError::row(lineno, format!("invalid time `{}`", fields[1])))?;
-    let ttr: f64 = fields[2]
-        .parse()
-        .map_err(|_| ParseLogError::row(lineno, format!("invalid ttr `{}`", fields[2])))?;
+    let id: u32 = fields[0].parse().map_err(|_| {
+        ParseLogError::row_field(lineno, "id", format!("invalid id `{}`", fields[0]))
+    })?;
+    let time: f64 = fields[1].parse().map_err(|_| {
+        ParseLogError::row_field(lineno, "time_h", format!("invalid time `{}`", fields[1]))
+    })?;
+    let ttr: f64 = fields[2].parse().map_err(|_| {
+        ParseLogError::row_field(lineno, "ttr_h", format!("invalid ttr `{}`", fields[2]))
+    })?;
     let category = parse_category(fields[3], generation)
-        .map_err(|msg| ParseLogError::row(lineno, msg))?;
-    let node: u32 = fields[4]
-        .parse()
-        .map_err(|_| ParseLogError::row(lineno, format!("invalid node `{}`", fields[4])))?;
+        .map_err(|msg| ParseLogError::row_field(lineno, "category", msg))?;
+    let node: u32 = fields[4].parse().map_err(|_| {
+        ParseLogError::row_field(lineno, "node", format!("invalid node `{}`", fields[4]))
+    })?;
 
     let mut rec = FailureRecord::new(
         id,
@@ -291,7 +330,7 @@ fn parse_row(
         let mut slots = Vec::new();
         for part in fields[5].split('|') {
             let idx: u8 = part.parse().map_err(|_| {
-                ParseLogError::row(lineno, format!("invalid GPU slot `{part}`"))
+                ParseLogError::row_field(lineno, "gpus", format!("invalid GPU slot `{part}`"))
             })?;
             slots.push(GpuSlot::new(idx));
         }
@@ -299,13 +338,13 @@ fn parse_row(
     }
     if !fields[6].is_empty() {
         let locus = SoftwareLocus::from_str(fields[6])
-            .map_err(|e| ParseLogError::row(lineno, e.to_string()))?;
+            .map_err(|e| ParseLogError::row_field(lineno, "locus", e.to_string()))?;
         rec = rec.with_locus(locus);
     }
     Ok(rec)
 }
 
-fn parse_category(label: &str, generation: Generation) -> Result<Category, String> {
+pub(crate) fn parse_category(label: &str, generation: Generation) -> Result<Category, String> {
     match generation {
         Generation::Tsubame2 => label
             .parse::<T2Category>()
@@ -420,16 +459,32 @@ mod tests {
     }
 
     #[test]
-    fn rejects_invariant_violations() {
+    fn rejects_invariant_violations_with_line_numbers() {
         let header = format!(
             "{MAGIC}\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n"
         );
-        // Node out of range.
+        // Node out of range; the header occupies lines 1-4, so the bad
+        // row is line 5.
         let err = from_str(&format!("{header}0,1.0,1.0,GPU,99999,,\n")).unwrap_err();
-        assert!(matches!(err, ParseLogError::Invalid(_)), "{err}");
-        // Negative time.
-        let err = from_str(&format!("{header}0,-5.0,1.0,GPU,0,,\n")).unwrap_err();
-        assert!(matches!(err, ParseLogError::Invalid(_)));
+        assert!(matches!(err, ParseLogError::InvalidRow { line: 5, .. }), "{err}");
+        assert!(err.to_string().contains("line 5"), "{err}");
+        // Negative time, after one good row: line 6.
+        let err =
+            from_str(&format!("{header}0,1.0,1.0,GPU,0,,\n1,-5.0,1.0,GPU,0,,\n")).unwrap_err();
+        assert_eq!(err.line(), Some(6));
+    }
+
+    #[test]
+    fn row_errors_name_the_offending_field() {
+        let header = format!(
+            "{MAGIC}\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\n{COLUMNS}\n"
+        );
+        let err = from_str(&format!("{header}0,1.0,zz,GPU,0,,\n")).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("`ttr_h`"), "{text}");
+        assert!(text.contains("line 5"), "{text}");
+        let err = from_str(&format!("{header}0,1.0,1.0,FAN,0,,\n")).unwrap_err();
+        assert!(err.to_string().contains("`category`"), "{err}");
     }
 
     #[test]

@@ -10,15 +10,27 @@ pub enum ParseLogError {
     Io(std::io::Error),
     /// The header is missing or malformed.
     Header(String),
-    /// A data row is malformed; carries the 1-based line number and a
-    /// description.
+    /// A data row is malformed; carries the 1-based line number, the
+    /// offending column when known, and a description.
     Row {
         /// 1-based line number in the input.
         line: usize,
+        /// Column name of the offending field, when attributable to one.
+        field: Option<&'static str>,
         /// What was wrong.
         message: String,
     },
-    /// The rows parsed but violate a log invariant.
+    /// A row parsed but its record violates an invariant (node out of
+    /// range, time outside the window, ...); carries the 1-based line
+    /// number so the operator can find the row.
+    InvalidRow {
+        /// 1-based line number in the input.
+        line: usize,
+        /// The violated invariant.
+        error: failtypes::InvalidRecordError,
+    },
+    /// The rows parsed individually but the assembled log violates an
+    /// invariant (e.g. duplicate record ids).
     Invalid(failtypes::InvalidRecordError),
 }
 
@@ -26,7 +38,29 @@ impl ParseLogError {
     pub(crate) fn row(line: usize, message: impl Into<String>) -> Self {
         ParseLogError::Row {
             line,
+            field: None,
             message: message.into(),
+        }
+    }
+
+    pub(crate) fn row_field(line: usize, field: &'static str, message: impl Into<String>) -> Self {
+        ParseLogError::Row {
+            line,
+            field: Some(field),
+            message: message.into(),
+        }
+    }
+
+    pub(crate) fn invalid_row(line: usize, error: failtypes::InvalidRecordError) -> Self {
+        ParseLogError::InvalidRow { line, error }
+    }
+
+    /// The 1-based line number the error points at, when it is
+    /// attributable to a specific row.
+    pub fn line(&self) -> Option<usize> {
+        match self {
+            ParseLogError::Row { line, .. } | ParseLogError::InvalidRow { line, .. } => Some(*line),
+            _ => None,
         }
     }
 }
@@ -36,8 +70,18 @@ impl fmt::Display for ParseLogError {
         match self {
             ParseLogError::Io(e) => write!(f, "i/o error while reading log: {e}"),
             ParseLogError::Header(msg) => write!(f, "malformed log header: {msg}"),
-            ParseLogError::Row { line, message } => {
-                write!(f, "malformed log row at line {line}: {message}")
+            ParseLogError::Row {
+                line,
+                field: Some(field),
+                message,
+            } => write!(f, "malformed log row at line {line}, field `{field}`: {message}"),
+            ParseLogError::Row {
+                line,
+                field: None,
+                message,
+            } => write!(f, "malformed log row at line {line}: {message}"),
+            ParseLogError::InvalidRow { line, error } => {
+                write!(f, "invalid record at line {line}: {error}")
             }
             ParseLogError::Invalid(e) => write!(f, "log violates an invariant: {e}"),
         }
@@ -49,6 +93,7 @@ impl Error for ParseLogError {
         match self {
             ParseLogError::Io(e) => Some(e),
             ParseLogError::Invalid(e) => Some(e),
+            ParseLogError::InvalidRow { error, .. } => Some(error),
             _ => None,
         }
     }
@@ -105,6 +150,12 @@ mod tests {
         assert!(e.to_string().contains("no version"));
         let e = ParseLogError::row(7, "bad field");
         assert!(e.to_string().contains("line 7"));
+        assert_eq!(e.line(), Some(7));
+        let e = ParseLogError::row_field(9, "ttr_h", "not a number");
+        let text = e.to_string();
+        assert!(text.contains("line 9"), "{text}");
+        assert!(text.contains("`ttr_h`"), "{text}");
+        assert!(ParseLogError::Header("x".into()).line().is_none());
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         assert!(ParseLogError::from(io).to_string().contains("gone"));
         let io = std::io::Error::other("disk full");
@@ -117,5 +168,13 @@ mod tests {
         let e = ParseLogError::from(io);
         assert!(e.source().is_some());
         assert!(ParseLogError::Header("x".into()).source().is_none());
+    }
+
+    #[test]
+    fn invalid_row_keeps_line_and_source() {
+        let e = ParseLogError::invalid_row(12, failtypes::InvalidRecordError::CategorySystemMismatch);
+        assert_eq!(e.line(), Some(12));
+        assert!(e.to_string().contains("line 12"));
+        assert!(e.source().is_some());
     }
 }

@@ -9,6 +9,10 @@
 //! this shape for business-sensitivity reasons — and quick summaries
 //! ([`summarize`]).
 //!
+//! For live monitoring, [`LogTailer`] reads the same format (plus NDJSON
+//! body rows) incrementally with follow-mode polling, and [`TimeRange`] /
+//! [`clip`] filter logs to a `--since`/`--until` span.
+//!
 //! # Examples
 //!
 //! ```
@@ -30,10 +34,14 @@
 mod csv;
 mod error;
 mod ops;
+mod stream;
 
 pub use csv::{from_str, read_log, to_string, write_log};
 pub use error::{ParseLogError, WriteLogError};
-pub use ops::{anonymize_nodes, load, save, summarize, LogSummary};
+pub use ops::{
+    anonymize_nodes, clip, load, parse_time_bound, save, summarize, LogSummary, TimeRange,
+};
+pub use stream::{parse_ndjson_row, record_to_ndjson, LogTailer};
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,614 @@
+//! Incremental log ingestion: a polling tailer and NDJSON row codec.
+//!
+//! [`LogTailer`] reads a `failscope-log v1` stream record by record
+//! instead of all at once, which is what a live monitor needs: the
+//! header is parsed eagerly, then each call to
+//! [`LogTailer::next_record`] hands out the next *complete* line as a
+//! validated [`FailureRecord`] — or `None` when the reader is currently
+//! exhausted, so a follow-mode caller can sleep and poll again while the
+//! file grows. Partial trailing lines (a writer mid-`write`) are
+//! buffered, never parsed, until their newline arrives;
+//! [`LogTailer::flush_partial`] force-parses the remainder once the
+//! stream is known to be finished.
+//!
+//! Body rows may be CSV (the format's native rows) or one-line JSON
+//! objects, auto-detected per line, so `failctl watch` can ingest the
+//! NDJSON event streams that fleet telemetry pipelines emit:
+//!
+//! ```text
+//! {"id":0,"time_h":10.5,"ttr_h":4.25,"category":"GPU","node":12,"gpus":[0,3],"locus":null}
+//! ```
+
+use std::fmt;
+use std::fs::File;
+use std::io::{BufRead, BufReader};
+use std::path::Path;
+use std::str::FromStr;
+
+use failtypes::{
+    FailureRecord, Generation, GpuSlot, Hours, NodeId, ObservationWindow, SoftwareLocus,
+    SystemSpec,
+};
+
+use crate::csv::{parse_category, parse_row, HeaderParser};
+use crate::error::ParseLogError;
+
+/// Serializes one record as a one-line JSON object (no trailing
+/// newline), the inverse of the tailer's NDJSON row parser.
+///
+/// Category and locus labels come from fixed vocabularies that contain
+/// no characters needing JSON escapes, so the output is plain `format!`.
+pub fn record_to_ndjson(rec: &FailureRecord) -> String {
+    let gpus = rec
+        .gpus()
+        .iter()
+        .map(|s| s.index().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let locus = match rec.locus() {
+        Some(l) => format!("\"{}\"", l.label()),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"id\":{},\"time_h\":{},\"ttr_h\":{},\"category\":\"{}\",\"node\":{},\"gpus\":[{gpus}],\"locus\":{locus}}}",
+        rec.id(),
+        rec.time().get(),
+        rec.ttr().get(),
+        rec.category().label(),
+        rec.node().index(),
+    )
+}
+
+/// Parses one NDJSON row (see the module docs for the shape).
+///
+/// `gpus` and `locus` are optional; every other key is required, and
+/// unknown keys are rejected so schema drift surfaces immediately.
+pub fn parse_ndjson_row(
+    lineno: usize,
+    line: &str,
+    generation: Generation,
+) -> Result<FailureRecord, ParseLogError> {
+    let mut c = JsonCursor::new(lineno, line);
+    c.skip_ws();
+    c.expect(b'{')?;
+    let mut id: Option<u32> = None;
+    let mut time: Option<f64> = None;
+    let mut ttr: Option<f64> = None;
+    let mut category = None;
+    let mut node: Option<u32> = None;
+    let mut gpus: Vec<GpuSlot> = Vec::new();
+    let mut locus: Option<SoftwareLocus> = None;
+
+    c.skip_ws();
+    if !c.eat(b'}') {
+        loop {
+            c.skip_ws();
+            let key = c.string("key")?;
+            c.skip_ws();
+            c.expect(b':')?;
+            c.skip_ws();
+            match key.as_str() {
+                "id" => id = Some(c.integer("id")?),
+                "time_h" => time = Some(c.number("time_h")?),
+                "ttr_h" => ttr = Some(c.number("ttr_h")?),
+                "category" => {
+                    let label = c.string("category")?;
+                    category = Some(
+                        parse_category(&label, generation)
+                            .map_err(|msg| ParseLogError::row_field(lineno, "category", msg))?,
+                    );
+                }
+                "node" => node = Some(c.integer("node")?),
+                "gpus" => {
+                    c.expect(b'[')?;
+                    c.skip_ws();
+                    if !c.eat(b']') {
+                        loop {
+                            c.skip_ws();
+                            let idx: u32 = c.integer("gpus")?;
+                            let idx = u8::try_from(idx).map_err(|_| {
+                                ParseLogError::row_field(
+                                    lineno,
+                                    "gpus",
+                                    format!("GPU slot `{idx}` out of range"),
+                                )
+                            })?;
+                            gpus.push(GpuSlot::new(idx));
+                            c.skip_ws();
+                            if c.eat(b']') {
+                                break;
+                            }
+                            c.expect(b',')?;
+                        }
+                    }
+                }
+                "locus" => {
+                    if c.eat_keyword("null") {
+                        locus = None;
+                    } else {
+                        let label = c.string("locus")?;
+                        locus = Some(SoftwareLocus::from_str(&label).map_err(|e| {
+                            ParseLogError::row_field(lineno, "locus", e.to_string())
+                        })?);
+                    }
+                }
+                other => {
+                    return Err(ParseLogError::row(lineno, format!("unknown key `{other}`")));
+                }
+            }
+            c.skip_ws();
+            if c.eat(b'}') {
+                break;
+            }
+            c.expect(b',')?;
+        }
+    }
+    c.skip_ws();
+    if !c.at_end() {
+        return Err(ParseLogError::row(lineno, "trailing content after object"));
+    }
+
+    let missing = |field| ParseLogError::row_field(lineno, field, "missing required key");
+    let mut rec = FailureRecord::new(
+        id.ok_or_else(|| missing("id"))?,
+        Hours::new(time.ok_or_else(|| missing("time_h"))?),
+        Hours::new(ttr.ok_or_else(|| missing("ttr_h"))?),
+        category.ok_or_else(|| missing("category"))?,
+        NodeId::new(node.ok_or_else(|| missing("node"))?),
+    );
+    if !gpus.is_empty() {
+        rec = rec.with_gpus(gpus);
+    }
+    if let Some(l) = locus {
+        rec = rec.with_locus(l);
+    }
+    Ok(rec)
+}
+
+/// A minimal cursor over one line of flat JSON — just enough for the
+/// NDJSON row shape (strings without escapes, numbers, `null`, arrays
+/// of integers). The fixed label vocabularies guarantee no escapes.
+struct JsonCursor<'a> {
+    lineno: usize,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonCursor<'a> {
+    fn new(lineno: usize, line: &'a str) -> Self {
+        JsonCursor {
+            lineno,
+            bytes: line.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseLogError {
+        ParseLogError::row(self.lineno, message)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseLogError> {
+        if self.eat(b) {
+            Ok(())
+        } else {
+            Err(self.err(format!(
+                "expected `{}` at byte {}",
+                char::from(b),
+                self.pos
+            )))
+        }
+    }
+
+    fn string(&mut self, field: &'static str) -> Result<String, ParseLogError> {
+        if !self.eat(b'"') {
+            return Err(ParseLogError::row_field(self.lineno, field, "expected a string"));
+        }
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("slice of a str on char boundaries");
+                self.pos += 1;
+                if s.contains('\\') {
+                    return Err(ParseLogError::row_field(
+                        self.lineno,
+                        field,
+                        "escapes are not supported in labels",
+                    ));
+                }
+                return Ok(s.to_string());
+            }
+            self.pos += 1;
+        }
+        Err(ParseLogError::row_field(self.lineno, field, "unterminated string"))
+    }
+
+    fn number_slice(&mut self) -> &'a str {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice")
+    }
+
+    fn number(&mut self, field: &'static str) -> Result<f64, ParseLogError> {
+        let s = self.number_slice();
+        s.parse().map_err(|_| {
+            ParseLogError::row_field(self.lineno, field, format!("invalid number `{s}`"))
+        })
+    }
+
+    fn integer(&mut self, field: &'static str) -> Result<u32, ParseLogError> {
+        let s = self.number_slice();
+        s.parse().map_err(|_| {
+            ParseLogError::row_field(self.lineno, field, format!("invalid integer `{s}`"))
+        })
+    }
+}
+
+/// Incremental, poll-friendly reader for a `failscope-log v1` stream.
+///
+/// Construction parses the header (which must be complete); thereafter
+/// [`next_record`](LogTailer::next_record) yields one validated record
+/// per complete body line, `Ok(None)` when the underlying reader has no
+/// more data *right now*. On a plain file that means end-of-file; on a
+/// growing file the caller can poll again after a delay and the tailer
+/// picks up appended bytes, including the completion of a previously
+/// partial line.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 3).generate().unwrap();
+/// let text = faillog::to_string(&log)?;
+/// let mut tailer = faillog::LogTailer::new(text.as_bytes())?;
+/// let mut n = 0;
+/// while let Some(rec) = tailer.next_record()? {
+///     assert!(tailer.window().contains(rec.time()));
+///     n += 1;
+/// }
+/// assert_eq!(n, log.len());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct LogTailer<R> {
+    reader: R,
+    partial: String,
+    lines_consumed: usize,
+    generation: Generation,
+    spec: SystemSpec,
+    window: ObservationWindow,
+}
+
+impl LogTailer<BufReader<File>> {
+    /// Opens a log file for tailing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogError`] if the file cannot be opened or its
+    /// header is incomplete or malformed.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ParseLogError> {
+        let file = File::open(path)?;
+        LogTailer::new(BufReader::new(file))
+    }
+}
+
+impl<R: BufRead> LogTailer<R> {
+    /// Wraps a reader, eagerly parsing the header block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogError::Header`] if the stream ends before the
+    /// column row — a tailed file must have a complete header before
+    /// watching starts.
+    pub fn new(mut reader: R) -> Result<Self, ParseLogError> {
+        let mut header = HeaderParser::new();
+        let mut lines_consumed = 0;
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if reader.read_line(&mut buf)? == 0 {
+                return Err(ParseLogError::Header("unexpected end of file".into()));
+            }
+            let done = header.feed(lines_consumed, &buf)?;
+            lines_consumed += 1;
+            if done {
+                break;
+            }
+        }
+        let (generation, spec, window) = header.finish()?;
+        Ok(LogTailer {
+            reader,
+            partial: String::new(),
+            lines_consumed,
+            generation,
+            spec,
+            window,
+        })
+    }
+
+    /// The generation declared by the header.
+    pub fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    /// The system spec declared by the header.
+    pub fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    /// The observation window declared by the header.
+    pub fn window(&self) -> ObservationWindow {
+        self.window
+    }
+
+    /// 1-based number of the last fully consumed line.
+    pub fn line(&self) -> usize {
+        self.lines_consumed
+    }
+
+    /// Pulls the next complete, validated record.
+    ///
+    /// Returns `Ok(None)` when no newline-terminated line is currently
+    /// available; any partial tail stays buffered for the next poll.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseLogError`] for I/O failures, malformed rows
+    /// (with line number and field), and records violating invariants
+    /// (with line number).
+    pub fn next_record(&mut self) -> Result<Option<FailureRecord>, ParseLogError> {
+        loop {
+            if !self.partial.ends_with('\n') {
+                if self.reader.read_line(&mut self.partial)? == 0 {
+                    return Ok(None);
+                }
+                continue;
+            }
+            self.lines_consumed += 1;
+            let line = self.partial.trim().to_string();
+            self.partial.clear();
+            if line.is_empty() {
+                continue;
+            }
+            return self.parse_and_validate(&line).map(Some);
+        }
+    }
+
+    /// Parses a buffered final line that never got its newline — call
+    /// once the stream is known to be complete (non-follow ingestion).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`next_record`](LogTailer::next_record).
+    pub fn flush_partial(&mut self) -> Result<Option<FailureRecord>, ParseLogError> {
+        let line = self.partial.trim().to_string();
+        self.partial.clear();
+        if line.is_empty() {
+            return Ok(None);
+        }
+        self.lines_consumed += 1;
+        self.parse_and_validate(&line).map(Some)
+    }
+
+    fn parse_and_validate(&self, line: &str) -> Result<FailureRecord, ParseLogError> {
+        let lineno = self.lines_consumed;
+        let rec = if line.starts_with('{') {
+            parse_ndjson_row(lineno, line, self.generation)?
+        } else {
+            parse_row(lineno, line, self.generation)?
+        };
+        rec.validate(self.generation, &self.spec, self.window)
+            .map_err(|e| ParseLogError::invalid_row(lineno, e))?;
+        Ok(rec)
+    }
+}
+
+impl<R> fmt::Debug for LogTailer<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LogTailer")
+            .field("generation", &self.generation)
+            .field("lines_consumed", &self.lines_consumed)
+            .field("partial_bytes", &self.partial.len())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failsim::{Simulator, SystemModel};
+    use std::io::Write;
+
+    fn t3_log() -> failtypes::FailureLog {
+        Simulator::new(SystemModel::tsubame3(), 31).generate().unwrap()
+    }
+
+    #[test]
+    fn tailer_reads_whole_log_identically() {
+        let log = t3_log();
+        let text = crate::to_string(&log).unwrap();
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        assert_eq!(tailer.generation(), log.generation());
+        assert_eq!(tailer.spec(), log.spec());
+        assert_eq!(tailer.window(), log.window());
+        let mut records = Vec::new();
+        while let Some(rec) = tailer.next_record().unwrap() {
+            records.push(rec);
+        }
+        assert!(tailer.flush_partial().unwrap().is_none());
+        assert_eq!(records.as_slice(), log.records());
+    }
+
+    #[test]
+    fn ndjson_roundtrip_every_record() {
+        let log = t3_log();
+        for (i, rec) in log.iter().enumerate() {
+            let line = record_to_ndjson(rec);
+            let parsed = parse_ndjson_row(i + 1, &line, log.generation()).unwrap();
+            assert_eq!(&parsed, rec, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn tailer_accepts_mixed_csv_and_ndjson_rows() {
+        let log = t3_log();
+        let mut text = String::new();
+        // Header from the canonical writer, then alternate row formats.
+        let full = crate::to_string(&log).unwrap();
+        for line in full.lines().take(7) {
+            text.push_str(line);
+            text.push('\n');
+        }
+        for (i, rec) in log.iter().take(10).enumerate() {
+            if i % 2 == 0 {
+                text.push_str(&record_to_ndjson(rec));
+                text.push('\n');
+            } else {
+                // Reuse the canonical CSV row from the writer output.
+                text.push_str(full.lines().nth(7 + i).unwrap());
+                text.push('\n');
+            }
+        }
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        let mut records = Vec::new();
+        while let Some(rec) = tailer.next_record().unwrap() {
+            records.push(rec);
+        }
+        assert_eq!(records.as_slice(), &log.records()[..10]);
+    }
+
+    #[test]
+    fn tailer_buffers_partial_lines_until_completed() {
+        let log = t3_log();
+        let full = crate::to_string(&log).unwrap();
+        let lines: Vec<&str> = full.lines().collect();
+        let dir = std::env::temp_dir().join("failscope-test-tail");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("grow.fslog");
+
+        // Header + one complete row + half of the next row.
+        let (head, tail) = lines[8].split_at(5);
+        let mut f = std::fs::File::create(&path).unwrap();
+        write!(f, "{}\n{}\n{head}", lines[..7].join("\n"), lines[7]).unwrap();
+        f.flush().unwrap();
+
+        let mut tailer = LogTailer::open(&path).unwrap();
+        assert_eq!(
+            tailer.next_record().unwrap().as_ref(),
+            Some(&log.records()[0])
+        );
+        // The half row must NOT be parsed yet.
+        assert!(tailer.next_record().unwrap().is_none());
+        assert!(tailer.next_record().unwrap().is_none());
+
+        // Writer completes the row; the tailer picks it up on next poll.
+        writeln!(f, "{tail}").unwrap();
+        f.flush().unwrap();
+        assert_eq!(
+            tailer.next_record().unwrap().as_ref(),
+            Some(&log.records()[1])
+        );
+        assert!(tailer.next_record().unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn flush_partial_parses_unterminated_final_line() {
+        let log = t3_log();
+        let full = crate::to_string(&log).unwrap();
+        let text = full.trim_end(); // drop the final newline
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        let mut records = Vec::new();
+        while let Some(rec) = tailer.next_record().unwrap() {
+            records.push(rec);
+        }
+        assert_eq!(records.len(), log.len() - 1);
+        let last = tailer.flush_partial().unwrap().unwrap();
+        assert_eq!(&last, log.records().last().unwrap());
+    }
+
+    #[test]
+    fn tailer_rejects_incomplete_header() {
+        let err = LogTailer::new("# failscope-log v1\n# generation: Tsubame-3\n".as_bytes())
+            .unwrap_err();
+        assert!(matches!(err, ParseLogError::Header(_)), "{err}");
+    }
+
+    #[test]
+    fn tailer_reports_line_numbers_for_bad_rows() {
+        let text = "# failscope-log v1\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\nid,time_h,ttr_h,category,node,gpus,locus\n0,1.0,1.0,GPU,0,,\n1,nope,1.0,GPU,0,,\n";
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        assert!(tailer.next_record().unwrap().is_some());
+        let err = tailer.next_record().unwrap_err();
+        assert_eq!(err.line(), Some(6));
+        assert!(err.to_string().contains("`time_h`"), "{err}");
+    }
+
+    #[test]
+    fn ndjson_parser_rejects_malformed_lines() {
+        let generation = Generation::Tsubame3;
+        let bad = [
+            "{\"id\":0}",                                 // missing keys
+            "{\"id\":0,\"time_h\":1,\"ttr_h\":1,\"category\":\"GPU\",\"node\":0} x", // trailing
+            "{\"id\":0,\"color\":3}",                     // unknown key
+            "{\"id\":zz}",                                // bad number
+            "{\"id\":0,\"category\":\"FAN\"}",            // unknown category
+            "{\"id\":0,\"gpus\":[999]}",                  // slot out of u8
+            "not json",
+        ];
+        for line in bad {
+            let res = parse_ndjson_row(3, line, generation);
+            assert!(res.is_err(), "accepted: {line}");
+            if line != "not json" {
+                assert_eq!(res.unwrap_err().line(), Some(3));
+            }
+        }
+    }
+
+    #[test]
+    fn ndjson_minimal_record_parses() {
+        let rec = parse_ndjson_row(
+            1,
+            "{\"id\":7,\"time_h\":1.5,\"ttr_h\":0.5,\"category\":\"Memory\",\"node\":3}",
+            Generation::Tsubame3,
+        )
+        .unwrap();
+        assert_eq!(rec.id(), 7);
+        assert!(rec.gpus().is_empty());
+        assert!(rec.locus().is_none());
+    }
+}

@@ -45,9 +45,11 @@ pub mod calib;
 mod generator;
 mod model;
 mod multigpu;
+mod replay;
 mod spatial;
 
 pub use generator::Simulator;
+pub use replay::ReplayClock;
 pub use model::{
     CategoryMix, ClusteringMode, InvolvementModel, NodeSelection, ScenarioBuilder, SlotSkew,
     SystemModel, TbfModel, TtrModel,

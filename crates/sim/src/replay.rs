@@ -1,0 +1,130 @@
+//! A pacing clock for replaying simulated logs as live streams.
+//!
+//! A field log spans months of wall time; a monitor demo or test cannot.
+//! [`ReplayClock`] maps simulated hours onto wall-clock time at a
+//! configurable acceleration: `hours_per_second` simulated hours elapse
+//! per real second, and [`ReplayClock::unpaced`] removes pacing entirely
+//! (every sleep is zero) so the same replay loop drives both a
+//! real-time-scaled demo and a flat-out equivalence test.
+//!
+//! The clock is deliberately *not* an event source — `failwatch` decides
+//! what to emit; the clock only answers "how long until this simulated
+//! timestamp is due?", keyed off a start instant captured at
+//! construction so pacing drift does not accumulate across events.
+
+use std::time::{Duration, Instant};
+
+/// Maps simulated hours to wall-clock delays at a fixed acceleration.
+#[derive(Debug, Clone)]
+pub struct ReplayClock {
+    start: Instant,
+    /// Simulated hours per wall second; `None` disables pacing.
+    hours_per_second: Option<f64>,
+}
+
+impl ReplayClock {
+    /// A clock replaying `hours_per_second` simulated hours per real
+    /// second, anchored at the current instant. Values that are not
+    /// finite and positive disable pacing (same as [`unpaced`]).
+    ///
+    /// [`unpaced`]: ReplayClock::unpaced
+    pub fn new(hours_per_second: f64) -> Self {
+        let rate = (hours_per_second.is_finite() && hours_per_second > 0.0)
+            .then_some(hours_per_second);
+        ReplayClock {
+            start: Instant::now(),
+            hours_per_second: rate,
+        }
+    }
+
+    /// A clock that never waits: every simulated timestamp is already
+    /// due. This is the `--accel max` mode.
+    pub fn unpaced() -> Self {
+        ReplayClock {
+            start: Instant::now(),
+            hours_per_second: None,
+        }
+    }
+
+    /// Whether this clock paces at all.
+    pub fn is_paced(&self) -> bool {
+        self.hours_per_second.is_some()
+    }
+
+    /// How much longer to wait before the event at `sim_hours` is due;
+    /// zero when it is already due (or the clock is unpaced).
+    pub fn delay_until(&self, sim_hours: f64) -> Duration {
+        let Some(rate) = self.hours_per_second else {
+            return Duration::ZERO;
+        };
+        let due = Duration::from_secs_f64((sim_hours / rate).max(0.0));
+        due.saturating_sub(self.start.elapsed())
+    }
+
+    /// Sleeps until the event at `sim_hours` is due (no-op if already
+    /// due or unpaced).
+    pub fn sleep_until(&self, sim_hours: f64) {
+        let delay = self.delay_until(sim_hours);
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+    }
+
+    /// The simulated time corresponding to "now", in hours. Unpaced
+    /// clocks report `f64::INFINITY` (everything is due).
+    pub fn now_hours(&self) -> f64 {
+        match self.hours_per_second {
+            Some(rate) => self.start.elapsed().as_secs_f64() * rate,
+            None => f64::INFINITY,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpaced_never_waits() {
+        let clock = ReplayClock::unpaced();
+        assert!(!clock.is_paced());
+        assert_eq!(clock.delay_until(1.0e9), Duration::ZERO);
+        assert_eq!(clock.now_hours(), f64::INFINITY);
+    }
+
+    #[test]
+    fn degenerate_rates_disable_pacing() {
+        assert!(!ReplayClock::new(0.0).is_paced());
+        assert!(!ReplayClock::new(-3.0).is_paced());
+        assert!(!ReplayClock::new(f64::NAN).is_paced());
+        assert!(ReplayClock::new(100.0).is_paced());
+    }
+
+    #[test]
+    fn paced_delay_scales_with_rate() {
+        // 3600 sim-hours per second: 1 sim-hour is due after ~1 ms.
+        let clock = ReplayClock::new(3600.0);
+        let d = clock.delay_until(3600.0);
+        assert!(d <= Duration::from_secs(1));
+        assert!(clock.delay_until(0.0) == Duration::ZERO);
+        // A far-future event needs a long wait.
+        assert!(clock.delay_until(36_000.0) > Duration::from_secs(5));
+    }
+
+    #[test]
+    fn sleep_until_returns_promptly_for_due_events() {
+        let clock = ReplayClock::new(1.0e9);
+        let t0 = Instant::now();
+        clock.sleep_until(1.0);
+        assert!(t0.elapsed() < Duration::from_millis(100));
+    }
+
+    #[test]
+    fn now_advances_monotonically() {
+        let clock = ReplayClock::new(1000.0);
+        let a = clock.now_hours();
+        let b = clock.now_hours();
+        assert!(b >= a);
+        assert!(a >= 0.0);
+    }
+}

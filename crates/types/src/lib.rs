@@ -59,6 +59,7 @@ mod category;
 mod error;
 mod record;
 mod software;
+mod stream;
 mod system;
 mod time;
 
@@ -66,6 +67,7 @@ pub use category::{Category, ComponentClass, Domain, T2Category, T3Category};
 pub use error::{InvalidRecordError, InvalidSpecError, ParseCategoryError};
 pub use record::{FailureLog, FailureRecord};
 pub use software::SoftwareLocus;
+pub use stream::{Alert, AlertKind, AlertSeverity, StreamEvent};
 pub use system::{Generation, GpuSlot, NodeId, RackId, SystemSpec, SystemSpecBuilder};
 pub use time::{days_in_month, is_leap_year, Date, Hours, Month, ObservationWindow};
 

@@ -1,0 +1,365 @@
+//! Event sources feeding the watch loop.
+//!
+//! Two sources produce [`StreamEvent`]s behind one trait:
+//!
+//! * [`TailSource`] — a `failscope-log v1` file read incrementally via
+//!   [`faillog::LogTailer`] (CSV or NDJSON body rows); in follow mode
+//!   exhaustion yields [`StreamEvent::Idle`] so the caller can sleep
+//!   and poll again while the file grows, otherwise the final partial
+//!   line is flushed and the source ends with [`StreamEvent::Eof`].
+//! * [`SimSource`] — a calibrated `failsim` model replayed through a
+//!   [`failsim::ReplayClock`], paced (real-time-scaled) or unpaced
+//!   (`--accel max`). An optional MTTR injection multiplies the repair
+//!   durations of the tail of the replay, the canonical regression
+//!   scenario the acceptance tests alert on.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use faillog::{LogTailer, ParseLogError};
+use failscope::StreamViewError;
+use failsim::{ReplayClock, Simulator, SystemModel};
+use failtypes::{
+    FailureRecord, Generation, Hours, InvalidRecordError, ObservationWindow, StreamEvent,
+    SystemSpec,
+};
+
+/// Any failure inside the watch pipeline.
+#[derive(Debug)]
+pub enum WatchError {
+    /// The stream could not be parsed (includes I/O on the source).
+    Parse(ParseLogError),
+    /// A record was rejected by the online state.
+    View(StreamViewError),
+    /// The simulator rejected its own output (cannot happen for stock
+    /// models).
+    Sim(InvalidRecordError),
+    /// Writing watch output failed.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for WatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatchError::Parse(e) => write!(f, "stream parse error: {e}"),
+            WatchError::View(e) => write!(f, "stream state error: {e}"),
+            WatchError::Sim(e) => write!(f, "simulation error: {e}"),
+            WatchError::Io(e) => write!(f, "watch output error: {e}"),
+        }
+    }
+}
+
+impl Error for WatchError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WatchError::Parse(e) => Some(e),
+            WatchError::View(e) => Some(e),
+            WatchError::Sim(e) => Some(e),
+            WatchError::Io(e) => Some(e),
+        }
+    }
+}
+
+impl From<ParseLogError> for WatchError {
+    fn from(e: ParseLogError) -> Self {
+        WatchError::Parse(e)
+    }
+}
+
+impl From<StreamViewError> for WatchError {
+    fn from(e: StreamViewError) -> Self {
+        WatchError::View(e)
+    }
+}
+
+impl From<std::io::Error> for WatchError {
+    fn from(e: std::io::Error) -> Self {
+        WatchError::Io(e)
+    }
+}
+
+/// A producer of [`StreamEvent`]s plus the system metadata the online
+/// state needs up front.
+pub trait EventSource {
+    /// The system generation of the stream.
+    fn generation(&self) -> Generation;
+    /// The system spec of the stream.
+    fn spec(&self) -> &SystemSpec;
+    /// The observation window of the stream.
+    fn window(&self) -> ObservationWindow;
+    /// Pulls the next event. [`StreamEvent::Idle`] means "nothing right
+    /// now, poll again"; [`StreamEvent::Eof`] is terminal.
+    fn next_event(&mut self) -> Result<StreamEvent, WatchError>;
+    /// Human-readable description of the source for the watch banner.
+    fn describe(&self) -> String;
+}
+
+/// Tails a `failscope-log v1` file (see the module docs).
+#[derive(Debug)]
+pub struct TailSource {
+    tailer: LogTailer<BufReader<File>>,
+    path: String,
+    follow: bool,
+    done: bool,
+}
+
+impl TailSource {
+    /// Opens `path`, parsing the header eagerly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WatchError::Parse`] when the file cannot be opened or
+    /// its header is incomplete.
+    pub fn open(path: impl AsRef<Path>, follow: bool) -> Result<Self, WatchError> {
+        let display = path.as_ref().display().to_string();
+        let tailer = LogTailer::open(path)?;
+        Ok(TailSource {
+            tailer,
+            path: display,
+            follow,
+            done: false,
+        })
+    }
+}
+
+impl EventSource for TailSource {
+    fn generation(&self) -> Generation {
+        self.tailer.generation()
+    }
+
+    fn spec(&self) -> &SystemSpec {
+        self.tailer.spec()
+    }
+
+    fn window(&self) -> ObservationWindow {
+        self.tailer.window()
+    }
+
+    fn next_event(&mut self) -> Result<StreamEvent, WatchError> {
+        if self.done {
+            return Ok(StreamEvent::Eof);
+        }
+        match self.tailer.next_record()? {
+            Some(rec) => Ok(StreamEvent::Record(rec)),
+            None if self.follow => Ok(StreamEvent::Idle),
+            None => {
+                self.done = true;
+                match self.tailer.flush_partial()? {
+                    Some(rec) => Ok(StreamEvent::Record(rec)),
+                    None => Ok(StreamEvent::Eof),
+                }
+            }
+        }
+    }
+
+    fn describe(&self) -> String {
+        if self.follow {
+            format!("{} (follow)", self.path)
+        } else {
+            self.path.clone()
+        }
+    }
+}
+
+/// Replays a calibrated simulation as a stream (see the module docs).
+#[derive(Debug)]
+pub struct SimSource {
+    records: Vec<FailureRecord>,
+    pos: usize,
+    clock: ReplayClock,
+    generation: Generation,
+    spec: SystemSpec,
+    window: ObservationWindow,
+    name: String,
+}
+
+impl SimSource {
+    /// Simulates `model` with `seed` and prepares a replay paced by
+    /// `clock`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator validation failure (cannot happen for stock
+    /// models).
+    pub fn new(model: SystemModel, seed: u64, clock: ReplayClock) -> Result<Self, WatchError> {
+        let name = format!("sim:{} seed {seed}", model.spec.name());
+        let log = Simulator::new(model, seed)
+            .generate()
+            .map_err(WatchError::Sim)?;
+        Ok(SimSource {
+            records: log.records().to_vec(),
+            pos: 0,
+            clock,
+            generation: log.generation(),
+            spec: log.spec().clone(),
+            window: log.window(),
+            name,
+        })
+    }
+
+    /// Multiplies the repair durations of the replay tail (records from
+    /// `from_fraction` of the stream onward) by `factor` — the injected
+    /// MTTR-regression scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `factor` is finite and positive and
+    /// `from_fraction` is in `[0, 1]`.
+    pub fn with_mttr_injection(mut self, factor: f64, from_fraction: f64) -> Self {
+        assert!(factor.is_finite() && factor > 0.0, "bad factor {factor}");
+        assert!(
+            (0.0..=1.0).contains(&from_fraction),
+            "bad fraction {from_fraction}"
+        );
+        let start = (self.records.len() as f64 * from_fraction) as usize;
+        for rec in self.records.iter_mut().skip(start) {
+            let mut degraded = FailureRecord::new(
+                rec.id(),
+                rec.time(),
+                Hours::new(rec.ttr().get() * factor),
+                rec.category(),
+                rec.node(),
+            );
+            if !rec.gpus().is_empty() {
+                degraded = degraded.with_gpus(rec.gpus().iter().copied());
+            }
+            if let Some(l) = rec.locus() {
+                degraded = degraded.with_locus(l);
+            }
+            *rec = degraded;
+        }
+        self.name.push_str(&format!(
+            " (+mttr x{factor} from {:.0}%)",
+            from_fraction * 100.0
+        ));
+        self
+    }
+
+    /// Records remaining in the replay.
+    pub fn remaining(&self) -> usize {
+        self.records.len() - self.pos
+    }
+}
+
+impl EventSource for SimSource {
+    fn generation(&self) -> Generation {
+        self.generation
+    }
+
+    fn spec(&self) -> &SystemSpec {
+        &self.spec
+    }
+
+    fn window(&self) -> ObservationWindow {
+        self.window
+    }
+
+    fn next_event(&mut self) -> Result<StreamEvent, WatchError> {
+        let Some(rec) = self.records.get(self.pos) else {
+            return Ok(StreamEvent::Eof);
+        };
+        // Paced replay sleeps inline until the record is due; unpaced
+        // clocks return immediately.
+        self.clock.sleep_until(rec.time().get());
+        self.pos += 1;
+        Ok(StreamEvent::Record(rec.clone()))
+    }
+
+    fn describe(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(source: &mut dyn EventSource) -> Vec<FailureRecord> {
+        let mut out = Vec::new();
+        loop {
+            match source.next_event().unwrap() {
+                StreamEvent::Record(r) => out.push(r),
+                StreamEvent::Idle => panic!("unexpected idle"),
+                StreamEvent::Eof => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn sim_source_replays_the_exact_log() {
+        let log = Simulator::new(SystemModel::tsubame3(), 5).generate().unwrap();
+        let mut src =
+            SimSource::new(SystemModel::tsubame3(), 5, ReplayClock::unpaced()).unwrap();
+        assert_eq!(src.remaining(), log.len());
+        assert_eq!(src.spec(), log.spec());
+        let records = drain(&mut src);
+        assert_eq!(records.as_slice(), log.records());
+        // Eof is sticky.
+        assert_eq!(src.next_event().unwrap(), StreamEvent::Eof);
+    }
+
+    #[test]
+    fn mttr_injection_degrades_only_the_tail() {
+        let log = Simulator::new(SystemModel::tsubame3(), 5).generate().unwrap();
+        let mut src = SimSource::new(SystemModel::tsubame3(), 5, ReplayClock::unpaced())
+            .unwrap()
+            .with_mttr_injection(4.0, 0.5);
+        assert!(src.describe().contains("x4"));
+        let records = drain(&mut src);
+        let half = log.len() / 2;
+        for (a, b) in records.iter().zip(log.records()).take(half) {
+            assert_eq!(a, b);
+        }
+        for (a, b) in records.iter().zip(log.records()).skip(half) {
+            assert_eq!(a.ttr().get(), b.ttr().get() * 4.0);
+            assert_eq!(a.time(), b.time());
+            assert_eq!(a.gpus(), b.gpus());
+        }
+    }
+
+    #[test]
+    fn tail_source_reads_a_file_and_ends() {
+        let log = Simulator::new(SystemModel::tsubame2(), 6).generate().unwrap();
+        let dir = std::env::temp_dir().join("failscope-test-watch-ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.fslog");
+        faillog::save(&path, &log).unwrap();
+        let mut src = TailSource::open(&path, false).unwrap();
+        assert_eq!(src.generation(), log.generation());
+        let records = drain(&mut src);
+        assert_eq!(records.len(), log.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follow_mode_reports_idle_instead_of_eof() {
+        let log = Simulator::new(SystemModel::tsubame2(), 6).generate().unwrap();
+        let dir = std::env::temp_dir().join("failscope-test-watch-ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow.fslog");
+        faillog::save(&path, &log).unwrap();
+        let mut src = TailSource::open(&path, true).unwrap();
+        let mut records = 0;
+        loop {
+            match src.next_event().unwrap() {
+                StreamEvent::Record(_) => records += 1,
+                StreamEvent::Idle => break,
+                StreamEvent::Eof => panic!("follow mode must idle, not end"),
+            }
+        }
+        assert_eq!(records, log.len());
+        assert!(src.describe().contains("follow"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_parse_error() {
+        let err = TailSource::open("/definitely/not/here.fslog", false).unwrap_err();
+        assert!(matches!(err, WatchError::Parse(_)), "{err}");
+        assert!(err.source().is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! `failwatch` — streaming ingestion and online analytics over failure
+//! streams, with drift alerting against a calibrated baseline.
+//!
+//! The batch pipeline (`faillog` → `failscope`) answers questions about
+//! a *finished* log. This crate answers the operator's question: what
+//! does the failure behaviour of the machine look like *right now*, one
+//! record at a time, and when does it stop looking like the calibrated
+//! models of the source paper (Tsubame 2.5/3.0, DSN 2021)?
+//!
+//! The subsystem is built from four layers:
+//!
+//! * **Sources** ([`EventSource`]): a tailed `failscope-log v1` file
+//!   ([`TailSource`], optionally followed as it grows) or a calibrated
+//!   simulation replay ([`SimSource`]) paced by a
+//!   [`failsim::ReplayClock`] — real-time-scaled or fully accelerated.
+//! * **Online state** ([`WatchState`]): an incremental
+//!   [`failscope::StreamView`] index plus [`QuantileSketch`]es over
+//!   gaps/TTRs, trailing-window samples, and per-category [`Ewma`]s.
+//!   While the sketches are in exact mode every headline number is
+//!   **bit-identical** to the batch pipeline; past the exactness
+//!   capacity quantiles carry a small documented rank error.
+//! * **Drift detection** ([`DriftDetector`]): edge-triggered checks of
+//!   the live window against a [`Baseline`] (category-mix shift via
+//!   total-variation distance, MTTR regression corroborated by a
+//!   two-sample KS test, GPU-slot skew, multi-GPU bursts), emitting
+//!   structured [`failtypes::Alert`]s as NDJSON.
+//! * **The loop** ([`run`]): ties the three together behind
+//!   `failctl watch`, rendering summaries through
+//!   [`failstats::par_map_ordered`] so output is byte-identical at any
+//!   thread count.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+mod drift;
+mod estimators;
+mod ingest;
+mod sketch;
+mod state;
+mod watch;
+
+pub use drift::{Baseline, DriftConfig, DriftDetector};
+pub use estimators::{Ewma, RateWindow, WindowMean};
+pub use ingest::{EventSource, SimSource, TailSource, WatchError};
+pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
+pub use state::{StateConfig, WatchState};
+pub use watch::{render_summary, run, WatchConfig, WatchOutcome};

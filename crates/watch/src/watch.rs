@@ -1,0 +1,334 @@
+//! The watch loop: pull events from a source, feed the online state,
+//! stream alerts, and render periodic summaries.
+//!
+//! Output is line-oriented so it can be piped: alerts are NDJSON
+//! objects written the moment they fire, summaries are `#`-prefixed
+//! text blocks refreshed every `refresh_every` records (and once at end
+//! of stream). The summary sections are rendered through
+//! [`failstats::par_map_ordered`], so the text is byte-identical at any
+//! thread count — the same guarantee the batch report pipeline makes.
+
+use std::io::Write;
+use std::thread;
+use std::time::Duration;
+
+use failstats::par_map_ordered;
+use failtypes::{Alert, StreamEvent};
+
+use crate::drift::DriftDetector;
+use crate::ingest::{EventSource, WatchError};
+use crate::state::{StateConfig, WatchState};
+
+/// Tuning for the watch loop itself (state and drift thresholds are
+/// configured on [`StateConfig`] / [`crate::DriftConfig`]).
+#[derive(Debug, Clone)]
+pub struct WatchConfig {
+    /// Online-state tuning (trailing window, sketch capacity, ...).
+    pub state: StateConfig,
+    /// Records between summary refreshes.
+    pub refresh_every: usize,
+    /// Sleep between polls when a followed source is idle.
+    pub idle_sleep_ms: u64,
+    /// Stop after this many *consecutive* idle polls (`None` = follow
+    /// forever; the CLI uses a bound so smoke tests terminate).
+    pub max_idle_polls: Option<u64>,
+    /// Stop after ingesting this many records (`None` = run to EOF).
+    pub max_records: Option<usize>,
+    /// Worker threads for summary rendering (1 = serial; any value
+    /// produces byte-identical output).
+    pub threads: usize,
+}
+
+impl Default for WatchConfig {
+    fn default() -> Self {
+        WatchConfig {
+            state: StateConfig::default(),
+            refresh_every: 100,
+            idle_sleep_ms: 200,
+            max_idle_polls: None,
+            max_records: None,
+            threads: 1,
+        }
+    }
+}
+
+/// What a finished watch run observed.
+#[derive(Debug)]
+pub struct WatchOutcome {
+    /// Records ingested.
+    pub records: usize,
+    /// Every alert fired, in order.
+    pub alerts: Vec<Alert>,
+    /// The final online state.
+    pub state: WatchState,
+}
+
+/// Runs the watch loop over `source` until EOF (or the configured
+/// record/idle bounds), writing NDJSON alerts and periodic summaries to
+/// `out`.
+///
+/// `detector` is optional: without a baseline the loop still maintains
+/// the full online state and summaries, it just cannot alert.
+///
+/// # Errors
+///
+/// Fails on stream parse errors, record validation/order errors, or
+/// write failures on `out`.
+pub fn run(
+    source: &mut dyn EventSource,
+    mut detector: Option<DriftDetector>,
+    config: &WatchConfig,
+    out: &mut dyn Write,
+) -> Result<WatchOutcome, WatchError> {
+    let mut state = WatchState::new(
+        source.generation(),
+        source.spec().clone(),
+        source.window(),
+        config.state.clone(),
+    );
+    writeln!(out, "# failwatch: {}", source.describe())?;
+    if let Some(det) = &detector {
+        writeln!(out, "# baseline: {}", det.baseline().name)?;
+    }
+    let mut alerts = Vec::new();
+    let mut records = 0usize;
+    let mut idle_polls = 0u64;
+    let refresh = config.refresh_every.max(1);
+
+    loop {
+        match source.next_event()? {
+            StreamEvent::Record(rec) => {
+                idle_polls = 0;
+                state.ingest(rec)?;
+                records += 1;
+                if let Some(det) = &mut detector {
+                    for alert in det.evaluate(&state) {
+                        writeln!(out, "{}", alert.to_ndjson())?;
+                        alerts.push(alert);
+                    }
+                }
+                if records.is_multiple_of(refresh) {
+                    out.write_all(render_summary(&state, config.threads).as_bytes())?;
+                }
+                if config.max_records.is_some_and(|max| records >= max) {
+                    break;
+                }
+            }
+            StreamEvent::Idle => {
+                idle_polls += 1;
+                if config.max_idle_polls.is_some_and(|max| idle_polls >= max) {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(config.idle_sleep_ms));
+            }
+            StreamEvent::Eof => break,
+        }
+    }
+
+    out.write_all(render_summary(&state, config.threads).as_bytes())?;
+    writeln!(
+        out,
+        "# watch done: {records} records, {} alert(s)",
+        alerts.len()
+    )?;
+    Ok(WatchOutcome {
+        records,
+        alerts,
+        state,
+    })
+}
+
+/// Renders the periodic summary block. Sections are computed via
+/// [`par_map_ordered`], so the result is byte-identical at any
+/// `threads` value.
+pub fn render_summary(state: &WatchState, threads: usize) -> String {
+    if state.is_empty() {
+        return String::from("# summary: no records yet\n");
+    }
+    let sections = par_map_ordered(4, threads, |i| match i {
+        0 => overview_section(state),
+        1 => category_section(state),
+        2 => slot_section(state),
+        _ => month_section(state),
+    });
+    sections.concat()
+}
+
+fn fmt_opt(value: Option<f64>) -> String {
+    value.map_or_else(|| String::from("n/a"), |v| format!("{v:.2}"))
+}
+
+fn overview_section(state: &WatchState) -> String {
+    let mode = if state.sketches_exact() {
+        "exact"
+    } else {
+        "sketched"
+    };
+    let mut s = format!(
+        "# summary @ {:.1} h: {} records ({mode})\n",
+        state.stream_time().unwrap_or(0.0),
+        state.len()
+    );
+    s.push_str(&format!(
+        "#   mtbf {} h | mean gap {} h | rate {}/h\n",
+        fmt_opt(state.mtbf_hours()),
+        fmt_opt(state.mean_gap_hours()),
+        fmt_opt(state.rate_per_hour()),
+    ));
+    s.push_str(&format!(
+        "#   mttr {} h (p50 {}, p90 {}) | window({}) mttr {} h\n",
+        fmt_opt(state.mttr_hours()),
+        fmt_opt(state.ttr_quantile(0.5)),
+        fmt_opt(state.ttr_quantile(0.9)),
+        state.window_len(),
+        fmt_opt(state.window_ttr_mean()),
+    ));
+    s
+}
+
+fn category_section(state: &WatchState) -> String {
+    let view = state.view();
+    let n = view.len().max(1);
+    let mut s = String::from("#   categories:");
+    for (&category, idx) in view.category_indices() {
+        s.push_str(&format!(
+            " {category} {} ({:.0}%, ewma ttr {} h)",
+            idx.len(),
+            idx.len() as f64 * 100.0 / n as f64,
+            fmt_opt(state.ewma_ttr(category)),
+        ));
+    }
+    s.push('\n');
+    s
+}
+
+fn slot_section(state: &WatchState) -> String {
+    let counts = state.view().slot_counts();
+    let (window_shares, involvements) = state.window_slot_shares();
+    let mut s = String::from("#   gpu slots:");
+    for (slot, &count) in counts.iter().enumerate() {
+        let share = window_shares.get(slot).copied().unwrap_or(0.0);
+        s.push_str(&format!(" {slot}:{count} (win {:.0}%)", share * 100.0));
+    }
+    s.push_str(&format!(
+        " | window involvements {involvements} | multi-gpu total {}\n",
+        state.view().multi_gpu_times().len()
+    ));
+    s
+}
+
+fn month_section(state: &WatchState) -> String {
+    let view = state.view();
+    let months = view.window().months();
+    let buckets = view.month_ttrs();
+    // Show the most recent non-empty buckets (up to four).
+    let filled: Vec<(usize, &Vec<f64>)> = buckets
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .collect();
+    let mut s = String::from("#   months:");
+    for &(i, bucket) in filled.iter().rev().take(4).rev() {
+        let (year, month) = months[i];
+        let mean = bucket.iter().sum::<f64>() / bucket.len() as f64;
+        s.push_str(&format!(
+            " {year}-{month} n={} mttr {mean:.1}",
+            bucket.len()
+        ));
+    }
+    if filled.is_empty() {
+        s.push_str(" none");
+    }
+    s.push('\n');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drift::{Baseline, DriftConfig};
+    use crate::ingest::SimSource;
+    use failsim::{ReplayClock, SystemModel};
+    use failtypes::AlertKind;
+
+    fn watch_sim(
+        seed: u64,
+        inject: Option<(f64, f64)>,
+        config: &WatchConfig,
+    ) -> (WatchOutcome, String) {
+        let mut src =
+            SimSource::new(SystemModel::tsubame3(), seed, ReplayClock::unpaced()).unwrap();
+        if let Some((factor, from)) = inject {
+            src = src.with_mttr_injection(factor, from);
+        }
+        let baseline = Baseline::from_model(SystemModel::tsubame3(), 1).unwrap();
+        let detector = DriftDetector::new(baseline, DriftConfig::default());
+        let mut buf = Vec::new();
+        let outcome = run(&mut src, Some(detector), config, &mut buf).unwrap();
+        (outcome, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn injected_regression_alerts_and_streams_ndjson() {
+        let (outcome, output) = watch_sim(1, Some((5.0, 0.5)), &WatchConfig::default());
+        assert!(
+            outcome
+                .alerts
+                .iter()
+                .any(|a| a.kind == AlertKind::MttrRegression),
+            "no regression alert: {:?}",
+            outcome.alerts
+        );
+        assert!(output.contains("\"kind\":\"mttr_regression\""));
+        assert!(output.contains("# watch done:"));
+        assert_eq!(outcome.records, outcome.state.len());
+    }
+
+    #[test]
+    fn summary_is_byte_identical_across_thread_counts() {
+        let (_, state) = {
+            let (outcome, _) = watch_sim(7, None, &WatchConfig::default());
+            (outcome.records, outcome.state)
+        };
+        let serial = render_summary(&state, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, render_summary(&state, threads), "threads={threads}");
+        }
+        assert!(serial.contains("# summary @"));
+        assert!(serial.contains("categories:"));
+    }
+
+    #[test]
+    fn max_records_bounds_the_run() {
+        let config = WatchConfig {
+            max_records: Some(25),
+            ..WatchConfig::default()
+        };
+        let (outcome, _) = watch_sim(1, None, &config);
+        assert_eq!(outcome.records, 25);
+    }
+
+    #[test]
+    fn whole_stream_output_is_deterministic() {
+        let config_a = WatchConfig {
+            threads: 1,
+            ..WatchConfig::default()
+        };
+        let config_b = WatchConfig {
+            threads: 6,
+            ..WatchConfig::default()
+        };
+        let (_, out_a) = watch_sim(3, Some((4.0, 0.6)), &config_a);
+        let (_, out_b) = watch_sim(3, Some((4.0, 0.6)), &config_b);
+        assert_eq!(out_a, out_b);
+    }
+
+    #[test]
+    fn empty_summary_renders() {
+        let log = failsim::Simulator::new(SystemModel::tsubame3(), 1)
+            .generate()
+            .unwrap();
+        let state = WatchState::for_log(&log, StateConfig::default());
+        assert_eq!(render_summary(&state, 4), "# summary: no records yet\n");
+    }
+}

@@ -9,4 +9,16 @@ cargo build --release
 cargo test -q
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "verify: build + tests + clippy all green"
+# Streaming subsystem gate: the record-by-record state must equal the
+# batch pipeline, and an injected MTTR regression must raise an alert.
+cargo test -q -p failsuite --test stream_equivalence
+cargo run -q -p failbench --bin bench_stream --release -- --json BENCH_stream.json
+
+smoke=$(cargo run -q --release -p failctl -- \
+    watch sim:tsubame2 --accel max --inject-mttr 5)
+echo "$smoke" | grep -q '"kind":"mttr_regression"' || {
+    echo "verify: failctl watch smoke test did not alert on the injected regression" >&2
+    exit 1
+}
+
+echo "verify: build + tests + clippy + streaming gate all green"

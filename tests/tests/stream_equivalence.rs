@@ -1,0 +1,188 @@
+//! Streaming/batch equivalence guarantees of the `failwatch` subsystem.
+//!
+//! The contract: feeding a finished log record by record through
+//! `WatchState` must land in exactly the state the batch pipeline
+//! computes from the whole log at once —
+//!
+//! 1. **Index equivalence** — the incremental `StreamView` equals the
+//!    batch `LogView` on category partitions, month buckets, sorted
+//!    TTRs, and slot/node tallies, on canonical logs, on arbitrary
+//!    seeds, and on every prefix of a log (property-tested).
+//! 2. **Estimate equivalence** — MTBF, mean gap, and MTTR are
+//!    bit-identical to `TbfAnalysis`/`TtrAnalysis`, and while the
+//!    quantile sketches are in exact mode their quantiles are
+//!    bit-identical to the `Ecdf` over the same sample.
+//! 3. **Alert correctness** — a full accelerated replay stays quiet on
+//!    a clean stream's MTTR and fires on an injected regression.
+
+use failscope::{LogView, TbfAnalysis, TtrAnalysis};
+use failsim::{ReplayClock, Simulator, SystemModel};
+use failstats::Ecdf;
+use failtypes::{AlertKind, FailureLog};
+use failwatch::{
+    Baseline, DriftConfig, DriftDetector, SimSource, StateConfig, WatchConfig, WatchState,
+};
+use proptest::prelude::*;
+
+fn ingest_all(log: &FailureLog) -> WatchState {
+    let mut state = WatchState::for_log(log, StateConfig::default());
+    for rec in log.iter() {
+        state
+            .ingest(rec.clone())
+            .expect("replaying a valid log never fails");
+    }
+    state
+}
+
+/// The full equivalence contract between a streamed state and the batch
+/// pipeline over the same records.
+fn assert_stream_matches_batch(log: &FailureLog) {
+    let state = ingest_all(log);
+    let view = LogView::new(log);
+
+    // Index structures are identical, not merely equivalent.
+    let sv = state.view();
+    assert_eq!(sv.len(), view.len());
+    assert_eq!(sv.category_indices(), view.category_indices());
+    assert_eq!(sv.month_ttrs(), view.month_ttrs());
+    assert_eq!(sv.ttrs_sorted(), view.ttrs_sorted());
+    assert_eq!(sv.slot_counts(), view.slot_counts());
+    assert_eq!(sv.node_counts(), view.node_counts());
+
+    // Headline estimates are bit-identical to the batch analyses. The
+    // one deliberate divergence: the closed-form streaming MTBF
+    // (window / n) is already defined at n = 1, where the batch
+    // analysis returns `None` for lack of inter-arrival times.
+    let tbf = TbfAnalysis::from_log(log);
+    let ttr = TtrAnalysis::from_log(log);
+    match &tbf {
+        Some(t) => {
+            assert_eq!(
+                state.mtbf_hours().map(f64::to_bits),
+                Some(t.mtbf_hours().to_bits())
+            );
+            assert_eq!(
+                state.mean_gap_hours().map(f64::to_bits),
+                Some(t.mean_gap_hours().to_bits())
+            );
+        }
+        None => {
+            let expected =
+                (log.len() == 1).then(|| log.window().duration().get().to_bits());
+            assert_eq!(state.mtbf_hours().map(f64::to_bits), expected);
+            assert_eq!(state.mean_gap_hours(), None);
+        }
+    }
+    assert_eq!(
+        state.mttr_hours().map(f64::to_bits),
+        ttr.as_ref().map(|t| t.mttr_hours().to_bits())
+    );
+
+    // While the sketches are exact they must agree with the Ecdf bit
+    // for bit; past capacity the sketch guarantees rank error instead.
+    if state.sketches_exact() {
+        if let Some(ecdf) = Ecdf::from_sorted(view.ttrs_sorted().to_vec()) {
+            for p in [0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+                assert_eq!(
+                    state.ttr_quantile(p).map(f64::to_bits),
+                    Some(ecdf.quantile(p).to_bits()),
+                    "ttr quantile p={p}"
+                );
+            }
+        }
+    }
+}
+
+/// A prefix log: the first `k` records under the same window.
+fn prefix(log: &FailureLog, k: usize) -> FailureLog {
+    let recs: Vec<_> = log.iter().take(k).cloned().collect();
+    FailureLog::new(log.generation(), log.window(), recs)
+        .expect("a prefix of a valid log is valid")
+}
+
+#[test]
+fn stream_matches_batch_on_canonical_logs() {
+    for model in [SystemModel::tsubame2(), SystemModel::tsubame3()] {
+        let log = Simulator::new(model, 42).generate().unwrap();
+        assert_stream_matches_batch(&log);
+    }
+}
+
+#[test]
+fn stream_matches_batch_on_degenerate_logs() {
+    let log = Simulator::new(SystemModel::tsubame3(), 42).generate().unwrap();
+    // Empty stream.
+    assert_stream_matches_batch(&log.filtered(|_| false));
+    // Single record.
+    assert_stream_matches_batch(&prefix(&log, 1));
+    // Single-category slice.
+    assert_stream_matches_batch(&log.filtered(|r| r.category().is_gpu()));
+}
+
+#[test]
+fn clean_accelerated_replay_stays_quiet_on_mttr() {
+    let mut source =
+        SimSource::new(SystemModel::tsubame3(), 3, ReplayClock::unpaced()).unwrap();
+    let baseline = Baseline::from_model(SystemModel::tsubame3(), 1).unwrap();
+    let detector = DriftDetector::new(baseline, DriftConfig::default());
+    let mut sink = Vec::new();
+    let outcome =
+        failwatch::run(&mut source, Some(detector), &WatchConfig::default(), &mut sink).unwrap();
+    assert!(outcome.records > 0);
+    assert!(
+        !outcome
+            .alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::MttrRegression),
+        "clean replay raised an MTTR regression"
+    );
+}
+
+#[test]
+fn injected_regression_alerts_and_state_still_counts_every_record() {
+    let model = SystemModel::tsubame2();
+    let clean_len = Simulator::new(model.clone(), 42).generate().unwrap().len();
+    let mut source = SimSource::new(model.clone(), 42, ReplayClock::unpaced())
+        .unwrap()
+        .with_mttr_injection(5.0, 0.5);
+    let baseline = Baseline::from_model(model, 1).unwrap();
+    let detector = DriftDetector::new(baseline, DriftConfig::default());
+    let mut sink = Vec::new();
+    let outcome =
+        failwatch::run(&mut source, Some(detector), &WatchConfig::default(), &mut sink).unwrap();
+    // Injection rescales repair times; it never adds or drops events.
+    assert_eq!(outcome.records, clean_len);
+    assert_eq!(outcome.state.len(), clean_len);
+    let regressions: Vec<_> = outcome
+        .alerts
+        .iter()
+        .filter(|a| a.kind == AlertKind::MttrRegression)
+        .collect();
+    assert!(!regressions.is_empty(), "injected regression went undetected");
+    for alert in &regressions {
+        assert!(alert.metric > alert.threshold);
+    }
+    // The NDJSON stream carries the same alert.
+    let text = String::from_utf8(sink).unwrap();
+    assert!(text.contains("\"kind\":\"mttr_regression\""));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn stream_equivalence_holds_for_arbitrary_seeds(seed in 0u64..10_000) {
+        let log = Simulator::new(SystemModel::tsubame3(), seed).generate().unwrap();
+        assert_stream_matches_batch(&log);
+    }
+
+    #[test]
+    fn stream_equivalence_holds_on_every_prefix(
+        seed in 0u64..10_000,
+        frac in 0.0..1.0f64,
+    ) {
+        let log = Simulator::new(SystemModel::tsubame3(), seed).generate().unwrap();
+        let k = (log.len() as f64 * frac) as usize;
+        assert_stream_matches_batch(&prefix(&log, k));
+    }
+}
