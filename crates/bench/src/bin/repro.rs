@@ -15,7 +15,7 @@
 //! Experiments run on a worker pool (default: all host cores; bound it
 //! with `--threads N`). Results are collected in declaration order and
 //! every log comes from the shared, seeded
-//! [`LogStore`](failbench::LogStore), so the output is byte-identical
+//! [`LogStore`], so the output is byte-identical
 //! to a serial run at any thread count.
 //!
 //! `bench` times a cold serial pass against a cold parallel pass over
@@ -29,6 +29,9 @@ use std::time::Instant;
 use failbench::experiments;
 use failbench::runner::{self, CatalogEntry};
 use failbench::LogStore;
+use failscope::LogView;
+use failsim::{Simulator, SystemModel};
+use failtypes::JsonValue;
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -143,16 +146,48 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     println!("  parallel ({threads} threads): {parallel_seconds:.3} s");
     println!("  speedup: {speedup:.2}x, outputs identical: {identical}");
 
-    let json = format!(
-        "{{\n  \"experiments\": {},\n  \"threads\": {},\n  \"logs_simulated\": {},\n  \"serial_seconds\": {:.6},\n  \"parallel_seconds\": {:.6},\n  \"speedup\": {:.4},\n  \"identical_output\": {}\n}}\n",
-        catalog.len(),
-        threads,
-        serial_sims,
-        serial_seconds,
-        parallel_seconds,
-        speedup,
-        identical
-    );
+    // Per-section render timings over the canonical Tsubame-2 log,
+    // driven by the same registry the report pipeline dispatches on.
+    let section_log = Simulator::new(SystemModel::tsubame2(), 42)
+        .generate()
+        .expect("calibrated model simulates");
+    let view = LogView::new(&section_log);
+    let mut section_rows = Vec::new();
+    println!("  per-section render (best of 5, canonical T2):");
+    for section in failscope::SECTIONS {
+        let text_seconds = best_of(5, || {
+            std::hint::black_box((section.text)(&view));
+        });
+        let json_seconds = best_of(5, || {
+            std::hint::black_box((section.json)(&view).render());
+        });
+        println!(
+            "    {:<12} text {:>8.1} us | json {:>8.1} us",
+            section.id,
+            text_seconds * 1e6,
+            json_seconds * 1e6
+        );
+        section_rows.push(
+            JsonValue::object()
+                .field("id", section.id)
+                .field("text_seconds", text_seconds)
+                .field("json_seconds", json_seconds)
+                .build(),
+        );
+    }
+
+    let mut json = JsonValue::object()
+        .field("experiments", catalog.len())
+        .field("threads", threads)
+        .field("logs_simulated", serial_sims)
+        .field("serial_seconds", serial_seconds)
+        .field("parallel_seconds", parallel_seconds)
+        .field("speedup", speedup)
+        .field("identical_output", identical)
+        .field("sections", JsonValue::Array(section_rows))
+        .build()
+        .render();
+    json.push('\n');
     match std::fs::write(json_path, &json) {
         Ok(()) => println!("  wrote {json_path}"),
         Err(err) => {
@@ -164,6 +199,16 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         eprintln!("parallel output diverged from serial");
         std::process::exit(1);
     }
+}
+
+fn best_of(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
 }
 
 fn usage(problem: &str) -> ! {

@@ -63,17 +63,25 @@ COMMANDS
   summary <FILE>
       One-paragraph structural summary of a log.
   report <FILE> [--threads N] [--since T] [--until T]
+         [--format text|json] [--sections IDS]
       Full five-RQ reliability report (sections computed in parallel;
       output is identical at any thread count). T is hours from the
-      window start or a YYYY-MM-DD date.
+      window start or a YYYY-MM-DD date. --format json emits one NDJSON
+      line per section; --sections picks from: header, categories,
+      spatial, involvement, tbf, ttr, availability, survival, seasonal.
   compare <OLD> <NEW> [--threads N] [--since T] [--until T]
-      Cross-generation comparison (MTBF/MTTR/PEP factors).
+          [--format text|json]
+      Cross-generation comparison (MTBF/MTTR/PEP factors). --format
+      json emits one JSON document.
   watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
         [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
         [--max-records N] [--max-idle N] [--inject-mttr F] [--threads N]
+        [--format text|json] [--sections IDS]
       Stream a log (or an accelerated simulated replay) through the
       online monitor: NDJSON drift alerts against a calibrated
-      baseline, plus periodic summaries.
+      baseline, plus periodic summaries. --format json makes the whole
+      stream NDJSON (one line per summary section); --sections picks
+      from: overview, categories, slots, months.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -220,21 +228,54 @@ fn threads_flag(args: &ParsedArgs) -> Result<usize, CliError> {
     Ok(args.flag_or("threads", failstats::available_threads())?)
 }
 
+/// How a command renders its result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OutputFormat {
+    /// Operator-facing plain text (the default).
+    Text,
+    /// Machine-readable JSON (NDJSON for multi-section output).
+    Json,
+}
+
+/// Resolves the `--format` flag (default: text).
+fn format_flag(args: &ParsedArgs) -> Result<OutputFormat, CliError> {
+    match args.flag("format").unwrap_or("text") {
+        "text" => Ok(OutputFormat::Text),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(CliError::Run(format!(
+            "unknown --format `{other}` (use text or json)"
+        ))),
+    }
+}
+
 /// `failctl report`.
 pub fn report(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads", "since", "until"])?;
+    args.reject_unknown_flags(&["threads", "since", "until", "format", "sections"])?;
     let threads = threads_flag(args)?;
+    let format = format_flag(args)?;
+    let sections = match args.flag("sections") {
+        Some(spec) => failscope::select_sections(spec).map_err(CliError::Run)?,
+        None => failscope::SECTIONS.iter().collect(),
+    };
     let log = load_clipped(args, args.positional(0, "file")?)?;
-    Ok(failscope::render_report_threaded(&log, threads))
+    let view = failscope::LogView::new(&log);
+    Ok(match format {
+        OutputFormat::Text => failscope::render_text_sections(&sections, &view, threads),
+        OutputFormat::Json => failscope::render_json_sections(&sections, &view, threads),
+    })
 }
 
 /// `failctl compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads", "since", "until"])?;
+    args.reject_unknown_flags(&["threads", "since", "until", "format"])?;
     let threads = threads_flag(args)?;
+    let format = format_flag(args)?;
     let older = load_clipped(args, args.positional(0, "old")?)?;
     let newer = load_clipped(args, args.positional(1, "new")?)?;
-    Ok(failscope::render_comparison_threaded(&older, &newer, threads))
+    Ok(match format {
+        OutputFormat::Text => failscope::render_comparison_threaded(&older, &newer, threads),
+        OutputFormat::Json => failscope::render_comparison_json(&older, &newer, threads),
+    })
 }
 
 /// `failctl anonymize`.
@@ -463,6 +504,8 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
         "max-records",
         "max-idle",
         "threads",
+        "format",
+        "sections",
     ])?;
     let source_arg = args.positional(0, "path|sim:MODEL")?;
 
@@ -536,6 +579,11 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
             })
             .transpose()?,
         threads: threads_flag(args)?,
+        json_summaries: format_flag(args)? == OutputFormat::Json,
+        summary_sections: match args.flag("sections") {
+            Some(spec) => failwatch::select_watch_sections(spec).map_err(CliError::Run)?,
+            None => WatchConfig::default().summary_sections,
+        },
         ..WatchConfig::default()
     };
     failwatch::run(source.as_mut(), detector, &config, out).map_err(run_err)?;
@@ -740,6 +788,62 @@ mod tests {
         assert!(err.contains("line 8"), "{err}");
         assert!(err.contains("ttr_h"), "{err}");
         std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn report_formats_and_section_selection() {
+        let path = temp_path("fmt.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame3", "--out", p])).expect("generates");
+
+        // JSON report: one NDJSON line per section, thread-identical.
+        let j1 = report(&parse(&["report", p, "--format", "json", "--threads", "1"]))
+            .expect("reports");
+        let j4 = report(&parse(&["report", p, "--format", "json", "--threads", "4"]))
+            .expect("reports");
+        assert_eq!(j1, j4);
+        assert_eq!(j1.lines().count(), failscope::SECTIONS.len());
+        assert!(j1.starts_with(r#"{"id":"header""#), "{j1}");
+        assert!(j1.contains(r#""system":"Tsubame-3""#), "{j1}");
+
+        // Section selection works for both formats and rejects unknowns.
+        let picked = report(&parse(&["report", p, "--sections", "tbf,ttr"])).expect("reports");
+        assert!(picked.contains("Time between failures"));
+        assert!(!picked.contains("Failure categories"));
+        let picked_json = report(&parse(&[
+            "report", p, "--sections", "tbf,ttr", "--format", "json",
+        ]))
+        .expect("reports");
+        assert_eq!(picked_json.lines().count(), 2);
+        let err = report(&parse(&["report", p, "--sections", "tbf,bogus"])).unwrap_err();
+        assert!(err.to_string().contains("unknown section `bogus`"), "{err}");
+        assert!(report(&parse(&["report", p, "--format", "yaml"])).is_err());
+
+        // Comparison JSON is a single document.
+        let cj = compare(&parse(&["compare", p, p, "--format", "json"])).expect("compares");
+        assert_eq!(cj.lines().count(), 1);
+        assert!(cj.contains(r#""mttr_hours":{"older":"#), "{cj}");
+
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn watch_json_format_and_sections() {
+        let out = watch(&parse(&[
+            "watch", "sim:tsubame3", "--format", "json", "--max-records", "50",
+        ]))
+        .expect("watches");
+        // Pure NDJSON: every line parses as an object.
+        assert!(out.lines().all(|l| l.starts_with('{')), "{out}");
+        assert!(out.contains(r#"{"id":"overview","title":"Stream overview","data":{"#));
+
+        let picked = watch(&parse(&[
+            "watch", "sim:tsubame3", "--sections", "overview", "--max-records", "50",
+        ]))
+        .expect("watches");
+        assert!(picked.contains("# summary @"));
+        assert!(!picked.contains("#   categories:"));
+        assert!(watch(&parse(&["watch", "sim:tsubame3", "--sections", "nope"])).is_err());
     }
 
     #[test]

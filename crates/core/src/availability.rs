@@ -10,7 +10,7 @@
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// Repair-overlap and availability metrics of one log.
 ///
@@ -39,85 +39,21 @@ pub struct AvailabilityAnalysis {
 }
 
 impl AvailabilityAnalysis {
-    /// Computes the metrics; `None` for an empty log.
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        if log.is_empty() {
-            return None;
-        }
-        let window_hours = log.window().duration().get();
-        let n = log.len();
-
-        // Sweep the interval set [time, time + ttr) per failure.
-        let intervals: Vec<(f64, f64)> = log
-            .iter()
-            .map(|r| (r.time().get(), r.recovery_time().get().min(window_hours)))
-            .collect();
-
-        // How many arrivals land while >= 1 earlier repair is open.
-        let mut overlapping_arrivals = 0;
-        for (i, &(start, _)) in intervals.iter().enumerate() {
-            if intervals[..i].iter().any(|&(s, e)| s <= start && start < e) {
-                overlapping_arrivals += 1;
-            }
-        }
-
-        // Sweep-line over start/end events for concurrency statistics.
-        let mut events: Vec<(f64, i32)> = Vec::with_capacity(2 * n);
-        for &(s, e) in &intervals {
-            events.push((s, 1));
-            events.push((e, -1));
-        }
-        events.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .expect("times are finite")
-                .then(a.1.cmp(&b.1)) // ends before starts at equal time
-        });
-        let mut current = 0i64;
-        let mut max_concurrent = 0i64;
-        let mut weighted_hours = 0.0; // ∫ concurrency dt
-        let mut busy_hours = 0.0; // ∫ 1[concurrency > 0] dt
-        let mut prev_t = 0.0;
-        for (t, delta) in events {
-            let span = (t - prev_t).max(0.0);
-            weighted_hours += current as f64 * span;
-            if current > 0 {
-                busy_hours += span;
-            }
-            current += delta as i64;
-            max_concurrent = max_concurrent.max(current);
-            prev_t = t;
-        }
-
-        let total_repair_hours: f64 = intervals.iter().map(|&(s, e)| e - s).sum();
-        Some(AvailabilityAnalysis {
-            failures: n,
-            window_hours,
-            nodes: log.spec().nodes(),
-            total_repair_hours,
-            overlapping_arrivals,
-            mean_concurrent_repairs: weighted_hours / window_hours,
-            max_concurrent_repairs: max_concurrent as usize,
-            busy_fraction: busy_hours / window_hours,
-        })
-    }
-
-    /// Computes the metrics from a prebuilt [`LogView`]; `None` for an
-    /// empty log.
+    /// Computes the metrics from any [`FleetIndex`]; `None` when no
+    /// failures are indexed.
     ///
-    /// Exploits the view's time order twice where [`Self::from_log`]
-    /// works on unordered intervals: overlapping arrivals come from a
-    /// single running maximum over earlier repair ends (`O(n)` instead of
-    /// `O(n²)`), and the sweep events come from merging the pre-sorted
-    /// start and end arrays instead of sorting `2n` events.
-    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
-        if view.is_empty() {
+    /// Exploits the index's time order twice: overlapping arrivals come
+    /// from a single running maximum over earlier repair ends (`O(n)`
+    /// instead of `O(n²)`), and the sweep events come from merging the
+    /// pre-sorted start and end arrays instead of sorting `2n` events.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        if index.is_empty() {
             return None;
         }
-        let log = view.log();
-        let window_hours = log.window().duration().get();
-        let n = view.len();
-        let starts = view.times();
-        let ends = view.recoveries();
+        let window_hours = index.window().duration().get();
+        let n = index.len();
+        let starts = index.times();
+        let ends = index.recoveries();
 
         // Records are time-sorted, so an arrival overlaps an earlier
         // repair exactly when it lands before the running max of earlier
@@ -131,10 +67,9 @@ impl AvailabilityAnalysis {
             max_end = max_end.max(ends[i]);
         }
 
-        // Merge the sorted starts and sorted ends into the same
-        // event sequence `from_log` gets by sorting, with ends before
-        // starts at equal times.
-        let ends_sorted = view.recoveries_sorted();
+        // Merge the sorted starts and sorted ends into one sweep-line
+        // event sequence, with ends before starts at equal times.
+        let ends_sorted = index.recoveries_sorted();
         let mut current = 0i64;
         let mut max_concurrent = 0i64;
         let mut weighted_hours = 0.0;
@@ -164,13 +99,24 @@ impl AvailabilityAnalysis {
         Some(AvailabilityAnalysis {
             failures: n,
             window_hours,
-            nodes: log.spec().nodes(),
+            nodes: index.spec().nodes(),
             total_repair_hours,
             overlapping_arrivals,
             mean_concurrent_repairs: weighted_hours / window_hours,
             max_concurrent_repairs: max_concurrent as usize,
             busy_fraction: busy_hours / window_hours,
         })
+    }
+
+    /// [`AvailabilityAnalysis::from_index`], indexing the log once;
+    /// `None` for an empty log.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`AvailabilityAnalysis::from_index`] on a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        Self::from_index(view)
     }
 
     /// Probability that a failure arrives while at least one earlier

@@ -1,11 +1,9 @@
 //! RQ1 — distribution of failure categories (Figs. 2 and 3).
 
-use std::collections::BTreeMap;
-
 use failtypes::{Category, ComponentClass, Domain, FailureLog, SoftwareLocus};
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// One row of a category breakdown: a category, its count, and its share
 /// of all failures.
@@ -41,30 +39,11 @@ pub struct CategoryBreakdown {
 }
 
 impl CategoryBreakdown {
-    /// Computes the breakdown, sorted by descending count.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let mut counts: BTreeMap<Category, usize> = BTreeMap::new();
-        for rec in log.iter() {
-            *counts.entry(rec.category()).or_insert(0) += 1;
-        }
-        let total = log.len();
-        let mut shares: Vec<CategoryShare> = counts
-            .into_iter()
-            .map(|(category, count)| CategoryShare {
-                category,
-                count,
-                fraction: count as f64 / total.max(1) as f64,
-            })
-            .collect();
-        shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.category.cmp(&b.category)));
-        CategoryBreakdown { shares, total }
-    }
-
-    /// Computes the breakdown from a prebuilt [`LogView`], reusing its
-    /// category partitions instead of re-counting the log.
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let total = view.len();
-        let mut shares: Vec<CategoryShare> = view
+    /// Computes the breakdown from any [`FleetIndex`], reusing its
+    /// category partitions; rows are sorted by descending count.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let total = index.len();
+        let mut shares: Vec<CategoryShare> = index
             .category_indices()
             .iter()
             .map(|(&category, indices)| CategoryShare {
@@ -75,6 +54,16 @@ impl CategoryBreakdown {
             .collect();
         shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.category.cmp(&b.category)));
         CategoryBreakdown { shares, total }
+    }
+
+    /// Computes the breakdown, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the breakdown from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Rows sorted by descending count.
@@ -136,27 +125,12 @@ pub struct ClassBreakdown {
 }
 
 impl ClassBreakdown {
-    /// Computes the breakdown; every class appears (possibly with zero).
-    pub fn from_log(log: &FailureLog) -> Self {
+    /// Computes the breakdown from any [`FleetIndex`]; every class
+    /// appears (possibly with zero).
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
         let mut counts: Vec<(ComponentClass, usize)> =
             ComponentClass::ALL.iter().map(|&c| (c, 0)).collect();
-        for rec in log.iter() {
-            let class = rec.category().component_class();
-            if let Some(entry) = counts.iter_mut().find(|(c, _)| *c == class) {
-                entry.1 += 1;
-            }
-        }
-        ClassBreakdown {
-            counts,
-            total: log.len(),
-        }
-    }
-
-    /// Computes the breakdown from a prebuilt [`LogView`].
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let mut counts: Vec<(ComponentClass, usize)> =
-            ComponentClass::ALL.iter().map(|&c| (c, 0)).collect();
-        for (category, indices) in view.category_indices() {
+        for (category, indices) in index.category_indices() {
             let class = category.component_class();
             if let Some(entry) = counts.iter_mut().find(|(c, _)| *c == class) {
                 entry.1 += indices.len();
@@ -164,8 +138,18 @@ impl ClassBreakdown {
         }
         ClassBreakdown {
             counts,
-            total: view.len(),
+            total: index.len(),
         }
+    }
+
+    /// Computes the breakdown, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the breakdown from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// `(class, count)` rows in the canonical class order.
@@ -204,31 +188,14 @@ pub struct DomainBreakdown {
 }
 
 impl DomainBreakdown {
-    /// Computes the split.
-    pub fn from_log(log: &FailureLog) -> Self {
+    /// Computes the split from any [`FleetIndex`].
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
         let mut out = DomainBreakdown {
             hardware: 0,
             software: 0,
             unknown: 0,
         };
-        for rec in log.iter() {
-            match rec.category().domain() {
-                Domain::Hardware => out.hardware += 1,
-                Domain::Software => out.software += 1,
-                Domain::Unknown => out.unknown += 1,
-            }
-        }
-        out
-    }
-
-    /// Computes the split from a prebuilt [`LogView`].
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let mut out = DomainBreakdown {
-            hardware: 0,
-            software: 0,
-            unknown: 0,
-        };
-        for (category, indices) in view.category_indices() {
+        for (category, indices) in index.category_indices() {
             match category.domain() {
                 Domain::Hardware => out.hardware += indices.len(),
                 Domain::Software => out.software += indices.len(),
@@ -236,6 +203,16 @@ impl DomainBreakdown {
             }
         }
         out
+    }
+
+    /// Computes the split, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the split from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Total failures.
@@ -268,34 +245,11 @@ pub struct LocusBreakdown {
 }
 
 impl LocusBreakdown {
-    /// Computes the breakdown over records that carry a root locus,
-    /// sorted by descending count.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let mut counts: BTreeMap<SoftwareLocus, usize> = BTreeMap::new();
-        let mut total = 0;
-        for rec in log.iter() {
-            if let Some(locus) = rec.locus() {
-                *counts.entry(locus).or_insert(0) += 1;
-                total += 1;
-            }
-        }
-        let mut shares: Vec<LocusShare> = counts
-            .into_iter()
-            .map(|(locus, count)| LocusShare {
-                locus,
-                count,
-                fraction: count as f64 / total.max(1) as f64,
-            })
-            .collect();
-        shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.locus.cmp(&b.locus)));
-        LocusBreakdown { shares, total }
-    }
-
-    /// Computes the breakdown from a prebuilt [`LogView`], reusing its
-    /// locus counts.
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let total: usize = view.locus_counts().values().sum();
-        let mut shares: Vec<LocusShare> = view
+    /// Computes the breakdown from any [`FleetIndex`] over records that
+    /// carry a root locus, sorted by descending count.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let total: usize = index.locus_counts().values().sum();
+        let mut shares: Vec<LocusShare> = index
             .locus_counts()
             .iter()
             .map(|(&locus, &count)| LocusShare {
@@ -306,6 +260,16 @@ impl LocusBreakdown {
             .collect();
         shares.sort_by(|a, b| b.count.cmp(&a.count).then(a.locus.cmp(&b.locus)));
         LocusBreakdown { shares, total }
+    }
+
+    /// Computes the breakdown, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the breakdown from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Rows sorted by descending count.

@@ -42,6 +42,7 @@
 
 mod availability;
 mod categories;
+mod index;
 mod logview;
 mod multigpu;
 mod rates;
@@ -59,26 +60,29 @@ pub use availability::AvailabilityAnalysis;
 pub use categories::{
     CategoryBreakdown, CategoryShare, ClassBreakdown, DomainBreakdown, LocusBreakdown, LocusShare,
 };
+pub use index::FleetIndex;
 pub use logview::LogView;
 pub use rates::{laplace_trend, rolling_rate, LaplaceTrend, RateBin};
-pub use survival::{node_lifetimes, NodeSurvival};
+pub use survival::{node_lifetimes, node_lifetimes_index, NodeSurvival};
 pub use multigpu::{InvolvementRow, InvolvementTable};
 pub use pep::{Pep, PepComparison};
 pub use report::{
-    render_comparison, render_comparison_threaded, render_report, render_report_threaded,
+    comparison_json, render_comparison, render_comparison_json, render_comparison_threaded,
+    render_json_sections, render_report, render_report_json, render_report_threaded,
+    render_text_sections, section_by_id, select_sections, Section, SECTIONS,
 };
 pub use seasonal::{MonthBucket, SeasonalAnalysis};
 pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
 pub use streamview::{StreamView, StreamViewError};
 pub use tbf::{
-    class_mtbf_hours, class_mtbf_hours_view, gpu_involvement_mtbf_hours,
-    gpu_involvement_mtbf_hours_view, per_category_tbf, per_category_tbf_view, CategoryTbf,
-    TbfAnalysis,
+    class_mtbf_hours, class_mtbf_hours_index, class_mtbf_hours_view, gpu_involvement_mtbf_hours,
+    gpu_involvement_mtbf_hours_index, gpu_involvement_mtbf_hours_view, per_category_tbf,
+    per_category_tbf_index, per_category_tbf_view, CategoryTbf, TbfAnalysis,
 };
 pub use temporal::MultiGpuTemporal;
 pub use ttr::{
-    domain_ttr_spread, per_category_ttr, per_category_ttr_view, rare_but_costly, CategoryTtr,
-    TtrAnalysis,
+    domain_ttr_spread, domain_ttr_spread_index, per_category_ttr, per_category_ttr_index,
+    per_category_ttr_view, rare_but_costly, rare_but_costly_index, CategoryTtr, TtrAnalysis,
 };
 
 #[cfg(test)]

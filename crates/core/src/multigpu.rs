@@ -3,6 +3,8 @@
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
+use crate::{FleetIndex, LogView};
+
 /// One row of Table III: how many GPU failures involved exactly `gpus`
 /// GPUs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -38,12 +40,12 @@ pub struct InvolvementTable {
 }
 
 impl InvolvementTable {
-    /// Computes the table from the log's GPU failures.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let max_gpus = log.spec().gpus_per_node();
+    /// Computes the table from the GPU failures of any [`FleetIndex`].
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let max_gpus = index.spec().gpus_per_node();
         let mut counts = vec![0usize; max_gpus as usize + 1];
         let mut unknown = 0;
-        for rec in log.gpu_records() {
+        for rec in index.records().iter().filter(|r| r.category().is_gpu()) {
             let k = rec.gpus().len();
             if k == 0 {
                 unknown += 1;
@@ -64,6 +66,16 @@ impl InvolvementTable {
             known,
             unknown,
         }
+    }
+
+    /// [`InvolvementTable::from_index`], indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`InvolvementTable::from_index`] on a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Rows for 1..=gpus-per-node GPUs involved.

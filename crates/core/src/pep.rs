@@ -6,6 +6,7 @@ use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
 use crate::tbf::TbfAnalysis;
+use crate::{FleetIndex, LogView};
 
 /// The performance-error-proportionality of one system.
 ///
@@ -30,13 +31,24 @@ pub struct Pep {
 }
 
 impl Pep {
-    /// Computes the metric; `None` for logs with fewer than two failures.
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let tbf = TbfAnalysis::from_log(log)?;
+    /// Computes the metric from any [`FleetIndex`]; `None` with fewer
+    /// than two failures.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        let tbf = TbfAnalysis::from_index(index)?;
         Some(Pep {
-            rpeak_pflops: log.spec().rpeak_pflops(),
+            rpeak_pflops: index.spec().rpeak_pflops(),
             mtbf_hours: tbf.mtbf_hours(),
         })
+    }
+
+    /// [`Pep::from_index`], indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`Pep::from_index`] on a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        Self::from_index(view)
     }
 
     /// Maximum useful computation during a mean failure-free period:
@@ -63,12 +75,24 @@ pub struct PepComparison {
 }
 
 impl PepComparison {
-    /// Builds the comparison; `None` when either log is too small.
-    pub fn new(older: &FailureLog, newer: &FailureLog) -> Option<Self> {
+    /// Builds the comparison from two indexes (possibly of different
+    /// concrete types — e.g. a batch [`LogView`] against a live
+    /// [`crate::StreamView`]); `None` when either side is too small.
+    pub fn from_indexes<A, B>(older: &A, newer: &B) -> Option<Self>
+    where
+        A: FleetIndex + ?Sized,
+        B: FleetIndex + ?Sized,
+    {
         Some(PepComparison {
-            older: Pep::from_log(older)?,
-            newer: Pep::from_log(newer)?,
+            older: Pep::from_index(older)?,
+            newer: Pep::from_index(newer)?,
         })
+    }
+
+    /// [`PepComparison::from_indexes`], indexing both logs once; `None`
+    /// when either log is too small.
+    pub fn new(older: &FailureLog, newer: &FailureLog) -> Option<Self> {
+        Self::from_indexes(&LogView::new(older), &LogView::new(newer))
     }
 
     /// Compute-capability ratio (newer / older) by Rpeak.

@@ -1,56 +1,202 @@
-//! Operator-facing plain-text reports assembled from the analyses.
+//! Operator-facing reports assembled from a typed section registry.
 //!
-//! The report is a fixed sequence of independent sections, each a pure
-//! function of a shared [`LogView`]. [`render_report_threaded`] renders
-//! the sections on a worker pool and concatenates them in declaration
-//! order, so the output is byte-identical at every thread count;
-//! [`render_report`] is the single-threaded entry point.
+//! The report is a fixed sequence of independent [`Section`]s, each a
+//! pure function of a shared [`FleetIndex`] with **two** renderers: the
+//! operator text block and a structured [`JsonValue`] with a stable
+//! schema (documented per section in `DESIGN.md`). The registry is the
+//! single source of truth — `failctl report`, `failctl compare`, the
+//! bench binaries, and the test suites all dispatch through
+//! [`SECTIONS`] instead of hand-wiring their own tables.
+//!
+//! [`render_text_sections`] / [`render_json_sections`] render any
+//! selection on a worker pool and concatenate in declaration order, so
+//! the output is byte-identical at every thread count;
+//! [`render_report`] is the single-threaded whole-report entry point.
 
 use std::fmt::Write as _;
 
-use failtypes::FailureLog;
+use failtypes::{FailureLog, JsonValue};
 
+use crate::availability::AvailabilityAnalysis;
 use crate::categories::{CategoryBreakdown, LocusBreakdown};
+use crate::index::FleetIndex;
 use crate::logview::LogView;
 use crate::multigpu::InvolvementTable;
 use crate::pep::PepComparison;
 use crate::seasonal::SeasonalAnalysis;
-use crate::spatial::{NodeDistribution, SlotDistribution};
-use crate::tbf::{per_category_tbf_view, TbfAnalysis};
+use crate::spatial::{NodeDistribution, RackDistribution, SlotDistribution};
+use crate::survival::NodeSurvival;
+use crate::tbf::{per_category_tbf_index, TbfAnalysis};
 use crate::temporal::MultiGpuTemporal;
-use crate::ttr::{per_category_ttr_view, TtrAnalysis};
+use crate::ttr::{per_category_ttr_index, TtrAnalysis};
+
+/// One report section: a stable machine id, a human title, and two
+/// renderers over the shared index.
+///
+/// Both renderers must be pure functions of the index so the threaded
+/// renderers stay byte-identical at any worker count. An empty section
+/// renders as `""` / [`JsonValue::Null`].
+#[derive(Debug, Clone, Copy)]
+pub struct Section {
+    /// Stable identifier — the `--sections` / JSON `"id"` vocabulary.
+    pub id: &'static str,
+    /// Human-readable title, carried on every JSON line.
+    pub title: &'static str,
+    /// Structured renderer (`null` when the section has nothing to say).
+    pub json: fn(&dyn FleetIndex) -> JsonValue,
+    /// Plain-text renderer (`""` when the section has nothing to say).
+    pub text: fn(&dyn FleetIndex) -> String,
+}
 
 /// The report sections in print order. Each is independent, so the
-/// threaded renderer can compute them concurrently.
-const SECTIONS: &[fn(&LogView<'_>) -> String] = &[
-    section_header,
-    section_categories,
-    section_spatial,
-    section_involvement,
-    section_tbf,
-    section_ttr_and_racks,
-    section_availability,
-    section_survival,
-    section_seasonal,
+/// threaded renderers can compute them concurrently.
+pub const SECTIONS: &[Section] = &[
+    Section {
+        id: "header",
+        title: "Reliability report",
+        json: json_header,
+        text: section_header,
+    },
+    Section {
+        id: "categories",
+        title: "Failure categories (RQ1)",
+        json: json_categories,
+        text: section_categories,
+    },
+    Section {
+        id: "spatial",
+        title: "Per-node and per-slot distribution (RQ2)",
+        json: json_spatial,
+        text: section_spatial,
+    },
+    Section {
+        id: "involvement",
+        title: "Multi-GPU involvement (RQ3)",
+        json: json_involvement,
+        text: section_involvement,
+    },
+    Section {
+        id: "tbf",
+        title: "Time between failures (RQ4)",
+        json: json_tbf,
+        text: section_tbf,
+    },
+    Section {
+        id: "ttr",
+        title: "Time to recovery (RQ5)",
+        json: json_ttr,
+        text: section_ttr_and_racks,
+    },
+    Section {
+        id: "availability",
+        title: "Repair overlap and availability",
+        json: json_availability,
+        text: section_availability,
+    },
+    Section {
+        id: "survival",
+        title: "Node survival",
+        json: json_survival,
+        text: section_survival,
+    },
+    Section {
+        id: "seasonal",
+        title: "Seasonal behaviour",
+        json: json_seasonal,
+        text: section_seasonal,
+    },
 ];
 
-fn section_header(view: &LogView<'_>) -> String {
-    let log = view.log();
+/// Looks up one section by its stable id.
+pub fn section_by_id(id: &str) -> Option<&'static Section> {
+    SECTIONS.iter().find(|s| s.id == id)
+}
+
+/// Resolves a comma-separated id list (e.g. `"tbf,ttr"`) against the
+/// registry, preserving the requested order.
+///
+/// # Errors
+///
+/// Rejects unknown or empty selections, naming the known vocabulary.
+pub fn select_sections(spec: &str) -> Result<Vec<&'static Section>, String> {
+    let known = || {
+        SECTIONS
+            .iter()
+            .map(|s| s.id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = Vec::new();
+    for id in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match section_by_id(id) {
+            Some(section) => out.push(section),
+            None => return Err(format!("unknown section `{id}` (known: {})", known())),
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no sections selected (known: {})", known()));
+    }
+    Ok(out)
+}
+
+/// Renders a section selection as the operator text report, computing
+/// sections on up to `threads` workers and concatenating in selection
+/// order — byte-identical at any thread count.
+pub fn render_text_sections(
+    sections: &[&Section],
+    index: &(dyn FleetIndex + Sync),
+    threads: usize,
+) -> String {
+    failstats::par_map_ordered(sections.len(), threads, |i| (sections[i].text)(index)).concat()
+}
+
+/// Renders a section selection as NDJSON — one
+/// `{"id":...,"title":...,"data":...}` line per section, in selection
+/// order, byte-identical at any thread count. Empty sections carry
+/// `"data":null`.
+pub fn render_json_sections(
+    sections: &[&Section],
+    index: &(dyn FleetIndex + Sync),
+    threads: usize,
+) -> String {
+    failstats::par_map_ordered(sections.len(), threads, |i| {
+        let section = sections[i];
+        let mut line = JsonValue::object()
+            .field("id", section.id)
+            .field("title", section.title)
+            .field("data", (section.json)(index))
+            .build()
+            .render();
+        line.push('\n');
+        line
+    })
+    .concat()
+}
+
+fn all_sections() -> Vec<&'static Section> {
+    SECTIONS.iter().collect()
+}
+
+// ---------------------------------------------------------------------
+// Text renderers (one per section, byte-stable).
+// ---------------------------------------------------------------------
+
+fn section_header(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "=== Reliability report: {} ===", log.spec().name());
+    let _ = writeln!(out, "=== Reliability report: {} ===", index.spec().name());
     let _ = writeln!(
         out,
         "{} failures over {} ({:.0} days)",
-        log.len(),
-        log.window(),
-        log.window().duration().days()
+        index.len(),
+        index.window(),
+        index.window().duration().days()
     );
     out
 }
 
-fn section_categories(view: &LogView<'_>) -> String {
+fn section_categories(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let cats = CategoryBreakdown::from_view(view);
+    let cats = CategoryBreakdown::from_index(index);
     let _ = writeln!(out, "\n-- Failure categories (RQ1) --");
     for share in cats.shares() {
         let _ = writeln!(
@@ -61,7 +207,7 @@ fn section_categories(view: &LogView<'_>) -> String {
             share.fraction * 100.0
         );
     }
-    let loci = LocusBreakdown::from_view(view);
+    let loci = LocusBreakdown::from_index(index);
     if loci.total() > 0 {
         let _ = writeln!(out, "\n-- Software root loci (Fig. 3) --");
         for share in loci.shares() {
@@ -77,9 +223,9 @@ fn section_categories(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_spatial(view: &LogView<'_>) -> String {
+fn section_spatial(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let nodes = NodeDistribution::from_view(view);
+    let nodes = NodeDistribution::from_index(index);
     let _ = writeln!(out, "\n-- Per-node distribution (RQ2) --");
     let _ = writeln!(
         out,
@@ -94,7 +240,7 @@ fn section_spatial(view: &LogView<'_>) -> String {
         nodes.fraction_with_exactly(2) * 100.0,
         nodes.fraction_with_multiple() * 100.0
     );
-    let slots = SlotDistribution::from_view(view);
+    let slots = SlotDistribution::from_index(index);
     if slots.total_involvements() > 0 {
         let _ = writeln!(out, "  GPU slot shares:");
         for s in slots.shares() {
@@ -110,9 +256,9 @@ fn section_spatial(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_involvement(view: &LogView<'_>) -> String {
+fn section_involvement(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let inv = InvolvementTable::from_log(view.log());
+    let inv = InvolvementTable::from_index(index);
     if inv.known() > 0 {
         let _ = writeln!(out, "\n-- Multi-GPU involvement (RQ3, Table III) --");
         for row in inv.rows() {
@@ -129,9 +275,9 @@ fn section_involvement(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_tbf(view: &LogView<'_>) -> String {
+fn section_tbf(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    if let Some(tbf) = TbfAnalysis::from_view(view) {
+    if let Some(tbf) = TbfAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Time between failures (RQ4) --");
         let (mtbf_lo, mtbf_hi) = tbf.mtbf_ci_hours(0.95);
         let _ = writeln!(
@@ -144,7 +290,7 @@ fn section_tbf(view: &LogView<'_>) -> String {
             tbf.quantile(0.5),
             tbf.p75_hours()
         );
-        let rows = per_category_tbf_view(view, 5);
+        let rows = per_category_tbf_index(index, 5);
         for row in rows.iter().take(5) {
             let _ = writeln!(
                 out,
@@ -156,7 +302,7 @@ fn section_tbf(view: &LogView<'_>) -> String {
         }
     }
 
-    if let Some(t) = MultiGpuTemporal::from_view(view, 96.0) {
+    if let Some(t) = MultiGpuTemporal::from_index(index, 96.0) {
         let _ = writeln!(
             out,
             "  multi-GPU clustering: CV {:.2}, follow-up within {:.0} h: {:.0}% (poisson {:.0}%)",
@@ -169,9 +315,9 @@ fn section_tbf(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_ttr_and_racks(view: &LogView<'_>) -> String {
+fn section_ttr_and_racks(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    if let Some(ttr) = TtrAnalysis::from_view(view) {
+    if let Some(ttr) = TtrAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Time to recovery (RQ5) --");
         let _ = writeln!(
             out,
@@ -181,7 +327,7 @@ fn section_ttr_and_racks(view: &LogView<'_>) -> String {
             ttr.quantile(0.9),
             ttr.max_hours()
         );
-        let rows = per_category_ttr_view(view);
+        let rows = per_category_ttr_index(index);
         if let Some(worst) = rows.last() {
             let _ = writeln!(
                 out,
@@ -195,7 +341,7 @@ fn section_ttr_and_racks(view: &LogView<'_>) -> String {
     }
 
     // Rack-level distribution (related-work generalizability claim).
-    let racks = crate::spatial::RackDistribution::from_view(view);
+    let racks = RackDistribution::from_index(index);
     if let Some(test) = racks.uniformity_test() {
         let k = (racks.shares().len() as f64 * 0.2).round().max(1.0) as usize;
         let _ = writeln!(
@@ -211,9 +357,9 @@ fn section_ttr_and_racks(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_availability(view: &LogView<'_>) -> String {
+fn section_availability(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    if let Some(avail) = crate::availability::AvailabilityAnalysis::from_view(view) {
+    if let Some(avail) = AvailabilityAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Repair overlap and availability --");
         let _ = writeln!(
             out,
@@ -232,11 +378,10 @@ fn section_availability(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_survival(view: &LogView<'_>) -> String {
+fn section_survival(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let log = view.log();
-    if let Some(surv) = crate::survival::NodeSurvival::from_log(log) {
-        let horizon = log.window().duration().get();
+    if let Some(surv) = NodeSurvival::from_index(index) {
+        let horizon = index.window().duration().get();
         let _ = writeln!(out, "\n-- Node survival (time to first failure) --");
         let _ = writeln!(
             out,
@@ -251,9 +396,9 @@ fn section_survival(view: &LogView<'_>) -> String {
     out
 }
 
-fn section_seasonal(view: &LogView<'_>) -> String {
+fn section_seasonal(index: &dyn FleetIndex) -> String {
     let mut out = String::new();
-    let seasonal = SeasonalAnalysis::from_view(view);
+    let seasonal = SeasonalAnalysis::from_index(index);
     if let Some(r) = seasonal.density_ttr_correlation() {
         let _ = writeln!(out, "\n-- Seasonal (Figs. 11-12) --");
         let counts = seasonal.monthly_failure_counts();
@@ -274,6 +419,279 @@ fn section_seasonal(view: &LogView<'_>) -> String {
     }
     out
 }
+
+// ---------------------------------------------------------------------
+// JSON renderers (one per section, stable schema — see DESIGN.md).
+// ---------------------------------------------------------------------
+
+fn json_header(index: &dyn FleetIndex) -> JsonValue {
+    JsonValue::object()
+        .field("system", index.spec().name())
+        .field("nodes", index.spec().nodes())
+        .field("gpus_per_node", index.spec().gpus_per_node())
+        .field("failures", index.len())
+        .field("window", index.window().to_string())
+        .field("days", index.window().duration().days())
+        .build()
+}
+
+fn json_categories(index: &dyn FleetIndex) -> JsonValue {
+    let cats = CategoryBreakdown::from_index(index);
+    let loci = LocusBreakdown::from_index(index);
+    JsonValue::object()
+        .field(
+            "categories",
+            JsonValue::Array(
+                cats.shares()
+                    .iter()
+                    .map(|s| {
+                        JsonValue::object()
+                            .field("category", s.category.label())
+                            .field("count", s.count)
+                            .field("fraction", s.fraction)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .field(
+            "loci",
+            JsonValue::Array(
+                loci.shares()
+                    .iter()
+                    .map(|s| {
+                        JsonValue::object()
+                            .field("locus", s.locus.label())
+                            .field("count", s.count)
+                            .field("fraction", s.fraction)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+fn json_spatial(index: &dyn FleetIndex) -> JsonValue {
+    let nodes = NodeDistribution::from_index(index);
+    let slots = SlotDistribution::from_index(index);
+    JsonValue::object()
+        .field(
+            "nodes",
+            JsonValue::object()
+                .field("failing", nodes.failing_nodes())
+                .field("total", nodes.total_nodes())
+                .field("fraction_exactly_one", nodes.fraction_with_exactly(1))
+                .field("fraction_exactly_two", nodes.fraction_with_exactly(2))
+                .field("fraction_multiple", nodes.fraction_with_multiple())
+                .build(),
+        )
+        .field(
+            "slots",
+            JsonValue::Array(
+                slots
+                    .shares()
+                    .iter()
+                    .map(|s| {
+                        JsonValue::object()
+                            .field("slot", s.slot.index())
+                            .field("count", s.count)
+                            .field("fraction", s.fraction)
+                            .field("relative_to_mean", s.relative_to_mean)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+fn json_involvement(index: &dyn FleetIndex) -> JsonValue {
+    let inv = InvolvementTable::from_index(index);
+    if inv.known() == 0 {
+        return JsonValue::Null;
+    }
+    JsonValue::object()
+        .field("known", inv.known())
+        .field("unknown", inv.unknown())
+        .field(
+            "rows",
+            JsonValue::Array(
+                inv.rows()
+                    .iter()
+                    .map(|row| {
+                        JsonValue::object()
+                            .field("gpus", row.gpus)
+                            .field("count", row.count)
+                            .field("fraction", row.fraction)
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .build()
+}
+
+fn json_tbf(index: &dyn FleetIndex) -> JsonValue {
+    let tbf = TbfAnalysis::from_index(index);
+    let temporal = MultiGpuTemporal::from_index(index, 96.0);
+    if tbf.is_none() && temporal.is_none() {
+        return JsonValue::Null;
+    }
+    let tbf_json = tbf.map_or(JsonValue::Null, |t| {
+        let (lo, hi) = t.mtbf_ci_hours(0.95);
+        JsonValue::object()
+            .field("mtbf_hours", t.mtbf_hours())
+            .field("mtbf_ci95_hours", JsonValue::array([lo, hi]))
+            .field("p25_hours", t.quantile(0.25))
+            .field("median_hours", t.quantile(0.5))
+            .field("p75_hours", t.p75_hours())
+            .field(
+                "per_category",
+                JsonValue::Array(
+                    per_category_tbf_index(index, 5)
+                        .iter()
+                        .take(5)
+                        .map(|row| {
+                            JsonValue::object()
+                                .field("category", row.category.label())
+                                .field("mean_tbf_hours", row.summary.mean())
+                                .field("events", row.summary.n() + 1)
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .build()
+    });
+    let temporal_json = temporal.map_or(JsonValue::Null, |t| {
+        JsonValue::object()
+            .field("cv", t.report.cv)
+            .field("follow_up_window_hours", t.report.follow_up_window)
+            .field("follow_up_probability", t.follow_up_probability)
+            .field("poisson_baseline", t.poisson_baseline)
+            .build()
+    });
+    JsonValue::object()
+        .field("tbf", tbf_json)
+        .field("multi_gpu_clustering", temporal_json)
+        .build()
+}
+
+fn json_ttr(index: &dyn FleetIndex) -> JsonValue {
+    let ttr = TtrAnalysis::from_index(index);
+    let racks = RackDistribution::from_index(index);
+    let rack_test = racks.uniformity_test();
+    if ttr.is_none() && rack_test.is_none() {
+        return JsonValue::Null;
+    }
+    let ttr_json = ttr.map_or(JsonValue::Null, |t| {
+        JsonValue::object()
+            .field("mttr_hours", t.mttr_hours())
+            .field("median_hours", t.median_hours())
+            .field("p90_hours", t.quantile(0.9))
+            .field("max_hours", t.max_hours())
+            .field(
+                "per_category",
+                JsonValue::Array(
+                    per_category_ttr_index(index)
+                        .iter()
+                        .map(|row| {
+                            JsonValue::object()
+                                .field("category", row.category.label())
+                                .field("mean_hours", row.summary.mean())
+                                .field("max_hours", row.summary.max())
+                                .field("share_of_failures", row.share_of_failures)
+                                .field("n", row.summary.n())
+                                .build()
+                        })
+                        .collect(),
+                ),
+            )
+            .build()
+    });
+    let racks_json = rack_test.map_or(JsonValue::Null, |test| {
+        let k = (racks.shares().len() as f64 * 0.2).round().max(1.0) as usize;
+        JsonValue::object()
+            .field("chi2", test.statistic)
+            .field("p_value", test.p_value)
+            .field("racks", racks.shares().len())
+            .field("top_racks", k)
+            .field("top_share", racks.top_rack_share(k))
+            .build()
+    });
+    JsonValue::object()
+        .field("ttr", ttr_json)
+        .field("racks", racks_json)
+        .build()
+}
+
+fn json_availability(index: &dyn FleetIndex) -> JsonValue {
+    AvailabilityAnalysis::from_index(index).map_or(JsonValue::Null, |a| {
+        JsonValue::object()
+            .field("overlap_probability", a.overlap_probability())
+            .field("mean_concurrent_repairs", a.mean_concurrent_repairs())
+            .field("max_concurrent_repairs", a.max_concurrent_repairs())
+            .field("repair_busy_fraction", a.repair_busy_fraction())
+            .field("node_hours_lost", a.node_hours_lost())
+            .field("node_availability", a.node_availability())
+            .build()
+    })
+}
+
+fn json_survival(index: &dyn FleetIndex) -> JsonValue {
+    NodeSurvival::from_index(index).map_or(JsonValue::Null, |s| {
+        let horizon = index.window().duration().get();
+        JsonValue::object()
+            .field("observed_failures", s.observed_failures())
+            .field("censored_nodes", s.censored_nodes())
+            .field("survival_quarter", s.survival_at(horizon * 0.25))
+            .field("survival_half", s.survival_at(horizon * 0.5))
+            .field("survival_end", s.survival_at(horizon))
+            .field("median_hours", s.median_hours())
+            .build()
+    })
+}
+
+fn json_seasonal(index: &dyn FleetIndex) -> JsonValue {
+    let seasonal = SeasonalAnalysis::from_index(index);
+    let Some(r) = seasonal.density_ttr_correlation() else {
+        return JsonValue::Null;
+    };
+    let counts = seasonal.monthly_failure_counts();
+    JsonValue::object()
+        .field(
+            "months",
+            JsonValue::Array(
+                seasonal
+                    .buckets()
+                    .iter()
+                    .map(|b| {
+                        JsonValue::object()
+                            .field("year", b.year)
+                            .field("month", b.month.number())
+                            .field("failures", b.failures)
+                            .field("mean_ttr_hours", b.ttr.map(|s| s.mean()))
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .field("min_monthly_failures", counts.iter().min().copied())
+        .field("max_monthly_failures", counts.iter().max().copied())
+        .field("density_ttr_correlation", r)
+        .field(
+            "half_year_ttr_means",
+            seasonal
+                .half_year_ttr_means()
+                .map_or(JsonValue::Null, |(h1, h2)| JsonValue::array([h1, h2])),
+        )
+        .build()
+}
+
+// ---------------------------------------------------------------------
+// Whole-report entry points.
+// ---------------------------------------------------------------------
 
 /// Renders the full single-system reliability report (all five research
 /// questions) as plain text.
@@ -297,7 +715,25 @@ pub fn render_report(log: &FailureLog) -> String {
 /// output is byte-identical to the serial render at any thread count.
 pub fn render_report_threaded(log: &FailureLog, threads: usize) -> String {
     let view = LogView::new(log);
-    failstats::par_map_ordered(SECTIONS.len(), threads, |i| SECTIONS[i](&view)).concat()
+    render_text_sections(&all_sections(), &view, threads)
+}
+
+/// Renders the full report as NDJSON — one line per registry section,
+/// byte-identical at every thread count.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let ndjson = failscope::render_report_json(&log, 1);
+/// assert_eq!(ndjson.lines().count(), failscope::SECTIONS.len());
+/// assert!(ndjson.starts_with(r#"{"id":"header""#));
+/// ```
+pub fn render_report_json(log: &FailureLog, threads: usize) -> String {
+    let view = LogView::new(log);
+    render_json_sections(&all_sections(), &view, threads)
 }
 
 /// Renders the two-generation comparison (MTBF/MTTR factors and the
@@ -313,8 +749,10 @@ pub fn render_comparison_threaded(
     newer: &FailureLog,
     threads: usize,
 ) -> String {
-    let logs = [older, newer];
-    let ttrs = failstats::par_map_ordered(2, threads, |i| TtrAnalysis::from_log(logs[i]));
+    let older_view = LogView::new(older);
+    let newer_view = LogView::new(newer);
+    let views = [&older_view, &newer_view];
+    let ttrs = failstats::par_map_ordered(2, threads, |i| TtrAnalysis::from_index(views[i]));
 
     let mut out = String::new();
     let _ = writeln!(
@@ -323,7 +761,7 @@ pub fn render_comparison_threaded(
         older.spec().name(),
         newer.spec().name()
     );
-    if let Some(c) = PepComparison::new(older, newer) {
+    if let Some(c) = PepComparison::from_indexes(&older_view, &newer_view) {
         let _ = writeln!(out, "  compute (Rpeak): {:>6.2}x", c.compute_factor());
         let _ = writeln!(out, "  MTBF:            {:>6.2}x", c.mtbf_factor());
         let _ = writeln!(
@@ -351,15 +789,71 @@ pub fn render_comparison_threaded(
     out
 }
 
+/// The comparison as one structured JSON document (`"pep"` and
+/// `"mttr_hours"` are `null` when the underlying analysis is undefined
+/// for the pair).
+pub fn comparison_json(older: &FailureLog, newer: &FailureLog, threads: usize) -> JsonValue {
+    let older_view = LogView::new(older);
+    let newer_view = LogView::new(newer);
+    let views = [&older_view, &newer_view];
+    let ttrs = failstats::par_map_ordered(2, threads, |i| TtrAnalysis::from_index(views[i]));
+
+    let pep = PepComparison::from_indexes(&older_view, &newer_view).map_or(
+        JsonValue::Null,
+        |c| {
+            JsonValue::object()
+                .field("compute_factor", c.compute_factor())
+                .field("mtbf_factor", c.mtbf_factor())
+                .field("pep_factor", c.pep_factor())
+                .field(
+                    "older_eflop_per_period",
+                    c.older.exaflop_per_failure_free_period(),
+                )
+                .field(
+                    "newer_eflop_per_period",
+                    c.newer.exaflop_per_failure_free_period(),
+                )
+                .field("reliability_lags_compute", c.reliability_lags_compute())
+                .build()
+        },
+    );
+    let mttr = if let [Some(a), Some(b)] = &ttrs[..] {
+        JsonValue::object()
+            .field("older", a.mttr_hours())
+            .field("newer", b.mttr_hours())
+            .build()
+    } else {
+        JsonValue::Null
+    };
+    JsonValue::object()
+        .field("older", older.spec().name())
+        .field("newer", newer.spec().name())
+        .field("pep", pep)
+        .field("mttr_hours", mttr)
+        .build()
+}
+
+/// [`comparison_json`], rendered as a single newline-terminated JSON
+/// line — the `failctl compare --format json` output.
+pub fn render_comparison_json(older: &FailureLog, newer: &FailureLog, threads: usize) -> String {
+    let mut line = comparison_json(older, newer, threads).render();
+    line.push('\n');
+    line
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::streamview::StreamView;
     use failsim::{Simulator, SystemModel};
+
+    fn t3() -> FailureLog {
+        Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap()
+    }
 
     #[test]
     fn report_contains_all_sections() {
-        let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
-        let text = render_report(&log);
+        let text = render_report(&t3());
         for needle in [
             "Reliability report: Tsubame-3",
             "Failure categories",
@@ -394,23 +888,99 @@ mod tests {
     }
 
     #[test]
+    fn json_report_is_one_line_per_section_and_thread_identical() {
+        let log = t3();
+        let serial = render_report_json(&log, 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(serial, render_report_json(&log, threads));
+        }
+        let lines: Vec<&str> = serial.lines().collect();
+        assert_eq!(lines.len(), SECTIONS.len());
+        for (line, section) in lines.iter().zip(SECTIONS) {
+            assert!(
+                line.starts_with(&format!(r#"{{"id":"{}","title":"#, section.id)),
+                "line does not open with its section id: {line}"
+            );
+            assert!(line.ends_with('}'), "unterminated JSON line: {line}");
+        }
+    }
+
+    #[test]
+    fn registry_lookup_and_selection() {
+        assert_eq!(section_by_id("tbf").map(|s| s.title), Some("Time between failures (RQ4)"));
+        assert!(section_by_id("bogus").is_none());
+
+        let picked = select_sections("ttr, header").expect("valid ids");
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].id, "ttr");
+        assert_eq!(picked[1].id, "header");
+
+        assert!(select_sections("header,bogus").is_err());
+        assert!(select_sections(" , ").is_err());
+    }
+
+    #[test]
+    fn selected_sections_render_just_those() {
+        let log = t3();
+        let view = LogView::new(&log);
+        let picked = select_sections("header,tbf").expect("valid ids");
+        let text = render_text_sections(&picked, &view, 2);
+        assert!(text.contains("Reliability report"));
+        assert!(text.contains("Time between failures"));
+        assert!(!text.contains("Time to recovery"));
+        let json = render_json_sections(&picked, &view, 2);
+        assert_eq!(json.lines().count(), 2);
+    }
+
+    #[test]
+    fn sections_agree_between_batch_and_stream_views() {
+        let log = t3();
+        let view = LogView::new(&log);
+        let mut sv = StreamView::for_log(&log);
+        for rec in log.iter() {
+            sv.push(rec.clone()).unwrap();
+        }
+        for section in SECTIONS {
+            assert_eq!(
+                (section.json)(&view).render(),
+                (section.json)(&sv).render(),
+                "JSON diverges for section {}",
+                section.id
+            );
+            assert_eq!(
+                (section.text)(&view),
+                (section.text)(&sv),
+                "text diverges for section {}",
+                section.id
+            );
+        }
+    }
+
+    #[test]
     fn comparison_report() {
         let t2 = Simulator::new(SystemModel::tsubame2(), 42).generate().unwrap();
-        let t3 = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        let t3 = t3();
         let text = render_comparison(&t2, &t3);
         assert!(text.contains("compute (Rpeak)"));
         assert!(text.contains("MTTR"));
         assert!(text.contains("reliability improved more slowly"));
         assert_eq!(text, render_comparison_threaded(&t2, &t3, 4));
+
+        let json = render_comparison_json(&t2, &t3, 1);
+        assert_eq!(json, render_comparison_json(&t2, &t3, 4));
+        assert!(json.contains(r#""pep":{"compute_factor":"#), "{json}");
+        assert!(json.ends_with("}\n"));
     }
 
     #[test]
     fn empty_log_report_does_not_panic() {
-        let log = Simulator::new(SystemModel::tsubame3(), 43)
-            .generate()
-            .unwrap()
-            .filtered(|_| false);
+        let log = t3().filtered(|_| false);
         let text = render_report(&log);
         assert!(text.contains("0 failures"));
+        // Empty sections degrade to data:null on the JSON side.
+        let json = render_report_json(&log, 1);
+        assert!(json.contains(r#"{"id":"tbf","title":"Time between failures (RQ4)","data":null}"#));
+        // Survival still has data: every node is a censored lifetime.
+        assert!(json.contains(r#"{"id":"survival","title":"Node survival","data":{"observed_failures":0"#));
     }
 }

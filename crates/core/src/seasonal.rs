@@ -5,7 +5,7 @@ use failstats::Summary;
 use failtypes::{FailureLog, Month};
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// One calendar month's failures in one year.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -27,37 +27,14 @@ pub struct SeasonalAnalysis {
 }
 
 impl SeasonalAnalysis {
-    /// Buckets every failure by the `(year, month)` it occurred in; all
-    /// months the window touches appear, including failure-free ones.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let months = log.window().months();
-        let mut ttrs: Vec<Vec<f64>> = vec![Vec::new(); months.len()];
-        for rec in log.iter() {
-            let date = log.window().date_of(rec.time());
-            if let Some(idx) = months.iter().position(|&m| m == date.year_month()) {
-                ttrs[idx].push(rec.ttr().get());
-            }
-        }
+    /// Buckets every failure by the `(year, month)` it occurred in,
+    /// reusing the index's month-bucketed repair durations; all months
+    /// the window touches appear, including failure-free ones.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let months = index.window().months();
         let buckets = months
             .into_iter()
-            .zip(ttrs)
-            .map(|((year, month), ttr_values)| MonthBucket {
-                year,
-                month,
-                failures: ttr_values.len(),
-                ttr: Summary::from_data(&ttr_values),
-            })
-            .collect();
-        SeasonalAnalysis { buckets }
-    }
-
-    /// Buckets from a prebuilt [`LogView`], reusing its month-bucketed
-    /// repair durations instead of re-resolving every record's date.
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let months = view.log().window().months();
-        let buckets = months
-            .into_iter()
-            .zip(view.month_ttrs())
+            .zip(index.month_ttrs())
             .map(|((year, month), ttr_values)| MonthBucket {
                 year,
                 month,
@@ -66,6 +43,16 @@ impl SeasonalAnalysis {
             })
             .collect();
         SeasonalAnalysis { buckets }
+    }
+
+    /// [`SeasonalAnalysis::from_index`], indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`SeasonalAnalysis::from_index`] on a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// The chronological `(year, month)` buckets.

@@ -1,13 +1,11 @@
 //! RQ2 — spatial distribution of failures: per-node occupancy (Fig. 4)
 //! and per-GPU-slot distribution (Fig. 5).
 
-use std::collections::BTreeMap;
-
 use failstats::{chi_square_gof, ChiSquareTest, CountHistogram};
-use failtypes::{Domain, FailureLog, GpuSlot, NodeId, RackId};
+use failtypes::{Domain, FailureLog, GpuSlot, RackId};
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// Per-node failure-count distribution (Fig. 4).
 ///
@@ -34,16 +32,14 @@ pub struct NodeDistribution {
 }
 
 impl NodeDistribution {
-    /// Computes the distribution over nodes with at least one failure.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let mut counts: BTreeMap<NodeId, u64> = BTreeMap::new();
-        for rec in log.iter() {
-            *counts.entry(rec.node()).or_insert(0) += 1;
-        }
+    /// Computes the distribution from any [`FleetIndex`], reusing its
+    /// per-node counts.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let counts = index.node_counts();
         let histogram: CountHistogram = counts.values().copied().collect();
         let mut multi_node_hardware = 0;
         let mut multi_node_software = 0;
-        for rec in log.iter() {
+        for rec in index.records() {
             if counts[&rec.node()] > 1 {
                 match rec.category().domain() {
                     Domain::Hardware => multi_node_hardware += 1,
@@ -55,35 +51,20 @@ impl NodeDistribution {
         NodeDistribution {
             failing_nodes: counts.len(),
             histogram,
-            total_nodes: log.spec().nodes(),
+            total_nodes: index.spec().nodes(),
             multi_node_hardware,
             multi_node_software,
         }
     }
 
-    /// Computes the distribution from a prebuilt [`LogView`], reusing
-    /// its per-node counts.
+    /// Computes the distribution, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the distribution from a prebuilt [`LogView`].
     pub fn from_view(view: &LogView<'_>) -> Self {
-        let counts = view.node_counts();
-        let histogram: CountHistogram = counts.values().copied().collect();
-        let mut multi_node_hardware = 0;
-        let mut multi_node_software = 0;
-        for rec in view.log().iter() {
-            if counts[&rec.node()] > 1 {
-                match rec.category().domain() {
-                    Domain::Hardware => multi_node_hardware += 1,
-                    Domain::Software => multi_node_software += 1,
-                    Domain::Unknown => {}
-                }
-            }
-        }
-        NodeDistribution {
-            failing_nodes: counts.len(),
-            histogram,
-            total_nodes: view.log().spec().nodes(),
-            multi_node_hardware,
-            multi_node_software,
-        }
+        Self::from_index(view)
     }
 
     /// Fraction of failing nodes with exactly `k` failures.
@@ -151,39 +132,10 @@ pub struct SlotDistribution {
 }
 
 impl SlotDistribution {
-    /// Computes the distribution over the system's GPU slots.
-    pub fn from_log(log: &FailureLog) -> Self {
-        let slots = log.spec().gpus_per_node() as usize;
-        let mut counts = vec![0usize; slots];
-        for rec in log.gpu_records() {
-            for slot in rec.gpus() {
-                if (slot.index() as usize) < slots {
-                    counts[slot.index() as usize] += 1;
-                }
-            }
-        }
-        let total: usize = counts.iter().sum();
-        let mean = total as f64 / slots.max(1) as f64;
-        let shares = counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, count)| SlotShare {
-                slot: GpuSlot::new(i as u8),
-                count,
-                fraction: count as f64 / total.max(1) as f64,
-                relative_to_mean: if mean > 0.0 { count as f64 / mean } else { 0.0 },
-            })
-            .collect();
-        SlotDistribution {
-            shares,
-            total_involvements: total,
-        }
-    }
-
-    /// Computes the distribution from a prebuilt [`LogView`], reusing
-    /// its per-slot counts.
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let counts = view.slot_counts();
+    /// Computes the distribution from any [`FleetIndex`], reusing its
+    /// per-slot counts.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let counts = index.slot_counts();
         let slots = counts.len();
         let total: usize = counts.iter().sum();
         let mean = total as f64 / slots.max(1) as f64;
@@ -201,6 +153,16 @@ impl SlotDistribution {
             shares,
             total_involvements: total,
         }
+    }
+
+    /// Computes the distribution, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the distribution from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Per-slot rows in slot order.
@@ -246,34 +208,12 @@ pub struct RackDistribution {
 }
 
 impl RackDistribution {
-    /// Counts failures per rack (every rack appears, including
-    /// failure-free ones).
-    pub fn from_log(log: &FailureLog) -> Self {
-        let spec = log.spec();
-        let mut counts = vec![0usize; spec.racks() as usize];
-        for rec in log.iter() {
-            counts[spec.rack_of(rec.node()).index() as usize] += 1;
-        }
-        let shares = counts
-            .into_iter()
-            .enumerate()
-            .map(|(i, count)| RackShare {
-                rack: RackId::new(i as u32),
-                count,
-                nodes: spec.rack_nodes(RackId::new(i as u32)).count() as u32,
-            })
-            .collect();
-        RackDistribution {
-            shares,
-            total: log.len(),
-        }
-    }
-
-    /// Computes the distribution from a prebuilt [`LogView`], reusing
-    /// its per-rack counts.
-    pub fn from_view(view: &LogView<'_>) -> Self {
-        let spec = view.log().spec();
-        let shares = view
+    /// Computes the distribution from any [`FleetIndex`], reusing its
+    /// per-rack counts (every rack appears, including failure-free
+    /// ones).
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Self {
+        let spec = index.spec();
+        let shares = index
             .rack_counts()
             .iter()
             .enumerate()
@@ -285,8 +225,18 @@ impl RackDistribution {
             .collect();
         RackDistribution {
             shares,
-            total: view.len(),
+            total: index.len(),
         }
+    }
+
+    /// Counts failures per rack, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Self {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the distribution from a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Self {
+        Self::from_index(view)
     }
 
     /// Per-rack rows in rack order.

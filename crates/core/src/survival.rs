@@ -12,24 +12,31 @@ use failstats::{KaplanMeier, Lifetime};
 use failtypes::{FailureLog, NodeId};
 use serde::{Deserialize, Serialize};
 
-/// Extracts the per-node time-to-first-failure lifetimes of a log (one
-/// per node; censored at the window end for nodes that never failed) —
-/// the input both [`NodeSurvival`] and cross-system comparisons via
-/// [`failstats::log_rank`] consume.
-pub fn node_lifetimes(log: &FailureLog) -> Vec<Lifetime> {
-    let horizon = log.window().duration().get();
+use crate::{FleetIndex, LogView};
+
+/// Extracts the per-node time-to-first-failure lifetimes of any
+/// [`FleetIndex`] (one per node; censored at the window end for nodes
+/// that never failed) — the input both [`NodeSurvival`] and cross-system
+/// comparisons via [`failstats::log_rank`] consume.
+///
+/// Records are time-sorted, so the first occurrence of a node in the
+/// record sequence is its first failure.
+pub fn node_lifetimes_index<V: FleetIndex + ?Sized>(index: &V) -> Vec<Lifetime> {
+    let horizon = index.window().duration().get();
     let mut first: BTreeMap<NodeId, f64> = BTreeMap::new();
-    for rec in log.iter() {
-        first
-            .entry(rec.node())
-            .and_modify(|t| *t = t.min(rec.time().get()))
-            .or_insert(rec.time().get());
+    for rec in index.records() {
+        first.entry(rec.node()).or_insert_with(|| rec.time().get());
     }
-    let total_nodes = log.spec().nodes() as usize;
+    let total_nodes = index.spec().nodes() as usize;
     let mut lifetimes: Vec<Lifetime> = first.values().map(|&t| Lifetime::observed(t)).collect();
     let censored = total_nodes.saturating_sub(first.len());
     lifetimes.extend(std::iter::repeat_n(Lifetime::censored(horizon), censored));
     lifetimes
+}
+
+/// [`node_lifetimes_index`], indexing the log once.
+pub fn node_lifetimes(log: &FailureLog) -> Vec<Lifetime> {
+    node_lifetimes_index(&LogView::new(log))
 }
 
 /// Kaplan–Meier analysis of node time-to-first-failure.
@@ -41,20 +48,30 @@ pub struct NodeSurvival {
 }
 
 impl NodeSurvival {
-    /// Fits the estimator: every node contributes one lifetime — the
-    /// offset of its first failure, or a censored observation at the
-    /// window end if it never failed.
+    /// Fits the estimator from any [`FleetIndex`]: every node
+    /// contributes one lifetime — the offset of its first failure, or a
+    /// censored observation at the window end if it never failed.
     ///
     /// Returns `None` for systems with zero nodes (impossible for
     /// validated logs).
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let lifetimes = node_lifetimes(log);
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        let lifetimes = node_lifetimes_index(index);
         let observed = lifetimes.iter().filter(|l| l.observed).count();
         Some(NodeSurvival {
             km: KaplanMeier::fit(&lifetimes)?,
             observed_failures: observed,
             censored_nodes: lifetimes.len() - observed,
         })
+    }
+
+    /// [`NodeSurvival::from_index`], indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`NodeSurvival::from_index`] on a prebuilt [`LogView`].
+    pub fn from_view(view: &LogView<'_>) -> Option<Self> {
+        Self::from_index(view)
     }
 
     /// The fitted Kaplan–Meier curve.

@@ -4,7 +4,7 @@ use failstats::{Ecdf, Summary};
 use failtypes::{Category, ComponentClass, FailureLog};
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// System-wide time-between-failures analysis (Fig. 6).
 ///
@@ -29,33 +29,30 @@ pub struct TbfAnalysis {
 }
 
 impl TbfAnalysis {
-    /// Computes the analysis; `None` for logs with fewer than two
-    /// failures (no inter-arrival times exist).
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let times: Vec<f64> = log.times().map(|h| h.get()).collect();
-        let gaps = failstats::inter_arrival_times(&times);
+    /// Computes the analysis from any [`FleetIndex`], reusing its time
+    /// array; `None` for logs with fewer than two failures (no
+    /// inter-arrival times exist).
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        let gaps = failstats::inter_arrival_times(index.times());
         let ecdf = Ecdf::new(gaps)?;
+        let window_hours = index.window().duration().get();
         Some(TbfAnalysis {
             ecdf,
             // The paper's MTBF: observation window over failure count.
-            mtbf_hours: log.window().duration().get() / log.len() as f64,
-            window_hours: log.window().duration().get(),
-            failures: log.len(),
+            mtbf_hours: window_hours / index.len() as f64,
+            window_hours,
+            failures: index.len(),
         })
     }
 
-    /// Computes the analysis from a prebuilt [`LogView`], reusing its
-    /// time array; `None` for logs with fewer than two failures.
+    /// Computes the analysis, indexing the log once.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// Computes the analysis from a prebuilt [`LogView`].
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
-        let gaps = failstats::inter_arrival_times(view.times());
-        let ecdf = Ecdf::new(gaps)?;
-        let window_hours = view.log().window().duration().get();
-        Some(TbfAnalysis {
-            ecdf,
-            mtbf_hours: window_hours / view.len() as f64,
-            window_hours,
-            failures: view.len(),
-        })
+        Self::from_index(view)
     }
 
     /// MTBF as the paper computes it: window length / failure count.
@@ -114,47 +111,51 @@ impl TbfAnalysis {
     }
 }
 
-/// Per-component-class MTBF, counting failure *events* of that class
-/// (window / event count). Returns `None` when the class never failed.
+/// Per-component-class MTBF from any [`FleetIndex`], counting failure
+/// *events* of that class (window / event count). Returns `None` when
+/// the class never failed.
 ///
 /// The paper's per-class numbers: GPU MTBF improved ~10× from Tsubame-2
 /// to Tsubame-3 while the GPU count only halved; CPU MTBF improved ~3×.
-pub fn class_mtbf_hours(log: &FailureLog, class: ComponentClass) -> Option<f64> {
-    let count = log
-        .iter()
-        .filter(|r| r.category().component_class() == class)
-        .count();
-    (count > 0).then(|| log.window().duration().get() / count as f64)
-}
-
-/// [`class_mtbf_hours`] from a prebuilt [`LogView`], reusing its
-/// category partitions.
-pub fn class_mtbf_hours_view(view: &LogView<'_>, class: ComponentClass) -> Option<f64> {
-    let count: usize = view
+pub fn class_mtbf_hours_index<V: FleetIndex + ?Sized>(
+    index: &V,
+    class: ComponentClass,
+) -> Option<f64> {
+    let count: usize = index
         .category_indices()
         .iter()
         .filter(|(category, _)| category.component_class() == class)
         .map(|(_, indices)| indices.len())
         .sum();
-    (count > 0).then(|| view.log().window().duration().get() / count as f64)
+    (count > 0).then(|| index.window().duration().get() / count as f64)
 }
 
-/// GPU MTBF counting each involved GPU separately (a failure touching 3
-/// GPUs counts three times; unknown involvement counts once). Returns
-/// `None` when no GPU failures exist.
+/// [`class_mtbf_hours_index`], indexing the log once.
+pub fn class_mtbf_hours(log: &FailureLog, class: ComponentClass) -> Option<f64> {
+    class_mtbf_hours_index(&LogView::new(log), class)
+}
+
+/// [`class_mtbf_hours_index`] on a prebuilt [`LogView`].
+pub fn class_mtbf_hours_view(view: &LogView<'_>, class: ComponentClass) -> Option<f64> {
+    class_mtbf_hours_index(view, class)
+}
+
+/// GPU MTBF from any [`FleetIndex`], counting each involved GPU
+/// separately (a failure touching 3 GPUs counts three times; unknown
+/// involvement counts once). Returns `None` when no GPU failures exist.
+pub fn gpu_involvement_mtbf_hours_index<V: FleetIndex + ?Sized>(index: &V) -> Option<f64> {
+    let count = index.gpu_involvements();
+    (count > 0).then(|| index.window().duration().get() / count as f64)
+}
+
+/// [`gpu_involvement_mtbf_hours_index`], indexing the log once.
 pub fn gpu_involvement_mtbf_hours(log: &FailureLog) -> Option<f64> {
-    let count: usize = log
-        .gpu_records()
-        .map(|r| r.gpus().len().max(1))
-        .sum();
-    (count > 0).then(|| log.window().duration().get() / count as f64)
+    gpu_involvement_mtbf_hours_index(&LogView::new(log))
 }
 
-/// [`gpu_involvement_mtbf_hours`] from a prebuilt [`LogView`], reusing
-/// its involvement counter.
+/// [`gpu_involvement_mtbf_hours_index`] on a prebuilt [`LogView`].
 pub fn gpu_involvement_mtbf_hours_view(view: &LogView<'_>) -> Option<f64> {
-    let count = view.gpu_involvements();
-    (count > 0).then(|| view.log().window().duration().get() / count as f64)
+    gpu_involvement_mtbf_hours_index(view)
 }
 
 /// One row of the per-category TBF table (Fig. 7).
@@ -167,21 +168,22 @@ pub struct CategoryTbf {
     pub summary: Summary,
 }
 
-/// Per-category TBF distributions, sorted by ascending mean TBF (the
-/// order Fig. 7 plots).
+/// Per-category TBF distributions from any [`FleetIndex`], reusing its
+/// time-ordered category partitions; rows are sorted by ascending mean
+/// TBF (the order Fig. 7 plots).
 ///
 /// Categories with fewer than `min_events` failures are skipped — their
 /// inter-arrival statistics would be noise.
-pub fn per_category_tbf(log: &FailureLog, min_events: usize) -> Vec<CategoryTbf> {
+pub fn per_category_tbf_index<V: FleetIndex + ?Sized>(
+    index: &V,
+    min_events: usize,
+) -> Vec<CategoryTbf> {
     let mut out = Vec::new();
-    let mut by_cat: std::collections::BTreeMap<Category, Vec<f64>> = Default::default();
-    for rec in log.iter() {
-        by_cat.entry(rec.category()).or_default().push(rec.time().get());
-    }
-    for (category, times) in by_cat {
-        if times.len() < min_events.max(2) {
+    for (&category, indices) in index.category_indices() {
+        if indices.len() < min_events.max(2) {
             continue;
         }
+        let times = index.category_times(category);
         let gaps = failstats::inter_arrival_times(&times);
         if let Some(summary) = Summary::from_data(&gaps) {
             out.push(CategoryTbf { category, summary });
@@ -196,27 +198,14 @@ pub fn per_category_tbf(log: &FailureLog, min_events: usize) -> Vec<CategoryTbf>
     out
 }
 
-/// [`per_category_tbf`] from a prebuilt [`LogView`], reusing its
-/// time-ordered category partitions instead of re-grouping the log.
+/// [`per_category_tbf_index`], indexing the log once.
+pub fn per_category_tbf(log: &FailureLog, min_events: usize) -> Vec<CategoryTbf> {
+    per_category_tbf_index(&LogView::new(log), min_events)
+}
+
+/// [`per_category_tbf_index`] on a prebuilt [`LogView`].
 pub fn per_category_tbf_view(view: &LogView<'_>, min_events: usize) -> Vec<CategoryTbf> {
-    let mut out = Vec::new();
-    for (&category, indices) in view.category_indices() {
-        if indices.len() < min_events.max(2) {
-            continue;
-        }
-        let times = view.category_times(category);
-        let gaps = failstats::inter_arrival_times(&times);
-        if let Some(summary) = Summary::from_data(&gaps) {
-            out.push(CategoryTbf { category, summary });
-        }
-    }
-    out.sort_by(|a, b| {
-        a.summary
-            .mean()
-            .partial_cmp(&b.summary.mean())
-            .expect("means are finite")
-    });
-    out
+    per_category_tbf_index(view, min_events)
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@ use failstats::BurstinessReport;
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// Temporal-clustering analysis of multi-GPU failures.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -26,7 +26,9 @@ pub struct MultiGpuTemporal {
 }
 
 impl MultiGpuTemporal {
-    /// Computes the analysis with the given follow-up window in hours.
+    /// Computes the analysis from any [`FleetIndex`] with the given
+    /// follow-up window in hours, reusing the index's multi-GPU arrival
+    /// times.
     ///
     /// Returns `None` when the log has fewer than three multi-GPU
     /// failures (the paper's Tsubame-2 has hundreds).
@@ -34,27 +36,30 @@ impl MultiGpuTemporal {
     /// # Panics
     ///
     /// Panics if `follow_up_hours` is not positive.
-    pub fn from_log(log: &FailureLog, follow_up_hours: f64) -> Option<Self> {
-        let times: Vec<f64> = log
-            .gpu_records()
-            .filter(|r| r.is_multi_gpu())
-            .map(|r| r.time().get())
-            .collect();
-        Self::from_times(&times, log.window().duration().get(), follow_up_hours)
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V, follow_up_hours: f64) -> Option<Self> {
+        Self::from_times(
+            index.multi_gpu_times(),
+            index.window().duration().get(),
+            follow_up_hours,
+        )
     }
 
-    /// Computes the analysis from a prebuilt [`LogView`], reusing its
-    /// multi-GPU arrival times.
+    /// [`MultiGpuTemporal::from_index`], indexing the log once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `follow_up_hours` is not positive.
+    pub fn from_log(log: &FailureLog, follow_up_hours: f64) -> Option<Self> {
+        Self::from_index(&LogView::new(log), follow_up_hours)
+    }
+
+    /// [`MultiGpuTemporal::from_index`] on a prebuilt [`LogView`].
     ///
     /// # Panics
     ///
     /// Panics if `follow_up_hours` is not positive.
     pub fn from_view(view: &LogView<'_>, follow_up_hours: f64) -> Option<Self> {
-        Self::from_times(
-            view.multi_gpu_times(),
-            view.log().window().duration().get(),
-            follow_up_hours,
-        )
+        Self::from_index(view, follow_up_hours)
     }
 
     fn from_times(times: &[f64], horizon: f64, follow_up_hours: f64) -> Option<Self> {

@@ -4,7 +4,7 @@ use failstats::{Ecdf, Summary};
 use failtypes::{Category, Domain, FailureLog};
 use serde::{Deserialize, Serialize};
 
-use crate::LogView;
+use crate::{FleetIndex, LogView};
 
 /// System-wide time-to-recovery analysis (Fig. 9).
 ///
@@ -25,21 +25,24 @@ pub struct TtrAnalysis {
 }
 
 impl TtrAnalysis {
-    /// Computes the analysis; `None` for empty logs.
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let ttrs: Vec<f64> = log.iter().map(|r| r.ttr().get()).collect();
+    /// Computes the analysis from any [`FleetIndex`], reusing its
+    /// pre-sorted TTR sample instead of re-sorting; `None` when no
+    /// failures are indexed.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
         Some(TtrAnalysis {
-            ecdf: Ecdf::new(ttrs)?,
+            ecdf: Ecdf::from_sorted(index.ttrs_sorted().to_vec())?,
         })
     }
 
-    /// Computes the analysis from a prebuilt [`LogView`], reusing its
-    /// pre-sorted TTR sample instead of re-sorting; `None` for empty
-    /// logs.
+    /// [`TtrAnalysis::from_index`], indexing the log once; `None` for
+    /// empty logs.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
+    }
+
+    /// [`TtrAnalysis::from_index`] on a prebuilt [`LogView`].
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
-        Some(TtrAnalysis {
-            ecdf: Ecdf::from_sorted(view.ttrs_sorted().to_vec())?,
-        })
+        Self::from_index(view)
     }
 
     /// Mean time to recovery.
@@ -83,18 +86,17 @@ pub struct CategoryTtr {
     pub summary: Summary,
 }
 
-/// Per-category TTR distributions, sorted by ascending mean TTR (the
-/// order Fig. 10 plots). Every category with at least one failure
-/// appears.
-pub fn per_category_ttr(log: &FailureLog) -> Vec<CategoryTtr> {
-    let mut by_cat: std::collections::BTreeMap<Category, Vec<f64>> = Default::default();
-    for rec in log.iter() {
-        by_cat.entry(rec.category()).or_default().push(rec.ttr().get());
-    }
-    let total = log.len().max(1) as f64;
-    let mut out: Vec<CategoryTtr> = by_cat
-        .into_iter()
-        .filter_map(|(category, ttrs)| {
+/// Per-category TTR distributions from any [`FleetIndex`], reusing its
+/// time-ordered category partitions; rows are sorted by ascending mean
+/// TTR (the order Fig. 10 plots). Every category with at least one
+/// failure appears.
+pub fn per_category_ttr_index<V: FleetIndex + ?Sized>(index: &V) -> Vec<CategoryTtr> {
+    let total = index.len().max(1) as f64;
+    let mut out: Vec<CategoryTtr> = index
+        .category_indices()
+        .keys()
+        .filter_map(|&category| {
+            let ttrs = index.category_ttrs(category);
             Summary::from_data(&ttrs).map(|summary| CategoryTtr {
                 category,
                 share_of_failures: ttrs.len() as f64 / total,
@@ -111,36 +113,21 @@ pub fn per_category_ttr(log: &FailureLog) -> Vec<CategoryTtr> {
     out
 }
 
-/// [`per_category_ttr`] from a prebuilt [`LogView`], reusing its
-/// time-ordered category partitions instead of re-grouping the log.
+/// [`per_category_ttr_index`], indexing the log once.
+pub fn per_category_ttr(log: &FailureLog) -> Vec<CategoryTtr> {
+    per_category_ttr_index(&LogView::new(log))
+}
+
+/// [`per_category_ttr_index`] on a prebuilt [`LogView`].
 pub fn per_category_ttr_view(view: &LogView<'_>) -> Vec<CategoryTtr> {
-    let total = view.len().max(1) as f64;
-    let mut out: Vec<CategoryTtr> = view
-        .category_indices()
-        .keys()
-        .filter_map(|&category| {
-            let ttrs = view.category_ttrs(category);
-            Summary::from_data(&ttrs).map(|summary| CategoryTtr {
-                category,
-                share_of_failures: ttrs.len() as f64 / total,
-                summary,
-            })
-        })
-        .collect();
-    out.sort_by(|a, b| {
-        a.summary
-            .mean()
-            .partial_cmp(&b.summary.mean())
-            .expect("means are finite")
-    });
-    out
+    per_category_ttr_index(view)
 }
 
 /// Count-weighted mean of the per-domain TTR interquartile ranges — a
 /// scalar for Fig. 10's "hardware repairs have a higher spread than
 /// software repairs" claim.
-pub fn domain_ttr_spread(log: &FailureLog, domain: Domain) -> Option<f64> {
-    let rows = per_category_ttr(log);
+pub fn domain_ttr_spread_index<V: FleetIndex + ?Sized>(index: &V, domain: Domain) -> Option<f64> {
+    let rows = per_category_ttr_index(index);
     let mut weighted = 0.0;
     let mut weight = 0.0;
     for row in rows {
@@ -153,18 +140,32 @@ pub fn domain_ttr_spread(log: &FailureLog, domain: Domain) -> Option<f64> {
     (weight > 0.0).then(|| weighted / weight)
 }
 
+/// [`domain_ttr_spread_index`], indexing the log once.
+pub fn domain_ttr_spread(log: &FailureLog, domain: Domain) -> Option<f64> {
+    domain_ttr_spread_index(&LogView::new(log), domain)
+}
+
 /// Categories that are individually rare but expensive to repair:
 /// share of failures below `max_share` and maximum TTR above
 /// `min_max_ttr_hours` (the paper's power-board / SSD examples).
+pub fn rare_but_costly_index<V: FleetIndex + ?Sized>(
+    index: &V,
+    max_share: f64,
+    min_max_ttr_hours: f64,
+) -> Vec<CategoryTtr> {
+    per_category_ttr_index(index)
+        .into_iter()
+        .filter(|row| row.share_of_failures <= max_share && row.summary.max() >= min_max_ttr_hours)
+        .collect()
+}
+
+/// [`rare_but_costly_index`], indexing the log once.
 pub fn rare_but_costly(
     log: &FailureLog,
     max_share: f64,
     min_max_ttr_hours: f64,
 ) -> Vec<CategoryTtr> {
-    per_category_ttr(log)
-        .into_iter()
-        .filter(|row| row.share_of_failures <= max_share && row.summary.max() >= min_max_ttr_hours)
-        .collect()
+    rare_but_costly_index(&LogView::new(log), max_share, min_max_ttr_hours)
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! of an MTBF measured by [`failscope::TbfAnalysis`], plus the expected
 //! waste model needed to compare plans.
 
+use failscope::{FleetIndex, LogView};
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
@@ -72,7 +73,23 @@ impl CheckpointPlan {
         })
     }
 
-    /// Derives the plan from a measured failure log.
+    /// Derives the plan from any measured [`FleetIndex`] (a batch
+    /// [`LogView`] or a live [`failscope::StreamView`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails when the index holds fewer than two failures (no MTBF) or
+    /// the parameters are invalid for the measured MTBF.
+    pub fn from_index<V: FleetIndex + ?Sized>(
+        index: &V,
+        checkpoint_cost_hours: f64,
+    ) -> Result<Self, InvalidCheckpointParams> {
+        let tbf = failscope::TbfAnalysis::from_index(index)
+            .ok_or(InvalidCheckpointParams("log has fewer than two failures"))?;
+        Self::new(tbf.mtbf_hours(), checkpoint_cost_hours)
+    }
+
+    /// [`CheckpointPlan::from_index`], indexing the log once.
     ///
     /// # Errors
     ///
@@ -82,9 +99,7 @@ impl CheckpointPlan {
         log: &FailureLog,
         checkpoint_cost_hours: f64,
     ) -> Result<Self, InvalidCheckpointParams> {
-        let tbf = failscope::TbfAnalysis::from_log(log)
-            .ok_or(InvalidCheckpointParams("log has fewer than two failures"))?;
-        Self::new(tbf.mtbf_hours(), checkpoint_cost_hours)
+        Self::from_index(&LogView::new(log), checkpoint_cost_hours)
     }
 
     /// The system MTBF in hours.

@@ -10,6 +10,7 @@
 //! events. This module quantifies that trade against the utilization
 //! gain, using multi-GPU rates measured from a log (Table III).
 
+use failscope::{FleetIndex, LogView};
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
@@ -35,15 +36,15 @@ impl NodeFailureModel {
         })
     }
 
-    /// Derives the rates from a measured log (events with unknown
-    /// involvement count as single).
+    /// Derives the rates from any measured [`FleetIndex`] (events with
+    /// unknown involvement count as single).
     ///
-    /// Returns `None` when the log has no GPU failures.
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let node_hours = log.window().duration().get() * log.spec().nodes() as f64;
+    /// Returns `None` when the index has no GPU failures.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        let node_hours = index.window().duration().get() * index.spec().nodes() as f64;
         let mut single = 0usize;
         let mut multi = 0usize;
-        for rec in log.gpu_records() {
+        for rec in index.records().iter().filter(|r| r.category().is_gpu()) {
             if rec.is_multi_gpu() {
                 multi += 1;
             } else {
@@ -54,6 +55,13 @@ impl NodeFailureModel {
             return None;
         }
         Self::new(single as f64 / node_hours, multi as f64 / node_hours)
+    }
+
+    /// [`NodeFailureModel::from_index`], indexing the log once.
+    ///
+    /// Returns `None` when the log has no GPU failures.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
     }
 
     /// Share of GPU failures that are simultaneous multi-GPU.

@@ -58,7 +58,10 @@ pub use scheduler::{
     allocate, evaluate_policy, AllocationPolicy, PolicyOutcome, SlotRiskModel,
 };
 pub use spares::{expected_demands, simulate_inventory, InventoryOutcome, SparePolicy};
-pub use staffing::{required_crews, simulate_staffing, StaffingOutcome};
+pub use staffing::{
+    required_crews, required_crews_index, simulate_staffing, simulate_staffing_index,
+    StaffingOutcome,
+};
 
 #[cfg(test)]
 mod tests {

@@ -8,6 +8,7 @@
 //! the Fig. 5 skew — the one-call API an operations team would script
 //! against.
 
+use failscope::{FleetIndex, LogView};
 use failtypes::{ComponentClass, FailureLog};
 use serde::{Deserialize, Serialize};
 
@@ -15,7 +16,7 @@ use crate::checkpoint::CheckpointPlan;
 use crate::colocation::NodeFailureModel;
 use crate::scheduler::{evaluate_policy, AllocationPolicy, SlotRiskModel};
 use crate::spares::SparePolicy;
-use crate::staffing::required_crews;
+use crate::staffing::required_crews_index;
 
 /// Tunables of an [`OperationsPlan`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -80,16 +81,19 @@ pub struct OperationsPlan {
 }
 
 impl OperationsPlan {
-    /// Derives the full plan from a measured log.
+    /// Derives the full plan from any measured [`FleetIndex`] in a
+    /// single indexed pass — a batch [`LogView`] or a live
+    /// [`failscope::StreamView`] mid-ingestion work the same way.
     ///
-    /// Returns `None` when the log is too small to measure an MTBF or
+    /// Returns `None` when the index is too small to measure an MTBF or
     /// has no GPU failures (both needed by most of the plan).
-    pub fn from_log(log: &FailureLog, config: PlanConfig) -> Option<Self> {
-        let checkpoint = CheckpointPlan::from_log(log, config.checkpoint_cost_hours).ok()?;
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V, config: PlanConfig) -> Option<Self> {
+        let checkpoint = CheckpointPlan::from_index(index, config.checkpoint_cost_hours).ok()?;
 
         let mut spares = Vec::new();
         for class in ComponentClass::ALL {
-            if let Some(policy) = SparePolicy::from_log(log, class, config.spare_lead_time_hours)
+            if let Some(policy) =
+                SparePolicy::from_index(index, class, config.spare_lead_time_hours)
             {
                 spares.push(SpareLine {
                     class,
@@ -99,17 +103,17 @@ impl OperationsPlan {
             }
         }
 
-        let repair_crews = crate::staffing::simulate_staffing(log, 1)
-            .and_then(|_| required_crews(log, config.staffing_inflation_target, 64));
+        let repair_crews =
+            required_crews_index(index, config.staffing_inflation_target, 64);
 
-        let node_model = NodeFailureModel::from_log(log)?;
+        let node_model = NodeFailureModel::from_index(index)?;
         let colocation_acceptable = crate::colocation::colocation_acceptable(
             node_model,
             168.0,
             config.colocation_tolerance,
         );
 
-        let slot_scheduling_gain = match SlotRiskModel::from_log(log) {
+        let slot_scheduling_gain = match SlotRiskModel::from_index(index) {
             Some(risk) => {
                 let jobs: Vec<(usize, f64)> = (0..200).map(|i| (1 + i % 2, 48.0)).collect();
                 let ff = evaluate_policy(&risk, AllocationPolicy::FirstFit, &jobs);
@@ -127,6 +131,14 @@ impl OperationsPlan {
             colocation_acceptable,
             slot_scheduling_gain,
         })
+    }
+
+    /// [`OperationsPlan::from_index`], indexing the log once.
+    ///
+    /// Returns `None` when the log is too small to measure an MTBF or
+    /// has no GPU failures (both needed by most of the plan).
+    pub fn from_log(log: &FailureLog, config: PlanConfig) -> Option<Self> {
+        Self::from_index(&LogView::new(log), config)
     }
 
     /// Renders the plan as an operator-facing text block.

@@ -6,7 +6,7 @@
 //! compares slot-allocation policies by the expected interruption
 //! probability of the jobs they place.
 
-use failscope::SlotDistribution;
+use failscope::{FleetIndex, LogView, SlotDistribution};
 use failtypes::{FailureLog, GpuSlot};
 use serde::{Deserialize, Serialize};
 
@@ -30,22 +30,29 @@ impl SlotRiskModel {
         Some(SlotRiskModel { rates_per_hour })
     }
 
-    /// Derives per-slot rates from a measured log: slot involvements over
-    /// the window, divided across the system's nodes.
+    /// Derives per-slot rates from any measured [`FleetIndex`]: slot
+    /// involvements over the window, divided across the system's nodes.
     ///
-    /// Returns `None` when the log records no slot involvements.
-    pub fn from_log(log: &FailureLog) -> Option<Self> {
-        let dist = SlotDistribution::from_log(log);
+    /// Returns `None` when the index records no slot involvements.
+    pub fn from_index<V: FleetIndex + ?Sized>(index: &V) -> Option<Self> {
+        let dist = SlotDistribution::from_index(index);
         if dist.total_involvements() == 0 {
             return None;
         }
-        let node_hours = log.window().duration().get() * log.spec().nodes() as f64;
+        let node_hours = index.window().duration().get() * index.spec().nodes() as f64;
         Self::new(
             dist.shares()
                 .iter()
                 .map(|s| s.count as f64 / node_hours)
                 .collect(),
         )
+    }
+
+    /// [`SlotRiskModel::from_index`], indexing the log once.
+    ///
+    /// Returns `None` when the log records no slot involvements.
+    pub fn from_log(log: &FailureLog) -> Option<Self> {
+        Self::from_index(&LogView::new(log))
     }
 
     /// Number of GPU slots per node.

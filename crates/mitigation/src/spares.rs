@@ -7,6 +7,7 @@
 //! replenishment lead time) and validates the sizing with a discrete-event
 //! inventory simulation.
 
+use failscope::{FleetIndex, LogView};
 use failstats::{sample_poisson, ContinuousDist, Exponential};
 use failtypes::{ComponentClass, FailureLog};
 use rand::rngs::StdRng;
@@ -35,8 +36,20 @@ impl SparePolicy {
         })
     }
 
-    /// Derives the demand rate from a measured log for one component
-    /// class (replacement-driven categories).
+    /// Derives the demand rate from any measured [`FleetIndex`] for one
+    /// component class (replacement-driven categories).
+    ///
+    /// Returns `None` when the class never failed.
+    pub fn from_index<V: FleetIndex + ?Sized>(
+        index: &V,
+        class: ComponentClass,
+        lead_time_hours: f64,
+    ) -> Option<Self> {
+        let mtbf = failscope::class_mtbf_hours_index(index, class)?;
+        Self::new(1.0 / mtbf, lead_time_hours)
+    }
+
+    /// [`SparePolicy::from_index`], indexing the log once.
     ///
     /// Returns `None` when the class never failed in the log.
     pub fn from_log(
@@ -44,8 +57,7 @@ impl SparePolicy {
         class: ComponentClass,
         lead_time_hours: f64,
     ) -> Option<Self> {
-        let mtbf = failscope::class_mtbf_hours(log, class)?;
-        Self::new(1.0 / mtbf, lead_time_hours)
+        Self::from_index(&LogView::new(log), class, lead_time_hours)
     }
 
     /// Mean demand during one replenishment lead time.

@@ -9,6 +9,7 @@
 //! through a `k`-crew queue and reports the inflation, giving operators
 //! the staffing/TTR trade-off curve.
 
+use failscope::{FleetIndex, LogView};
 use failtypes::FailureLog;
 use serde::{Deserialize, Serialize};
 
@@ -37,13 +38,16 @@ impl StaffingOutcome {
     }
 }
 
-/// Replays the log's failures through `crews` parallel repair crews in
-/// arrival order: each failure waits until a crew frees up, then occupies
-/// it for the recorded TTR.
+/// Replays the failures of any [`FleetIndex`] through `crews` parallel
+/// repair crews in arrival order: each failure waits until a crew frees
+/// up, then occupies it for the recorded TTR.
 ///
-/// Returns `None` for an empty log or zero crews.
-pub fn simulate_staffing(log: &FailureLog, crews: u32) -> Option<StaffingOutcome> {
-    if log.is_empty() || crews == 0 {
+/// Returns `None` for an empty index or zero crews.
+pub fn simulate_staffing_index<V: FleetIndex + ?Sized>(
+    index: &V,
+    crews: u32,
+) -> Option<StaffingOutcome> {
+    if index.is_empty() || crews == 0 {
         return None;
     }
     // Earliest-free-crew times; linear scan is fine for realistic crew
@@ -53,7 +57,7 @@ pub fn simulate_staffing(log: &FailureLog, crews: u32) -> Option<StaffingOutcome
     let mut total_hands_on = 0.0;
     let mut delayed = 0usize;
     let mut max_wait = 0.0f64;
-    for rec in log.iter() {
+    for rec in index.records() {
         let arrival = rec.time().get();
         let service = rec.ttr().get();
         // Pick the crew that frees first.
@@ -72,7 +76,7 @@ pub fn simulate_staffing(log: &FailureLog, crews: u32) -> Option<StaffingOutcome
         }
         max_wait = max_wait.max(wait);
     }
-    let n = log.len() as f64;
+    let n = index.len() as f64;
     Some(StaffingOutcome {
         crews,
         hands_on_mttr_hours: total_hands_on / n,
@@ -83,25 +87,43 @@ pub fn simulate_staffing(log: &FailureLog, crews: u32) -> Option<StaffingOutcome
     })
 }
 
+/// [`simulate_staffing_index`], indexing the log once.
+pub fn simulate_staffing(log: &FailureLog, crews: u32) -> Option<StaffingOutcome> {
+    simulate_staffing_index(&LogView::new(log), crews)
+}
+
 /// Smallest crew count whose effective-MTTR inflation stays at or below
 /// `max_inflation` (e.g. `1.05` for at most 5% queueing overhead).
 ///
-/// Returns `None` for an empty log, or if even `crew_cap` crews cannot
+/// Returns `None` for an empty index, or if even `crew_cap` crews cannot
 /// meet the target.
 ///
 /// # Panics
 ///
 /// Panics if `max_inflation < 1` or `crew_cap == 0`.
-pub fn required_crews(log: &FailureLog, max_inflation: f64, crew_cap: u32) -> Option<u32> {
+pub fn required_crews_index<V: FleetIndex + ?Sized>(
+    index: &V,
+    max_inflation: f64,
+    crew_cap: u32,
+) -> Option<u32> {
     assert!(max_inflation >= 1.0, "inflation target below 1 is impossible");
     assert!(crew_cap > 0, "crew cap must be positive");
     for crews in 1..=crew_cap {
-        let outcome = simulate_staffing(log, crews)?;
+        let outcome = simulate_staffing_index(index, crews)?;
         if outcome.inflation() <= max_inflation {
             return Some(crews);
         }
     }
     None
+}
+
+/// [`required_crews_index`], indexing the log once.
+///
+/// # Panics
+///
+/// Panics if `max_inflation < 1` or `crew_cap == 0`.
+pub fn required_crews(log: &FailureLog, max_inflation: f64, crew_cap: u32) -> Option<u32> {
+    required_crews_index(&LogView::new(log), max_inflation, crew_cap)
 }
 
 #[cfg(test)]

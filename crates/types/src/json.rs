@@ -1,0 +1,303 @@
+//! A minimal JSON document model with deterministic rendering.
+//!
+//! The workspace has no JSON serialization dependency, so structured
+//! output (NDJSON alerts, `failctl --format json` report sections) is
+//! built by hand. This module centralizes the rules so every producer
+//! agrees byte for byte:
+//!
+//! * object keys keep **insertion order** — no hashing, no sorting
+//!   surprises, identical output on every run and at every thread
+//!   count;
+//! * finite numbers render via `f64`'s `Display` (which round-trips);
+//!   non-finite values degrade to `null` since JSON has no NaN/Inf;
+//! * strings are escaped exactly like [`crate::Alert::to_ndjson`]
+//!   lines.
+
+use std::fmt;
+
+/// A JSON document: the value produced by report sections and consumed
+/// by `--format json`.
+///
+/// # Examples
+///
+/// ```
+/// use failtypes::JsonValue;
+///
+/// let doc = JsonValue::object()
+///     .field("name", "tbf")
+///     .field("mtbf_hours", 15.3)
+///     .field("failures", 897usize)
+///     .field("note", JsonValue::Null)
+///     .build();
+/// assert_eq!(
+///     doc.render(),
+///     r#"{"name":"tbf","mtbf_hours":15.3,"failures":897,"note":null}"#
+/// );
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (counts, indices); renders without a decimal point.
+    Int(i64),
+    /// A floating-point number; non-finite values render as `null`.
+    Num(f64),
+    /// A string; escaped on render.
+    Str(String),
+    /// An ordered array.
+    Array(Vec<JsonValue>),
+    /// An object with keys in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Starts building an [`JsonValue::Object`] with ordered keys.
+    pub fn object() -> JsonObjectBuilder {
+        JsonObjectBuilder { pairs: Vec::new() }
+    }
+
+    /// Builds a [`JsonValue::Array`] from anything convertible to
+    /// values.
+    pub fn array<T: Into<JsonValue>>(items: impl IntoIterator<Item = T>) -> JsonValue {
+        JsonValue::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Renders the value as compact JSON (no whitespace, single line
+    /// for any input free of embedded newlines — and strings escape
+    /// theirs).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128);
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Int(i) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
+            JsonValue::Num(x) => push_json_number(out, *x),
+            JsonValue::Str(s) => {
+                out.push('"');
+                push_json_escaped(out, s);
+                out.push('"');
+            }
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    push_json_escaped(out, key);
+                    out.push_str("\":");
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+impl From<bool> for JsonValue {
+    fn from(b: bool) -> Self {
+        JsonValue::Bool(b)
+    }
+}
+
+impl From<i64> for JsonValue {
+    fn from(i: i64) -> Self {
+        JsonValue::Int(i)
+    }
+}
+
+impl From<i32> for JsonValue {
+    fn from(i: i32) -> Self {
+        JsonValue::Int(i64::from(i))
+    }
+}
+
+impl From<u8> for JsonValue {
+    fn from(i: u8) -> Self {
+        JsonValue::Int(i64::from(i))
+    }
+}
+
+impl From<u32> for JsonValue {
+    fn from(i: u32) -> Self {
+        JsonValue::Int(i64::from(i))
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(i: u64) -> Self {
+        JsonValue::Int(i as i64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(i: usize) -> Self {
+        JsonValue::Int(i as i64)
+    }
+}
+
+impl From<f64> for JsonValue {
+    fn from(x: f64) -> Self {
+        JsonValue::Num(x)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(s: &str) -> Self {
+        JsonValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(s: String) -> Self {
+        JsonValue::Str(s)
+    }
+}
+
+impl<T: Into<JsonValue>> From<Option<T>> for JsonValue {
+    fn from(opt: Option<T>) -> Self {
+        opt.map_or(JsonValue::Null, Into::into)
+    }
+}
+
+impl From<Vec<JsonValue>> for JsonValue {
+    fn from(items: Vec<JsonValue>) -> Self {
+        JsonValue::Array(items)
+    }
+}
+
+/// Chainable builder for [`JsonValue::Object`]; keys render in the
+/// order `field` was called.
+#[derive(Debug, Clone)]
+pub struct JsonObjectBuilder {
+    pairs: Vec<(String, JsonValue)>,
+}
+
+impl JsonObjectBuilder {
+    /// Appends one key/value pair.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<JsonValue>) -> Self {
+        self.pairs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finishes the object.
+    pub fn build(self) -> JsonValue {
+        JsonValue::Object(self.pairs)
+    }
+}
+
+/// Writes a finite f64 as a JSON number (`{}` on f64 round-trips);
+/// non-finite values degrade to `null` since JSON has no NaN/Inf.
+pub(crate) fn push_json_number(out: &mut String, x: f64) {
+    if x.is_finite() {
+        use fmt::Write as _;
+        let _ = write!(out, "{x}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` with JSON string escaping.
+pub(crate) fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::from(true).render(), "true");
+        assert_eq!(JsonValue::from(false).render(), "false");
+        assert_eq!(JsonValue::from(42usize).render(), "42");
+        assert_eq!(JsonValue::from(-7i64).render(), "-7");
+        assert_eq!(JsonValue::from(1.5).render(), "1.5");
+        assert_eq!(JsonValue::from("hi").render(), "\"hi\"");
+    }
+
+    #[test]
+    fn floats_round_trip_and_non_finite_is_null() {
+        for x in [0.1, 1e-9, 12345.6789, 1e300, -0.0] {
+            let rendered = JsonValue::from(x).render();
+            assert_eq!(rendered.parse::<f64>().unwrap().to_bits(), x.to_bits());
+        }
+        assert_eq!(JsonValue::from(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::from(f64::INFINITY).render(), "null");
+        // Integral floats drop the fraction under Display — still a
+        // valid JSON number.
+        assert_eq!(JsonValue::from(3.0).render(), "3");
+    }
+
+    #[test]
+    fn options_map_to_null() {
+        assert_eq!(JsonValue::from(None::<f64>).render(), "null");
+        assert_eq!(JsonValue::from(Some(2.5)).render(), "2.5");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order() {
+        let doc = JsonValue::object()
+            .field("z", 1usize)
+            .field("a", 2usize)
+            .field("m", JsonValue::array([1usize, 2, 3]))
+            .build();
+        assert_eq!(doc.render(), r#"{"z":1,"a":2,"m":[1,2,3]}"#);
+        assert_eq!(doc.to_string(), doc.render());
+    }
+
+    #[test]
+    fn strings_escape_like_ndjson() {
+        let doc = JsonValue::from("a\"b\\c\nd\u{1}e");
+        assert_eq!(doc.render(), "\"a\\\"b\\\\c\\nd\\u0001e\"");
+    }
+
+    #[test]
+    fn nested_arrays_and_objects() {
+        let doc = JsonValue::array([
+            JsonValue::object().field("k", "v").build(),
+            JsonValue::Null,
+        ]);
+        assert_eq!(doc.render(), r#"[{"k":"v"},null]"#);
+    }
+}

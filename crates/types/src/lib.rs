@@ -57,6 +57,7 @@
 
 mod category;
 mod error;
+mod json;
 mod record;
 mod software;
 mod stream;
@@ -65,6 +66,7 @@ mod time;
 
 pub use category::{Category, ComponentClass, Domain, T2Category, T3Category};
 pub use error::{InvalidRecordError, InvalidSpecError, ParseCategoryError};
+pub use json::{JsonObjectBuilder, JsonValue};
 pub use record::{FailureLog, FailureRecord};
 pub use software::SoftwareLocus;
 pub use stream::{Alert, AlertKind, AlertSeverity, StreamEvent};

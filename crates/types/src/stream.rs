@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+use crate::json::{push_json_escaped, push_json_number};
 use crate::record::FailureRecord;
 
 /// One event observed by a streaming consumer.
@@ -166,35 +167,6 @@ impl fmt::Display for Alert {
             "[{}] {} at t={:.1} h: {}",
             self.severity, self.kind, self.time_h, self.message
         )
-    }
-}
-
-/// Writes a finite f64 as a JSON number (`{}` on f64 round-trips);
-/// non-finite values degrade to `null` since JSON has no NaN/Inf.
-fn push_json_number(out: &mut String, x: f64) {
-    if x.is_finite() {
-        use fmt::Write as _;
-        let _ = write!(out, "{x}");
-    } else {
-        out.push_str("null");
-    }
-}
-
-/// Appends `s` with JSON string escaping.
-fn push_json_escaped(out: &mut String, s: &str) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
     }
 }
 

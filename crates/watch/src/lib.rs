@@ -45,4 +45,7 @@ pub use estimators::{Ewma, RateWindow, WindowMean};
 pub use ingest::{EventSource, SimSource, TailSource, WatchError};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
 pub use state::{StateConfig, WatchState};
-pub use watch::{render_summary, run, WatchConfig, WatchOutcome};
+pub use watch::{
+    render_summary, render_summary_sections, run, select_watch_sections, watch_section_by_id,
+    WatchConfig, WatchOutcome, WatchSection, WATCH_SECTIONS,
+};

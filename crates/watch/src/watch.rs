@@ -3,21 +3,99 @@
 //!
 //! Output is line-oriented so it can be piped: alerts are NDJSON
 //! objects written the moment they fire, summaries are `#`-prefixed
-//! text blocks refreshed every `refresh_every` records (and once at end
-//! of stream). The summary sections are rendered through
-//! [`failstats::par_map_ordered`], so the text is byte-identical at any
-//! thread count — the same guarantee the batch report pipeline makes.
+//! text blocks (or NDJSON section lines with
+//! [`WatchConfig::json_summaries`]) refreshed every `refresh_every`
+//! records (and once at end of stream). Summaries dispatch through the
+//! typed [`WATCH_SECTIONS`] registry and render via
+//! [`failstats::par_map_ordered`], so the output is byte-identical at
+//! any thread count — the same guarantee the batch report pipeline
+//! makes.
 
 use std::io::Write;
 use std::thread;
 use std::time::Duration;
 
 use failstats::par_map_ordered;
-use failtypes::{Alert, StreamEvent};
+use failtypes::{Alert, JsonValue, StreamEvent};
 
 use crate::drift::DriftDetector;
 use crate::ingest::{EventSource, WatchError};
 use crate::state::{StateConfig, WatchState};
+
+/// One streaming summary section: a stable machine id, a human title,
+/// and paired JSON/text renderers over the online [`WatchState`] — the
+/// streaming mirror of `failscope::Section`.
+#[derive(Debug, Clone, Copy)]
+pub struct WatchSection {
+    /// Stable identifier — the `--sections` / JSON `"id"` vocabulary.
+    pub id: &'static str,
+    /// Human-readable title, carried on every JSON line.
+    pub title: &'static str,
+    /// Structured renderer (`null` when the state is empty).
+    pub json: fn(&WatchState) -> JsonValue,
+    /// Plain-text renderer (one `#`-prefixed summary block line).
+    pub text: fn(&WatchState) -> String,
+}
+
+/// The summary sections in print order.
+pub const WATCH_SECTIONS: &[WatchSection] = &[
+    WatchSection {
+        id: "overview",
+        title: "Stream overview",
+        json: json_overview,
+        text: overview_section,
+    },
+    WatchSection {
+        id: "categories",
+        title: "Category mix",
+        json: json_categories,
+        text: category_section,
+    },
+    WatchSection {
+        id: "slots",
+        title: "GPU slots",
+        json: json_slots,
+        text: slot_section,
+    },
+    WatchSection {
+        id: "months",
+        title: "Monthly repair times",
+        json: json_months,
+        text: month_section,
+    },
+];
+
+/// Looks up one watch section by its stable id.
+pub fn watch_section_by_id(id: &str) -> Option<&'static WatchSection> {
+    WATCH_SECTIONS.iter().find(|s| s.id == id)
+}
+
+/// Resolves a comma-separated id list (e.g. `"overview,slots"`) against
+/// the watch registry, preserving the requested order.
+///
+/// # Errors
+///
+/// Rejects unknown or empty selections, naming the known vocabulary.
+pub fn select_watch_sections(spec: &str) -> Result<Vec<&'static WatchSection>, String> {
+    let known = || {
+        WATCH_SECTIONS
+            .iter()
+            .map(|s| s.id)
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let mut out = Vec::new();
+    for id in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        match watch_section_by_id(id) {
+            Some(section) => out.push(section),
+            None => return Err(format!("unknown section `{id}` (known: {})", known())),
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("no sections selected (known: {})", known()));
+    }
+    Ok(out)
+}
 
 /// Tuning for the watch loop itself (state and drift thresholds are
 /// configured on [`StateConfig`] / [`crate::DriftConfig`]).
@@ -37,6 +115,11 @@ pub struct WatchConfig {
     /// Worker threads for summary rendering (1 = serial; any value
     /// produces byte-identical output).
     pub threads: usize,
+    /// Emit summaries as NDJSON section lines instead of `#` text.
+    pub json_summaries: bool,
+    /// Summary sections to render, in order (defaults to all of
+    /// [`WATCH_SECTIONS`]).
+    pub summary_sections: Vec<&'static WatchSection>,
 }
 
 impl Default for WatchConfig {
@@ -48,6 +131,8 @@ impl Default for WatchConfig {
             max_idle_polls: None,
             max_records: None,
             threads: 1,
+            json_summaries: false,
+            summary_sections: WATCH_SECTIONS.iter().collect(),
         }
     }
 }
@@ -86,9 +171,13 @@ pub fn run(
         source.window(),
         config.state.clone(),
     );
-    writeln!(out, "# failwatch: {}", source.describe())?;
-    if let Some(det) = &detector {
-        writeln!(out, "# baseline: {}", det.baseline().name)?;
+    // In JSON mode the whole stream is machine-readable NDJSON (alerts
+    // plus section lines), so the `#` banner/footer lines are skipped.
+    if !config.json_summaries {
+        writeln!(out, "# failwatch: {}", source.describe())?;
+        if let Some(det) = &detector {
+            writeln!(out, "# baseline: {}", det.baseline().name)?;
+        }
     }
     let mut alerts = Vec::new();
     let mut records = 0usize;
@@ -108,7 +197,7 @@ pub fn run(
                     }
                 }
                 if records.is_multiple_of(refresh) {
-                    out.write_all(render_summary(&state, config.threads).as_bytes())?;
+                    out.write_all(config_summary(&state, config).as_bytes())?;
                 }
                 if config.max_records.is_some_and(|max| records >= max) {
                     break;
@@ -125,12 +214,14 @@ pub fn run(
         }
     }
 
-    out.write_all(render_summary(&state, config.threads).as_bytes())?;
-    writeln!(
-        out,
-        "# watch done: {records} records, {} alert(s)",
-        alerts.len()
-    )?;
+    out.write_all(config_summary(&state, config).as_bytes())?;
+    if !config.json_summaries {
+        writeln!(
+            out,
+            "# watch done: {records} records, {} alert(s)",
+            alerts.len()
+        )?;
+    }
     Ok(WatchOutcome {
         records,
         alerts,
@@ -138,20 +229,144 @@ pub fn run(
     })
 }
 
-/// Renders the periodic summary block. Sections are computed via
-/// [`par_map_ordered`], so the result is byte-identical at any
-/// `threads` value.
+fn config_summary(state: &WatchState, config: &WatchConfig) -> String {
+    render_summary_sections(
+        state,
+        &config.summary_sections,
+        config.threads,
+        config.json_summaries,
+    )
+}
+
+/// Renders the full periodic summary block as text — byte-identical at
+/// any `threads` value.
 pub fn render_summary(state: &WatchState, threads: usize) -> String {
-    if state.is_empty() {
+    let sections: Vec<&WatchSection> = WATCH_SECTIONS.iter().collect();
+    render_summary_sections(state, &sections, threads, false)
+}
+
+/// Renders a summary section selection via [`par_map_ordered`] (so the
+/// output is byte-identical at any `threads` value), either as the
+/// `#`-prefixed text block or as NDJSON `{"id","title","data"}` lines.
+///
+/// An empty state renders as `"# summary: no records yet\n"` in text
+/// mode and as one `"data":null` line per section in JSON mode.
+pub fn render_summary_sections(
+    state: &WatchState,
+    sections: &[&WatchSection],
+    threads: usize,
+    json: bool,
+) -> String {
+    if state.is_empty() && !json {
         return String::from("# summary: no records yet\n");
     }
-    let sections = par_map_ordered(4, threads, |i| match i {
-        0 => overview_section(state),
-        1 => category_section(state),
-        2 => slot_section(state),
-        _ => month_section(state),
-    });
-    sections.concat()
+    par_map_ordered(sections.len(), threads, |i| {
+        let section = sections[i];
+        if json {
+            let data = if state.is_empty() {
+                JsonValue::Null
+            } else {
+                (section.json)(state)
+            };
+            let mut line = JsonValue::object()
+                .field("id", section.id)
+                .field("title", section.title)
+                .field("data", data)
+                .build()
+                .render();
+            line.push('\n');
+            line
+        } else {
+            (section.text)(state)
+        }
+    })
+    .concat()
+}
+
+fn json_overview(state: &WatchState) -> JsonValue {
+    JsonValue::object()
+        .field("stream_hours", state.stream_time())
+        .field("records", state.len())
+        .field("exact", state.sketches_exact())
+        .field("mtbf_hours", state.mtbf_hours())
+        .field("mean_gap_hours", state.mean_gap_hours())
+        .field("rate_per_hour", state.rate_per_hour())
+        .field("mttr_hours", state.mttr_hours())
+        .field("ttr_p50_hours", state.ttr_quantile(0.5))
+        .field("ttr_p90_hours", state.ttr_quantile(0.9))
+        .field("window_records", state.window_len())
+        .field("window_mttr_hours", state.window_ttr_mean())
+        .build()
+}
+
+fn json_categories(state: &WatchState) -> JsonValue {
+    let view = state.view();
+    let n = view.len().max(1);
+    JsonValue::Array(
+        view.category_indices()
+            .iter()
+            .map(|(&category, idx)| {
+                JsonValue::object()
+                    .field("category", category.label())
+                    .field("count", idx.len())
+                    .field("fraction", idx.len() as f64 / n as f64)
+                    .field("ewma_ttr_hours", state.ewma_ttr(category))
+                    .build()
+            })
+            .collect(),
+    )
+}
+
+fn json_slots(state: &WatchState) -> JsonValue {
+    let counts = state.view().slot_counts();
+    let (window_shares, involvements) = state.window_slot_shares();
+    JsonValue::object()
+        .field(
+            "slots",
+            JsonValue::Array(
+                counts
+                    .iter()
+                    .enumerate()
+                    .map(|(slot, &count)| {
+                        JsonValue::object()
+                            .field("slot", slot)
+                            .field("count", count)
+                            .field(
+                                "window_share",
+                                window_shares.get(slot).copied().unwrap_or(0.0),
+                            )
+                            .build()
+                    })
+                    .collect(),
+            ),
+        )
+        .field("window_involvements", involvements)
+        .field("multi_gpu_total", state.view().multi_gpu_times().len())
+        .build()
+}
+
+fn json_months(state: &WatchState) -> JsonValue {
+    let view = state.view();
+    let months = view.window().months();
+    JsonValue::Array(
+        view.month_ttrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, bucket)| !bucket.is_empty())
+            .map(|(i, bucket)| {
+                let (year, month) = months[i];
+                JsonValue::object()
+                    .field("year", year)
+                    .field("month", month.number())
+                    .field("n", bucket.len())
+                    .field(
+                        "mttr_hours",
+                        bucket.iter().sum::<f64>() / bucket.len() as f64,
+                    )
+                    .build()
+            })
+            .collect(),
+    )
 }
 
 fn fmt_opt(value: Option<f64>) -> String {
@@ -330,5 +545,59 @@ mod tests {
             .unwrap();
         let state = WatchState::for_log(&log, StateConfig::default());
         assert_eq!(render_summary(&state, 4), "# summary: no records yet\n");
+        // JSON mode still emits one line per section, with null data.
+        let sections: Vec<&WatchSection> = WATCH_SECTIONS.iter().collect();
+        let json = render_summary_sections(&state, &sections, 2, true);
+        assert_eq!(json.lines().count(), WATCH_SECTIONS.len());
+        assert!(json.starts_with(r#"{"id":"overview","title":"Stream overview","data":null}"#));
+    }
+
+    #[test]
+    fn json_summaries_are_thread_identical_ndjson() {
+        let (outcome, _) = watch_sim(7, None, &WatchConfig::default());
+        let sections: Vec<&WatchSection> = WATCH_SECTIONS.iter().collect();
+        let serial = render_summary_sections(&outcome.state, &sections, 1, true);
+        for threads in [2, 4, 8] {
+            assert_eq!(
+                serial,
+                render_summary_sections(&outcome.state, &sections, threads, true),
+                "threads={threads}"
+            );
+        }
+        let lines: Vec<&str> = serial.lines().collect();
+        assert_eq!(lines.len(), WATCH_SECTIONS.len());
+        for (line, section) in lines.iter().zip(WATCH_SECTIONS) {
+            assert!(line.starts_with(&format!(r#"{{"id":"{}","#, section.id)), "{line}");
+        }
+        assert!(serial.contains(r#""mtbf_hours":"#));
+    }
+
+    #[test]
+    fn watch_section_selection() {
+        let picked = select_watch_sections("slots, overview").expect("valid ids");
+        assert_eq!(picked.len(), 2);
+        assert_eq!(picked[0].id, "slots");
+        assert_eq!(picked[1].id, "overview");
+        assert!(select_watch_sections("bogus").is_err());
+        assert!(select_watch_sections("").is_err());
+
+        let (outcome, _) = watch_sim(7, None, &WatchConfig::default());
+        let text = render_summary_sections(&outcome.state, &picked, 2, false);
+        assert!(text.contains("gpu slots:"));
+        assert!(text.contains("# summary @"));
+        assert!(!text.contains("categories:"));
+    }
+
+    #[test]
+    fn json_summary_config_streams_ndjson_sections() {
+        let config = WatchConfig {
+            json_summaries: true,
+            ..WatchConfig::default()
+        };
+        let (outcome, output) = watch_sim(1, None, &config);
+        assert!(outcome.records > 0);
+        assert!(output.contains(r#"{"id":"overview","title":"Stream overview","data":{"#));
+        // JSON mode is pure NDJSON: no `#` banner/summary/footer lines.
+        assert!(output.lines().all(|l| l.starts_with('{')), "{output}");
     }
 }

@@ -21,4 +21,30 @@ echo "$smoke" | grep -q '"kind":"mttr_regression"' || {
     exit 1
 }
 
-echo "verify: build + tests + clippy + streaming gate all green"
+# JSON report gate: the section registry must emit one well-formed
+# NDJSON line per section with the stable {id, title, data} shape, on
+# both canonical models.
+if command -v jq >/dev/null 2>&1; then
+    tmpdir=$(mktemp -d)
+    trap 'rm -rf "$tmpdir"' EXIT
+    for system in tsubame2 tsubame3; do
+        log="$tmpdir/$system.fslog"
+        cargo run -q --release -p failctl -- \
+            generate --system "$system" --out "$log" >/dev/null
+        cargo run -q --release -p failctl -- report "$log" --format json \
+            | jq -e -s 'length == 9
+                and .[0].id == "header"
+                and all(.[]; has("id") and has("title") and has("data"))' \
+            >/dev/null || {
+            echo "verify: failctl report --format json schema gate failed for $system" >&2
+            exit 1
+        }
+    done
+else
+    echo "verify: jq not found, skipping the JSON schema gate" >&2
+fi
+
+# API docs must build warning-free.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "verify: build + tests + clippy + streaming gate + json gate + docs all green"
