@@ -130,21 +130,23 @@ fn main() {
         scaled_rate,
     );
 
-    // Full watch replay with the injected regression scenario.
+    // Full watch replay with the injected regression scenario, run
+    // under a trace collector so the loop's own counters (records
+    // ingested, alerts raised, sketch compactions) land in the JSON.
+    let collector = failtrace::Collector::new();
     let start = Instant::now();
     let mut source = SimSource::new(SystemModel::tsubame2(), 42, ReplayClock::unpaced())
         .expect("simulates")
         .with_mttr_injection(5.0, 0.5);
     let baseline = Baseline::from_model(SystemModel::tsubame2(), 1).expect("simulates");
     let detector = DriftDetector::new(baseline, DriftConfig::default());
+    let config = WatchConfig::builder()
+        .trace(collector.clone())
+        .build()
+        .expect("default watch config is valid");
     let mut sink = Vec::new();
-    let outcome = failwatch::run(
-        &mut source,
-        Some(detector),
-        &WatchConfig::default(),
-        &mut sink,
-    )
-    .expect("watch replay runs");
+    let outcome = failwatch::run(&mut source, Some(detector), &config, &mut sink)
+        .expect("watch replay runs");
     let watch_seconds = start.elapsed().as_secs_f64();
     let regression_alerts = outcome
         .alerts
@@ -160,6 +162,7 @@ fn main() {
     );
 
     let records_per_second = total_records as f64 / stream_seconds.max(f64::MIN_POSITIVE);
+    let trace = collector.to_json(true).render();
     let json = format!(
         "{{\n  \"records\": {total_records},\n  \"batch_seconds\": {batch_seconds:.6},\n  \
          \"stream_seconds\": {stream_seconds:.6},\n  \
@@ -171,7 +174,8 @@ fn main() {
          \"scaled_stream_records_per_second\": {scaled_rate:.0},\n  \
          \"scaled_equivalent\": {scaled_equivalent},\n  \
          \"watch_replay_seconds\": {watch_seconds:.6},\n  \
-         \"injected_regression_alerts\": {regression_alerts}\n}}\n"
+         \"injected_regression_alerts\": {regression_alerts},\n  \
+         \"trace\": {trace}\n}}\n"
     );
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("wrote {json_path}"),

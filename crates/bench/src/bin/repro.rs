@@ -29,8 +29,9 @@ use std::time::Instant;
 use failbench::experiments;
 use failbench::runner::{self, CatalogEntry};
 use failbench::LogStore;
-use failscope::LogView;
+use failscope::{LogView, SectionCtx};
 use failsim::{Simulator, SystemModel};
+use failtrace::Collector;
 use failtypes::JsonValue;
 
 fn main() {
@@ -147,19 +148,23 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     println!("  speedup: {speedup:.2}x, outputs identical: {identical}");
 
     // Per-section render timings over the canonical Tsubame-2 log,
-    // driven by the same registry the report pipeline dispatches on.
+    // driven by the same registry the report pipeline dispatches on. The
+    // whole pass runs under a trace collector, whose timed export is
+    // folded into the JSON artifact below.
+    let collector = Collector::new();
     let section_log = Simulator::new(SystemModel::tsubame2(), 42)
-        .generate()
+        .generate_traced(Some(&collector))
         .expect("calibrated model simulates");
-    let view = LogView::new(&section_log);
+    let view = LogView::new_traced(&section_log, Some(&collector));
+    let ctx = SectionCtx::with_trace(&view, &collector);
     let mut section_rows = Vec::new();
     println!("  per-section render (best of 5, canonical T2):");
     for section in failscope::SECTIONS {
         let text_seconds = best_of(5, || {
-            std::hint::black_box((section.text)(&view));
+            std::hint::black_box((section.text)(&ctx));
         });
         let json_seconds = best_of(5, || {
-            std::hint::black_box((section.json)(&view).render());
+            std::hint::black_box((section.json)(&ctx).render());
         });
         println!(
             "    {:<12} text {:>8.1} us | json {:>8.1} us",
@@ -185,6 +190,7 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("speedup", speedup)
         .field("identical_output", identical)
         .field("sections", JsonValue::Array(section_rows))
+        .field("trace", collector.to_json(true))
         .build()
         .render();
     json.push('\n');

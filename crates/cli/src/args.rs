@@ -6,23 +6,12 @@
 //! fail loudly rather than being ignored.
 
 use std::collections::BTreeMap;
-use std::fmt;
+
+use failtypes::{Error, Result};
 
 /// Valueless boolean flags: present means `true`. Everything else in
 /// `--flag value` position must carry a value.
 pub const SWITCHES: &[&str] = &["follow"];
-
-/// A parse failure with a user-facing message.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ArgError(pub String);
-
-impl fmt::Display for ArgError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
-    }
-}
-
-impl std::error::Error for ArgError {}
 
 /// Parsed command line: the command word, positionals, and `--key value`
 /// flags.
@@ -42,11 +31,11 @@ impl ParsedArgs {
     ///
     /// Fails when no command is given, a flag lacks a value, or a flag is
     /// repeated.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, ArgError> {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self> {
         let mut iter = args.into_iter();
         let command = iter
             .next()
-            .ok_or_else(|| ArgError("missing command; try `failctl help`".into()))?;
+            .ok_or_else(|| Error::args("missing command; try `failctl help`"))?;
         let mut positional = Vec::new();
         let mut flags = BTreeMap::new();
         while let Some(arg) = iter.next() {
@@ -55,10 +44,10 @@ impl ParsedArgs {
                     String::from("true")
                 } else {
                     iter.next()
-                        .ok_or_else(|| ArgError(format!("flag --{key} needs a value")))?
+                        .ok_or_else(|| Error::args(format!("flag --{key} needs a value")))?
                 };
                 if flags.insert(key.to_string(), value).is_some() {
-                    return Err(ArgError(format!("flag --{key} given twice")));
+                    return Err(Error::args(format!("flag --{key} given twice")));
                 }
             } else {
                 positional.push(arg);
@@ -86,12 +75,12 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Fails when the flag is present but unparsable.
-    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+    pub fn flag_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T> {
         match self.flags.get(key) {
             None => Ok(default),
             Some(raw) => raw
                 .parse()
-                .map_err(|_| ArgError(format!("invalid value `{raw}` for --{key}"))),
+                .map_err(|_| Error::args(format!("invalid value `{raw}` for --{key}"))),
         }
     }
 
@@ -100,11 +89,11 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Fails when the positional is missing.
-    pub fn positional(&self, index: usize, name: &str) -> Result<&str, ArgError> {
+    pub fn positional(&self, index: usize, name: &str) -> Result<&str> {
         self.positional
             .get(index)
             .map(String::as_str)
-            .ok_or_else(|| ArgError(format!("missing <{name}> argument")))
+            .ok_or_else(|| Error::args(format!("missing <{name}> argument")))
     }
 
     /// Errors on any flag not in `allowed` (typo protection).
@@ -112,10 +101,10 @@ impl ParsedArgs {
     /// # Errors
     ///
     /// Fails naming the first unknown flag.
-    pub fn reject_unknown_flags(&self, allowed: &[&str]) -> Result<(), ArgError> {
+    pub fn reject_unknown_flags(&self, allowed: &[&str]) -> Result<()> {
         for key in self.flags.keys() {
             if !allowed.contains(&key.as_str()) {
-                return Err(ArgError(format!(
+                return Err(Error::args(format!(
                     "unknown flag --{key}; allowed: {}",
                     allowed
                         .iter()
@@ -133,8 +122,14 @@ impl ParsedArgs {
 mod tests {
     use super::*;
 
-    fn parse(words: &[&str]) -> Result<ParsedArgs, ArgError> {
+    fn parse(words: &[&str]) -> Result<ParsedArgs> {
         ParsedArgs::parse(words.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_failures_are_arg_errors() {
+        let err = parse(&[]).unwrap_err();
+        assert!(matches!(err, Error::Args(_)), "{err}");
     }
 
     #[test]

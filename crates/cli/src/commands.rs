@@ -8,45 +8,16 @@ use faillog::TimeRange;
 use failmitigate::{
     required_crews, simulate_staffing, CheckpointPlan, OperationsPlan, PlanConfig, SparePolicy,
 };
-use failscope::{AvailabilityAnalysis, NodeSurvival, TbfAnalysis};
+use failscope::{AvailabilityAnalysis, NodeSurvival, SectionCtx, TbfAnalysis};
 use failsim::{ReplayClock, ScenarioBuilder, Simulator, SystemModel};
-use failtypes::{ComponentClass, FailureLog, Generation};
+use failtrace::Collector;
+use failtypes::{ComponentClass, Error, FailureLog, Generation, Result};
 use failwatch::{
     Baseline, DriftConfig, DriftDetector, EventSource, SimSource, StateConfig, TailSource,
     WatchConfig,
 };
 
-use crate::args::{ArgError, ParsedArgs};
-
-/// Top-level error for command execution.
-#[derive(Debug)]
-pub enum CliError {
-    /// Argument-level problem.
-    Args(ArgError),
-    /// Anything that went wrong while executing.
-    Run(String),
-}
-
-impl std::fmt::Display for CliError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            CliError::Args(e) => write!(f, "{e}"),
-            CliError::Run(msg) => f.write_str(msg),
-        }
-    }
-}
-
-impl std::error::Error for CliError {}
-
-impl From<ArgError> for CliError {
-    fn from(e: ArgError) -> Self {
-        CliError::Args(e)
-    }
-}
-
-fn run_err(e: impl std::fmt::Display) -> CliError {
-    CliError::Run(e.to_string())
-}
+use crate::args::ParsedArgs;
 
 /// The help text.
 pub fn help() -> String {
@@ -62,26 +33,31 @@ COMMANDS
       Generate a what-if system's log (trend: rate ramps X -> Y x base).
   summary <FILE>
       One-paragraph structural summary of a log.
-  report <FILE> [--threads N] [--since T] [--until T]
-         [--format text|json] [--sections IDS]
+  report <FILE | --model tsubame2|tsubame3 [--seed N]> [--threads N]
+         [--since T] [--until T] [--format text|json] [--sections IDS]
+         [--trace FILE]
       Full five-RQ reliability report (sections computed in parallel;
-      output is identical at any thread count). T is hours from the
+      output is identical at any thread count). The input is a log file
+      or a calibrated model generated in-process. T is hours from the
       window start or a YYYY-MM-DD date. --format json emits one NDJSON
       line per section; --sections picks from: header, categories,
-      spatial, involvement, tbf, ttr, availability, survival, seasonal.
+      spatial, involvement, tbf, ttr, availability, survival, seasonal,
+      metrics (the pipeline's own runtime counters). --trace writes the
+      deterministic NDJSON trace export.
   compare <OLD> <NEW> [--threads N] [--since T] [--until T]
-          [--format text|json]
+          [--format text|json] [--trace FILE]
       Cross-generation comparison (MTBF/MTTR/PEP factors). --format
       json emits one JSON document.
   watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
         [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
         [--max-records N] [--max-idle N] [--inject-mttr F] [--threads N]
-        [--format text|json] [--sections IDS]
+        [--format text|json] [--sections IDS] [--trace FILE]
       Stream a log (or an accelerated simulated replay) through the
       online monitor: NDJSON drift alerts against a calibrated
       baseline, plus periodic summaries. --format json makes the whole
       stream NDJSON (one line per summary section); --sections picks
-      from: overview, categories, slots, months.
+      from: overview, categories, slots, months. --trace writes the
+      loop's ingestion/alert counters as NDJSON.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -104,60 +80,64 @@ COMMANDS
     .to_string()
 }
 
-fn load(path: &str) -> Result<FailureLog, CliError> {
+fn load(path: &str) -> Result<FailureLog> {
+    load_traced(path, None)
+}
+
+fn load_traced(path: &str, trace: Option<&Collector>) -> Result<FailureLog> {
     // Parse errors carry their 1-based line number and offending field;
     // prefixing the path makes the message directly actionable.
-    faillog::load(path).map_err(|e| CliError::Run(format!("{path}: {e}")))
+    faillog::load_traced(path, trace).map_err(|e| Error::run(format!("{path}: {e}")))
+}
+
+/// Writes the collector's deterministic NDJSON export to `--trace PATH`
+/// (a no-op when the flag is absent).
+fn write_trace(args: &ParsedArgs, trace: &Collector) -> Result<()> {
+    if let Some(path) = args.flag("trace") {
+        std::fs::write(path, trace.export()).map_err(|e| Error::io("writing trace", e))?;
+    }
+    Ok(())
 }
 
 /// Resolves `--since`/`--until` (hours or `YYYY-MM-DD`) against a log's
 /// observation window.
-fn time_range(args: &ParsedArgs, log: &FailureLog) -> Result<TimeRange, CliError> {
+fn time_range(args: &ParsedArgs, log: &FailureLog) -> Result<TimeRange> {
     let mut range = TimeRange::default();
     if let Some(raw) = args.flag("since") {
         range.since = Some(
             faillog::parse_time_bound(raw, log.window())
-                .map_err(|e| CliError::Run(format!("--since: {e}")))?,
+                .map_err(|e| Error::args(format!("--since: {e}")))?,
         );
     }
     if let Some(raw) = args.flag("until") {
         range.until = Some(
             faillog::parse_time_bound(raw, log.window())
-                .map_err(|e| CliError::Run(format!("--until: {e}")))?,
+                .map_err(|e| Error::args(format!("--until: {e}")))?,
         );
     }
     Ok(range)
 }
 
-/// Loads a log and applies any `--since`/`--until` filtering.
-fn load_clipped(args: &ParsedArgs, path: &str) -> Result<FailureLog, CliError> {
-    let log = load(path)?;
-    let range = time_range(args, &log)?;
-    Ok(faillog::clip(&log, range))
-}
-
 /// `failctl generate`.
-pub fn generate(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn generate(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&["system", "seed", "out"])?;
     let system = args.flag("system").unwrap_or("tsubame3");
     let generation = match system {
         "tsubame2" => Generation::Tsubame2,
         "tsubame3" => Generation::Tsubame3,
         other => {
-            return Err(CliError::Run(format!(
+            return Err(Error::run(format!(
                 "unknown system `{other}` (use tsubame2 or tsubame3)"
             )))
         }
     };
     let seed: u64 = args.flag_or("seed", 42)?;
-    let log = Simulator::new(SystemModel::for_generation(generation), seed)
-        .generate()
-        .map_err(run_err)?;
+    let log = Simulator::new(SystemModel::for_generation(generation), seed).generate()?;
     finish_generate(args, log)
 }
 
 /// `failctl scenario`.
-pub fn scenario(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn scenario(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[
         "nodes",
         "gpus",
@@ -177,7 +157,7 @@ pub fn scenario(args: &ParsedArgs) -> Result<String, CliError> {
     if let Some(raw) = args.flag("multi") {
         let f: f64 = raw
             .parse()
-            .map_err(|_| CliError::Run(format!("invalid --multi value `{raw}`")))?;
+            .map_err(|_| Error::args(format!("invalid --multi value `{raw}`")))?;
         builder = builder.multi_gpu_fraction(f);
     }
     let trend_start: f64 = args.flag_or("trend-start", 1.0)?;
@@ -185,24 +165,24 @@ pub fn scenario(args: &ParsedArgs) -> Result<String, CliError> {
     builder = builder.reliability_trend(trend_start, trend_end);
     let model = builder
         .build()
-        .ok_or_else(|| CliError::Run("scenario parameters out of range".into()))?;
+        .ok_or_else(|| Error::run("scenario parameters out of range"))?;
     let seed: u64 = args.flag_or("seed", 42)?;
-    let log = Simulator::new(model, seed).generate().map_err(run_err)?;
+    let log = Simulator::new(model, seed).generate()?;
     finish_generate(args, log)
 }
 
-fn finish_generate(args: &ParsedArgs, log: FailureLog) -> Result<String, CliError> {
+fn finish_generate(args: &ParsedArgs, log: FailureLog) -> Result<String> {
     match args.flag("out") {
         Some(path) => {
-            faillog::save(path, &log).map_err(run_err)?;
+            faillog::save(path, &log)?;
             Ok(format!("wrote {} failures to {path}\n", log.len()))
         }
-        None => faillog::to_string(&log).map_err(run_err),
+        None => Ok(faillog::to_string(&log)?),
     }
 }
 
 /// `failctl summary`.
-pub fn summary(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn summary(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[])?;
     let log = load(args.positional(0, "file")?)?;
     let s = faillog::summarize(&log);
@@ -224,8 +204,8 @@ pub fn summary(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// Resolves the `--threads` flag (default: host parallelism). The
 /// rendered output is byte-identical at every thread count.
-fn threads_flag(args: &ParsedArgs) -> Result<usize, CliError> {
-    Ok(args.flag_or("threads", failstats::available_threads())?)
+fn threads_flag(args: &ParsedArgs) -> Result<usize> {
+    args.flag_or("threads", failstats::available_threads())
 }
 
 /// How a command renders its result.
@@ -238,64 +218,107 @@ enum OutputFormat {
 }
 
 /// Resolves the `--format` flag (default: text).
-fn format_flag(args: &ParsedArgs) -> Result<OutputFormat, CliError> {
+fn format_flag(args: &ParsedArgs) -> Result<OutputFormat> {
     match args.flag("format").unwrap_or("text") {
         "text" => Ok(OutputFormat::Text),
         "json" => Ok(OutputFormat::Json),
-        other => Err(CliError::Run(format!(
+        other => Err(Error::args(format!(
             "unknown --format `{other}` (use text or json)"
         ))),
     }
 }
 
 /// `failctl report`.
-pub fn report(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads", "since", "until", "format", "sections"])?;
+///
+/// The input is either a log file (positional) or `--model NAME
+/// [--seed N]`, which generates the calibrated log in-process. Every
+/// run records pipeline tracing — generation/parsing, index
+/// construction, per-section rendering — so `--sections metrics`
+/// always has data, and `--trace PATH` writes the deterministic NDJSON
+/// export (byte-identical at any `--threads` value).
+pub fn report(args: &ParsedArgs) -> Result<String> {
+    args.reject_unknown_flags(&[
+        "threads", "since", "until", "format", "sections", "model", "seed", "trace",
+    ])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
     let sections = match args.flag("sections") {
-        Some(spec) => failscope::select_sections(spec).map_err(CliError::Run)?,
+        Some(spec) => failscope::select_sections(spec)?,
         None => failscope::SECTIONS.iter().collect(),
     };
-    let log = load_clipped(args, args.positional(0, "file")?)?;
-    let view = failscope::LogView::new(&log);
-    Ok(match format {
-        OutputFormat::Text => failscope::render_text_sections(&sections, &view, threads),
-        OutputFormat::Json => failscope::render_json_sections(&sections, &view, threads),
-    })
+    let trace = Collector::new();
+    let log = match args.flag("model") {
+        Some(name) => {
+            if !args.positional.is_empty() {
+                return Err(Error::args(
+                    "pass either a log file or --model, not both",
+                ));
+            }
+            let seed: u64 = args.flag_or("seed", 42)?;
+            Simulator::new(model_by_name(name)?, seed).generate_traced(Some(&trace))?
+        }
+        None => {
+            if args.flag("seed").is_some() {
+                return Err(Error::args("--seed only applies with --model"));
+            }
+            let path = args.positional(0, "file")?;
+            let log = load_traced(path, Some(&trace))?;
+            let range = time_range(args, &log)?;
+            faillog::clip(&log, range)
+        }
+    };
+    let view = failscope::LogView::new_traced(&log, Some(&trace));
+    let ctx = SectionCtx::with_trace(&view, &trace);
+    let out = match format {
+        OutputFormat::Text => failscope::render_text_sections(&sections, &ctx, threads),
+        OutputFormat::Json => failscope::render_json_sections(&sections, &ctx, threads),
+    };
+    write_trace(args, &trace)?;
+    Ok(out)
 }
 
 /// `failctl compare`.
-pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.reject_unknown_flags(&["threads", "since", "until", "format"])?;
+pub fn compare(args: &ParsedArgs) -> Result<String> {
+    args.reject_unknown_flags(&["threads", "since", "until", "format", "trace"])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
-    let older = load_clipped(args, args.positional(0, "old")?)?;
-    let newer = load_clipped(args, args.positional(1, "new")?)?;
-    Ok(match format {
+    let trace = Collector::new();
+    let older = {
+        let path = args.positional(0, "old")?;
+        let log = load_traced(path, Some(&trace))?;
+        faillog::clip(&log, time_range(args, &log)?)
+    };
+    let newer = {
+        let path = args.positional(1, "new")?;
+        let log = load_traced(path, Some(&trace))?;
+        faillog::clip(&log, time_range(args, &log)?)
+    };
+    let out = trace.time("compare.render", || match format {
         OutputFormat::Text => failscope::render_comparison_threaded(&older, &newer, threads),
         OutputFormat::Json => failscope::render_comparison_json(&older, &newer, threads),
-    })
+    });
+    write_trace(args, &trace)?;
+    Ok(out)
 }
 
 /// `failctl anonymize`.
-pub fn anonymize(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn anonymize(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&["key"])?;
     let input = args.positional(0, "in")?;
     let output = args.positional(1, "out")?;
     let key: u64 = args.flag_or("key", 0xFA11_5C0F)?;
     let log = load(input)?;
     let anon = faillog::anonymize_nodes(&log, key);
-    faillog::save(output, &anon).map_err(run_err)?;
+    faillog::save(output, &anon)?;
     Ok(format!("anonymized {} records -> {output}\n", anon.len()))
 }
 
 /// `failctl checkpoint`.
-pub fn checkpoint(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn checkpoint(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&["cost"])?;
     let log = load(args.positional(0, "file")?)?;
     let cost: f64 = args.flag_or("cost", 0.25)?;
-    let plan = CheckpointPlan::from_log(&log, cost).map_err(run_err)?;
+    let plan = CheckpointPlan::from_log(&log, cost).map_err(|e| Error::run(e.to_string()))?;
     let daly = plan.daly_interval_hours();
     let mut out = String::new();
     let _ = writeln!(out, "mtbf:            {:.1} h", plan.mtbf_hours());
@@ -307,7 +330,7 @@ pub fn checkpoint(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `failctl spares`.
-pub fn spares(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn spares(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&["class", "lead-days", "risk"])?;
     let log = load(args.positional(0, "file")?)?;
     let class = match args.flag("class").unwrap_or("gpu") {
@@ -317,15 +340,15 @@ pub fn spares(args: &ParsedArgs) -> Result<String, CliError> {
         "storage" => ComponentClass::Storage,
         "power" => ComponentClass::Power,
         "board" => ComponentClass::Board,
-        other => return Err(CliError::Run(format!("unknown component class `{other}`"))),
+        other => return Err(Error::args(format!("unknown component class `{other}`"))),
     };
     let lead_days: f64 = args.flag_or("lead-days", 14.0)?;
     let risk: f64 = args.flag_or("risk", 0.05)?;
     if !(risk > 0.0 && risk < 1.0) {
-        return Err(CliError::Run("--risk must be in (0, 1)".into()));
+        return Err(Error::args("--risk must be in (0, 1)"));
     }
     let policy = SparePolicy::from_log(&log, class, lead_days * 24.0)
-        .ok_or_else(|| CliError::Run(format!("no {} failures in the log", class.name())))?;
+        .ok_or_else(|| Error::run(format!("no {} failures in the log", class.name())))?;
     let spares = policy.required_spares(risk);
     let mut out = String::new();
     let _ = writeln!(out, "class:            {}", class.name());
@@ -341,11 +364,11 @@ pub fn spares(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `failctl availability`.
-pub fn availability(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn availability(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[])?;
     let log = load(args.positional(0, "file")?)?;
     let a = AvailabilityAnalysis::from_log(&log)
-        .ok_or_else(|| CliError::Run("log is empty".into()))?;
+        .ok_or_else(|| Error::run("log is empty"))?;
     let mut out = String::new();
     let _ = writeln!(out, "repair overlap probability:  {:.1}%", a.overlap_probability() * 100.0);
     let _ = writeln!(out, "mean concurrent repairs:     {:.2}", a.mean_concurrent_repairs());
@@ -357,11 +380,11 @@ pub fn availability(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `failctl survival`.
-pub fn survival(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn survival(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[])?;
     let log = load(args.positional(0, "file")?)?;
     let s = NodeSurvival::from_log(&log)
-        .ok_or_else(|| CliError::Run("cannot fit a survival curve".into()))?;
+        .ok_or_else(|| Error::run("cannot fit a survival curve"))?;
     let horizon = log.window().duration().get();
     let mut out = String::new();
     let _ = writeln!(out, "nodes that failed:       {}", s.observed_failures());
@@ -387,20 +410,20 @@ pub fn survival(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `failctl staffing`.
-pub fn staffing(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn staffing(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&["crews", "target"])?;
     let log = load(args.positional(0, "file")?)?;
     let target: f64 = args.flag_or("target", 1.05)?;
     if target < 1.0 {
-        return Err(CliError::Run("--target must be at least 1.0".into()));
+        return Err(Error::args("--target must be at least 1.0"));
     }
     let mut out = String::new();
     if let Some(raw) = args.flag("crews") {
         let crews: u32 = raw
             .parse()
-            .map_err(|_| CliError::Run(format!("invalid --crews value `{raw}`")))?;
+            .map_err(|_| Error::args(format!("invalid --crews value `{raw}`")))?;
         let o = simulate_staffing(&log, crews)
-            .ok_or_else(|| CliError::Run("log is empty or crews is zero".into()))?;
+            .ok_or_else(|| Error::run("log is empty or crews is zero"))?;
         let _ = writeln!(out, "crews:            {}", o.crews);
         let _ = writeln!(out, "hands-on mttr:    {:.1} h", o.hands_on_mttr_hours);
         let _ = writeln!(out, "effective mttr:   {:.1} h ({:.2}x)", o.effective_mttr_hours, o.inflation());
@@ -410,7 +433,7 @@ pub fn staffing(args: &ParsedArgs) -> Result<String, CliError> {
         let _ = writeln!(out, "crews  effective mttr  inflation  delayed");
         for crews in 1..=10 {
             let o = simulate_staffing(&log, crews)
-                .ok_or_else(|| CliError::Run("log is empty".into()))?;
+                .ok_or_else(|| Error::run("log is empty"))?;
             let _ = writeln!(
                 out,
                 "{:>5}  {:>12.1} h  {:>8.2}x  {:>6.1}%",
@@ -433,16 +456,16 @@ pub fn staffing(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// `failctl plan`.
-pub fn plan(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn plan(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[])?;
     let log = load(args.positional(0, "file")?)?;
     let plan = OperationsPlan::from_log(&log, PlanConfig::default())
-        .ok_or_else(|| CliError::Run("log too small to plan from".into()))?;
+        .ok_or_else(|| Error::run("log too small to plan from"))?;
     Ok(plan.render())
 }
 
 /// `failctl racks`.
-pub fn racks(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn racks(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[])?;
     let log = load(args.positional(0, "file")?)?;
     let d = failscope::RackDistribution::from_log(&log);
@@ -478,11 +501,11 @@ pub fn racks(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn model_by_name(name: &str) -> Result<SystemModel, CliError> {
+fn model_by_name(name: &str) -> Result<SystemModel> {
     match name {
         "tsubame2" => Ok(SystemModel::tsubame2()),
         "tsubame3" => Ok(SystemModel::tsubame3()),
-        other => Err(CliError::Run(format!(
+        other => Err(Error::run(format!(
             "unknown model `{other}` (use tsubame2 or tsubame3)"
         ))),
     }
@@ -492,7 +515,7 @@ fn model_by_name(name: &str) -> Result<SystemModel, CliError> {
 /// the online monitor, writing NDJSON alerts and periodic summaries to
 /// `out` as they happen (which is why this one takes a writer instead
 /// of returning a `String`).
-pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), CliError> {
+pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
     args.reject_unknown_flags(&[
         "follow",
         "accel",
@@ -506,6 +529,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
         "threads",
         "format",
         "sections",
+        "trace",
     ])?;
     let source_arg = args.positional(0, "path|sim:MODEL")?;
 
@@ -514,7 +538,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
             "max" => ReplayClock::unpaced(),
             raw => {
                 let rate: f64 = raw.parse().map_err(|_| {
-                    CliError::Run(format!(
+                    Error::args(format!(
                         "invalid --accel value `{raw}` (sim hours per wall second, or `max`)"
                     ))
                 })?;
@@ -522,13 +546,13 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
             }
         };
         let seed: u64 = args.flag_or("seed", 42)?;
-        let mut src = SimSource::new(model_by_name(name)?, seed, clock).map_err(run_err)?;
+        let mut src = SimSource::new(model_by_name(name)?, seed, clock)?;
         if let Some(raw) = args.flag("inject-mttr") {
             let factor: f64 = raw.parse().map_err(|_| {
-                CliError::Run(format!("invalid --inject-mttr value `{raw}`"))
+                Error::args(format!("invalid --inject-mttr value `{raw}`"))
             })?;
             if !(factor.is_finite() && factor > 0.0) {
-                return Err(CliError::Run("--inject-mttr must be positive".into()));
+                return Err(Error::args("--inject-mttr must be positive"));
             }
             // The canonical regression scenario: repairs slow down by
             // `factor` halfway through the replay.
@@ -538,68 +562,67 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<(), Cl
     } else {
         for flag in ["accel", "seed", "inject-mttr"] {
             if args.flag(flag).is_some() {
-                return Err(CliError::Run(format!(
+                return Err(Error::args(format!(
                     "--{flag} only applies to sim: sources"
                 )));
             }
         }
-        Box::new(TailSource::open(source_arg, args.switch("follow")).map_err(run_err)?)
+        Box::new(TailSource::open(source_arg, args.switch("follow"))?)
     };
 
     let baseline = match args.flag("baseline") {
         Some("none") => None,
-        Some(name) => Some(Baseline::from_model(model_by_name(name)?, 1).map_err(run_err)?),
+        Some(name) => Some(Baseline::from_model(model_by_name(name)?, 1)?),
         // Default: the calibrated model matching the stream's system
         // generation, so drift means "unlike the paper's machine".
-        None => Some(
-            Baseline::from_model(SystemModel::for_generation(source.generation()), 1)
-                .map_err(run_err)?,
-        ),
+        None => Some(Baseline::from_model(
+            SystemModel::for_generation(source.generation()),
+            1,
+        )?),
     };
     let detector = baseline.map(|b| DriftDetector::new(b, DriftConfig::default()));
 
-    let config = WatchConfig {
-        state: StateConfig {
-            window: args.flag_or("window", StateConfig::default().window)?,
-            ..StateConfig::default()
-        },
-        refresh_every: args.flag_or("refresh", 100)?,
-        max_idle_polls: args
-            .flag("max-idle")
-            .map(|raw| {
-                raw.parse::<u64>()
-                    .map_err(|_| CliError::Run(format!("invalid --max-idle value `{raw}`")))
-            })
-            .transpose()?,
-        max_records: args
-            .flag("max-records")
-            .map(|raw| {
-                raw.parse::<usize>()
-                    .map_err(|_| CliError::Run(format!("invalid --max-records value `{raw}`")))
-            })
-            .transpose()?,
-        threads: threads_flag(args)?,
-        json_summaries: format_flag(args)? == OutputFormat::Json,
-        summary_sections: match args.flag("sections") {
-            Some(spec) => failwatch::select_watch_sections(spec).map_err(CliError::Run)?,
-            None => WatchConfig::default().summary_sections,
-        },
-        ..WatchConfig::default()
-    };
-    failwatch::run(source.as_mut(), detector, &config, out).map_err(run_err)?;
+    let trace = Collector::new();
+    let state = StateConfig::builder()
+        .window(args.flag_or("window", StateConfig::default().window)?)
+        .build()?;
+    let mut builder = WatchConfig::builder()
+        .state(state)
+        .refresh_every(args.flag_or("refresh", 100)?)
+        .threads(threads_flag(args)?)
+        .json_summaries(format_flag(args)? == OutputFormat::Json)
+        .trace(trace.clone());
+    if let Some(raw) = args.flag("max-idle") {
+        let polls: u64 = raw
+            .parse()
+            .map_err(|_| Error::args(format!("invalid --max-idle value `{raw}`")))?;
+        builder = builder.max_idle_polls(polls);
+    }
+    if let Some(raw) = args.flag("max-records") {
+        let records: usize = raw
+            .parse()
+            .map_err(|_| Error::args(format!("invalid --max-records value `{raw}`")))?;
+        builder = builder.max_records(records);
+    }
+    if let Some(spec) = args.flag("sections") {
+        builder = builder.summary_sections(failwatch::select_watch_sections(spec)?);
+    }
+    let config = builder.build()?;
+    failwatch::run(source.as_mut(), detector, &config, out)?;
+    write_trace(args, &trace)?;
     Ok(())
 }
 
 /// `failctl watch` via the uniform dispatch path: buffers the stream
 /// and returns it as a string (main.rs streams to stdout instead).
-pub fn watch(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn watch(args: &ParsedArgs) -> Result<String> {
     let mut buf = Vec::new();
     watch_stream(args, &mut buf)?;
-    String::from_utf8(buf).map_err(|_| CliError::Run("watch produced non-UTF8 output".into()))
+    String::from_utf8(buf).map_err(|_| Error::run("watch produced non-UTF8 output"))
 }
 
 /// Dispatches a parsed command line.
-pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
+pub fn dispatch(args: &ParsedArgs) -> Result<String> {
     match args.command.as_str() {
         "generate" => generate(args),
         "scenario" => scenario(args),
@@ -616,7 +639,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String, CliError> {
         "racks" => racks(args),
         "watch" => watch(args),
         "help" | "--help" | "-h" => Ok(help()),
-        other => Err(CliError::Run(format!(
+        other => Err(Error::run(format!(
             "unknown command `{other}`; try `failctl help`"
         ))),
     }
@@ -844,6 +867,62 @@ mod tests {
         assert!(picked.contains("# summary @"));
         assert!(!picked.contains("#   categories:"));
         assert!(watch(&parse(&["watch", "sim:tsubame3", "--sections", "nope"])).is_err());
+    }
+
+    #[test]
+    fn report_from_model_emits_deterministic_trace() {
+        let t1 = temp_path("model-t1.ndjson");
+        let t4 = temp_path("model-t4.ndjson");
+        let base = ["report", "--model", "tsubame2", "--seed", "42"];
+        let with = |trace: &str, threads: &str| {
+            let mut words: Vec<&str> = base.to_vec();
+            words.extend(["--trace", trace, "--threads", threads]);
+            report(&parse(&words)).expect("reports")
+        };
+        let r1 = with(t1.to_str().unwrap(), "1");
+        let r4 = with(t4.to_str().unwrap(), "4");
+        assert_eq!(r1, r4, "report must be thread-identical");
+        assert!(r1.contains("Failure categories"));
+        let trace1 = std::fs::read_to_string(&t1).expect("trace written");
+        let trace4 = std::fs::read_to_string(&t4).expect("trace written");
+        assert_eq!(trace1, trace4, "trace must be thread-identical");
+        assert!(trace1.lines().count() > 3, "{trace1}");
+        for line in trace1.lines() {
+            assert!(line.starts_with(r#"{"kind":""#), "{line}");
+        }
+        assert!(trace1.contains(r#""stage":"sim.generate""#), "{trace1}");
+        assert!(trace1.contains(r#""stage":"index.ttr_hours""#), "{trace1}");
+        assert!(trace1.contains(r#""stage":"render.header""#), "{trace1}");
+        // The metrics section surfaces the same collector as JSON.
+        let m = report(&parse(&[
+            "report", "--model", "tsubame2", "--sections", "metrics", "--format", "json",
+        ]))
+        .expect("reports");
+        assert_eq!(m.lines().count(), 1);
+        assert!(m.starts_with(r#"{"id":"metrics","title":"Runtime metrics","data":{"#), "{m}");
+        assert!(m.contains(r#""counters":"#), "{m}");
+        // Mixing the two input modes (or --seed without --model) fails.
+        assert!(report(&parse(&["report", "x.fslog", "--model", "tsubame2"])).is_err());
+        assert!(report(&parse(&["report", "x.fslog", "--seed", "7"])).is_err());
+        std::fs::remove_file(&t1).expect("cleanup");
+        std::fs::remove_file(&t4).expect("cleanup");
+    }
+
+    #[test]
+    fn watch_trace_counts_ingested_records() {
+        let tp = temp_path("watch-trace.ndjson");
+        let out = watch(&parse(&[
+            "watch", "sim:tsubame3", "--max-records", "40",
+            "--trace", tp.to_str().unwrap(),
+        ]))
+        .expect("watches");
+        assert!(out.contains("# watch done:"));
+        let trace = std::fs::read_to_string(&tp).expect("trace written");
+        assert!(
+            trace.contains(r#""stage":"watch.records_ingested","value":40"#),
+            "{trace}"
+        );
+        std::fs::remove_file(&tp).expect("cleanup");
     }
 
     #[test]

@@ -110,11 +110,13 @@ impl AvailabilityAnalysis {
 
     /// [`AvailabilityAnalysis::from_index`], indexing the log once;
     /// `None` for an empty log.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }
 
     /// [`AvailabilityAnalysis::from_index`] on a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
         Self::from_index(view)
     }

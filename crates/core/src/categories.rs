@@ -57,11 +57,13 @@ impl CategoryBreakdown {
     }
 
     /// Computes the breakdown, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the breakdown from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }
@@ -143,11 +145,13 @@ impl ClassBreakdown {
     }
 
     /// Computes the breakdown, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the breakdown from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }
@@ -206,11 +210,13 @@ impl DomainBreakdown {
     }
 
     /// Computes the split, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the split from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }
@@ -263,11 +269,13 @@ impl LocusBreakdown {
     }
 
     /// Computes the breakdown, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the breakdown from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }

@@ -29,10 +29,11 @@
 //!
 //! let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
 //!
-//! let cats = CategoryBreakdown::from_log(&log);
+//! let view = failscope::LogView::new(&log);
+//! let cats = CategoryBreakdown::from_index(&view);
 //! assert!(cats.shares()[0].fraction > 0.5); // software dominates
 //!
-//! let tbf = TbfAnalysis::from_log(&log).unwrap();
+//! let tbf = TbfAnalysis::from_index(&view).unwrap();
 //! assert!(tbf.mtbf_hours() > 70.0); // "more than 70 hours"
 //! ```
 
@@ -69,7 +70,8 @@ pub use pep::{Pep, PepComparison};
 pub use report::{
     comparison_json, render_comparison, render_comparison_json, render_comparison_threaded,
     render_json_sections, render_report, render_report_json, render_report_threaded,
-    render_text_sections, section_by_id, select_sections, Section, SECTIONS,
+    render_text_sections, section_by_id, select_sections, Section, SectionCtx,
+    METRICS_SECTION_ID, SECTIONS,
 };
 pub use seasonal::{MonthBucket, SeasonalAnalysis};
 pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
@@ -84,6 +86,41 @@ pub use ttr::{
     domain_ttr_spread, domain_ttr_spread_index, per_category_ttr, per_category_ttr_index,
     per_category_ttr_view, rare_but_costly, rare_but_costly_index, CategoryTtr, TtrAnalysis,
 };
+
+/// The canonical FleetIndex-era API surface in one import: the index
+/// trait and its two implementations, the section registry, the render
+/// entry points, and every analysis type's `from_index` home.
+///
+/// ```
+/// use failscope::prelude::*;
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+/// let view = LogView::new(&log);
+/// assert!(TbfAnalysis::from_index(&view).unwrap().mtbf_hours() > 70.0);
+/// ```
+pub mod prelude {
+    pub use crate::availability::AvailabilityAnalysis;
+    pub use crate::categories::{
+        CategoryBreakdown, ClassBreakdown, DomainBreakdown, LocusBreakdown,
+    };
+    pub use crate::index::FleetIndex;
+    pub use crate::logview::LogView;
+    pub use crate::multigpu::InvolvementTable;
+    pub use crate::pep::{Pep, PepComparison};
+    pub use crate::report::{
+        render_json_sections, render_report, render_report_json, render_report_threaded,
+        render_text_sections, section_by_id, select_sections, Section, SectionCtx,
+        METRICS_SECTION_ID, SECTIONS,
+    };
+    pub use crate::seasonal::SeasonalAnalysis;
+    pub use crate::spatial::{NodeDistribution, RackDistribution, SlotDistribution};
+    pub use crate::streamview::{StreamView, StreamViewError};
+    pub use crate::survival::NodeSurvival;
+    pub use crate::tbf::{per_category_tbf_index, TbfAnalysis};
+    pub use crate::temporal::MultiGpuTemporal;
+    pub use crate::ttr::{per_category_ttr_index, TtrAnalysis};
+}
 
 #[cfg(test)]
 mod tests {

@@ -46,6 +46,23 @@ pub struct LogView<'a> {
 }
 
 impl<'a> LogView<'a> {
+    /// [`LogView::new`] with optional tracing: records an
+    /// `index.logview` span (items = records) and observes every repair
+    /// duration into the `index.ttr_hours` histogram.
+    pub fn new_traced(log: &'a FailureLog, trace: Option<&failtrace::Collector>) -> Self {
+        let Some(trace) = trace else {
+            return Self::new(log);
+        };
+        let mut span = trace.span("index.logview");
+        let view = Self::new(log);
+        span.add_items(log.len() as u64);
+        drop(span);
+        for &ttr in view.ttrs_sorted() {
+            trace.observe_hours("index.ttr_hours", ttr);
+        }
+        view
+    }
+
     /// Indexes `log` in one pass (plus two `sort_unstable` calls for the
     /// pre-sorted duration arrays).
     pub fn new(log: &'a FailureLog) -> Self {

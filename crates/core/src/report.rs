@@ -13,8 +13,10 @@
 //! the output is byte-identical at every thread count;
 //! [`render_report`] is the single-threaded whole-report entry point.
 
+use std::fmt;
 use std::fmt::Write as _;
 
+use failtrace::Collector;
 use failtypes::{FailureLog, JsonValue};
 
 use crate::availability::AvailabilityAnalysis;
@@ -30,10 +32,55 @@ use crate::tbf::{per_category_tbf_index, TbfAnalysis};
 use crate::temporal::MultiGpuTemporal;
 use crate::ttr::{per_category_ttr_index, TtrAnalysis};
 
+/// Shared context handed to every section renderer: the fleet index the
+/// section reports on, plus an optional [`Collector`] whose contents the
+/// [`METRICS_SECTION_ID`] section surfaces.
+#[derive(Clone, Copy)]
+pub struct SectionCtx<'a> {
+    index: &'a (dyn FleetIndex + Sync),
+    trace: Option<&'a Collector>,
+}
+
+impl<'a> SectionCtx<'a> {
+    /// A context over `index` with no trace collector: the `metrics`
+    /// section renders empty.
+    pub fn new(index: &'a (dyn FleetIndex + Sync)) -> Self {
+        SectionCtx { index, trace: None }
+    }
+
+    /// A context over `index` that also records section-render spans
+    /// into `trace` and surfaces it through the `metrics` section.
+    pub fn with_trace(index: &'a (dyn FleetIndex + Sync), trace: &'a Collector) -> Self {
+        SectionCtx {
+            index,
+            trace: Some(trace),
+        }
+    }
+
+    /// The fleet index the sections report on.
+    pub fn index(&self) -> &'a dyn FleetIndex {
+        self.index
+    }
+
+    /// The trace collector, when one is attached.
+    pub fn trace(&self) -> Option<&'a Collector> {
+        self.trace
+    }
+}
+
+impl fmt::Debug for SectionCtx<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SectionCtx")
+            .field("records", &self.index.len())
+            .field("traced", &self.trace.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
 /// One report section: a stable machine id, a human title, and two
-/// renderers over the shared index.
+/// renderers over the shared [`SectionCtx`].
 ///
-/// Both renderers must be pure functions of the index so the threaded
+/// Both renderers must be pure functions of the context so the threaded
 /// renderers stay byte-identical at any worker count. An empty section
 /// renders as `""` / [`JsonValue::Null`].
 #[derive(Debug, Clone, Copy)]
@@ -43,10 +90,15 @@ pub struct Section {
     /// Human-readable title, carried on every JSON line.
     pub title: &'static str,
     /// Structured renderer (`null` when the section has nothing to say).
-    pub json: fn(&dyn FleetIndex) -> JsonValue,
+    pub json: fn(&SectionCtx<'_>) -> JsonValue,
     /// Plain-text renderer (`""` when the section has nothing to say).
-    pub text: fn(&dyn FleetIndex) -> String,
+    pub text: fn(&SectionCtx<'_>) -> String,
 }
+
+/// Stable id of the runtime self-measurement section, which renders the
+/// attached [`Collector`] and is therefore computed serially *after*
+/// every other section in a selection has finished.
+pub const METRICS_SECTION_ID: &str = "metrics";
 
 /// The report sections in print order. Each is independent, so the
 /// threaded renderers can compute them concurrently.
@@ -105,6 +157,12 @@ pub const SECTIONS: &[Section] = &[
         json: json_seasonal,
         text: section_seasonal,
     },
+    Section {
+        id: METRICS_SECTION_ID,
+        title: "Runtime metrics",
+        json: json_metrics,
+        text: section_metrics,
+    },
 ];
 
 /// Looks up one section by its stable id.
@@ -117,8 +175,9 @@ pub fn section_by_id(id: &str) -> Option<&'static Section> {
 ///
 /// # Errors
 ///
-/// Rejects unknown or empty selections, naming the known vocabulary.
-pub fn select_sections(spec: &str) -> Result<Vec<&'static Section>, String> {
+/// Rejects unknown or empty selections with a
+/// [`failtypes::Error::Args`] naming the known vocabulary.
+pub fn select_sections(spec: &str) -> failtypes::Result<Vec<&'static Section>> {
     let known = || {
         SECTIONS
             .iter()
@@ -130,47 +189,112 @@ pub fn select_sections(spec: &str) -> Result<Vec<&'static Section>, String> {
     for id in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         match section_by_id(id) {
             Some(section) => out.push(section),
-            None => return Err(format!("unknown section `{id}` (known: {})", known())),
+            None => {
+                return Err(failtypes::Error::args(format!(
+                    "unknown section `{id}` (known: {})",
+                    known()
+                )))
+            }
         }
     }
     if out.is_empty() {
-        return Err(format!("no sections selected (known: {})", known()));
+        return Err(failtypes::Error::args(format!(
+            "no sections selected (known: {})",
+            known()
+        )));
     }
     Ok(out)
 }
 
+/// Runs one section renderer, recording a `render.<id>` span (items =
+/// output bytes) and bumping `report.sections_rendered` when the
+/// context carries a trace collector. The `metrics` section itself is
+/// never instrumented, so its counters stay deterministic.
+fn rendered_instrumented(
+    ctx: &SectionCtx<'_>,
+    section: &Section,
+    render: impl FnOnce() -> String,
+) -> String {
+    match ctx.trace() {
+        Some(trace) if section.id != METRICS_SECTION_ID => {
+            let mut span = trace.span(&format!("render.{}", section.id));
+            let out = render();
+            span.add_items(out.len() as u64);
+            drop(span);
+            trace.incr("report.sections_rendered", 1);
+            out
+        }
+        _ => render(),
+    }
+}
+
+/// Replaces the placeholder output of any `metrics` sections in the
+/// selection with a serial render taken *after* the worker pool has
+/// finished, so the self-measurement reflects every other section.
+fn splice_metrics(
+    sections: &[&Section],
+    rendered: &mut [String],
+    render: impl Fn(&Section) -> String,
+) {
+    for (slot, section) in rendered.iter_mut().zip(sections) {
+        if section.id == METRICS_SECTION_ID {
+            *slot = render(section);
+        }
+    }
+}
+
 /// Renders a section selection as the operator text report, computing
 /// sections on up to `threads` workers and concatenating in selection
-/// order — byte-identical at any thread count.
+/// order — byte-identical at any thread count. The `metrics` section,
+/// if selected, is rendered serially after the pool so it observes the
+/// other sections' instrumentation.
 pub fn render_text_sections(
     sections: &[&Section],
-    index: &(dyn FleetIndex + Sync),
+    ctx: &SectionCtx<'_>,
     threads: usize,
 ) -> String {
-    failstats::par_map_ordered(sections.len(), threads, |i| (sections[i].text)(index)).concat()
+    let mut rendered = failstats::par_map_ordered(sections.len(), threads, |i| {
+        let section = sections[i];
+        if section.id == METRICS_SECTION_ID {
+            String::new()
+        } else {
+            rendered_instrumented(ctx, section, || (section.text)(ctx))
+        }
+    });
+    splice_metrics(sections, &mut rendered, |section| (section.text)(ctx));
+    rendered.concat()
 }
 
 /// Renders a section selection as NDJSON — one
 /// `{"id":...,"title":...,"data":...}` line per section, in selection
 /// order, byte-identical at any thread count. Empty sections carry
-/// `"data":null`.
+/// `"data":null`; the `metrics` section is rendered serially after the
+/// pool, like in [`render_text_sections`].
 pub fn render_json_sections(
     sections: &[&Section],
-    index: &(dyn FleetIndex + Sync),
+    ctx: &SectionCtx<'_>,
     threads: usize,
 ) -> String {
-    failstats::par_map_ordered(sections.len(), threads, |i| {
-        let section = sections[i];
+    let json_line = |section: &Section| {
         let mut line = JsonValue::object()
             .field("id", section.id)
             .field("title", section.title)
-            .field("data", (section.json)(index))
+            .field("data", (section.json)(ctx))
             .build()
             .render();
         line.push('\n');
         line
-    })
-    .concat()
+    };
+    let mut rendered = failstats::par_map_ordered(sections.len(), threads, |i| {
+        let section = sections[i];
+        if section.id == METRICS_SECTION_ID {
+            String::new()
+        } else {
+            rendered_instrumented(ctx, section, || json_line(section))
+        }
+    });
+    splice_metrics(sections, &mut rendered, json_line);
+    rendered.concat()
 }
 
 fn all_sections() -> Vec<&'static Section> {
@@ -181,7 +305,8 @@ fn all_sections() -> Vec<&'static Section> {
 // Text renderers (one per section, byte-stable).
 // ---------------------------------------------------------------------
 
-fn section_header(index: &dyn FleetIndex) -> String {
+fn section_header(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     let _ = writeln!(out, "=== Reliability report: {} ===", index.spec().name());
     let _ = writeln!(
@@ -194,7 +319,8 @@ fn section_header(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_categories(index: &dyn FleetIndex) -> String {
+fn section_categories(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     let cats = CategoryBreakdown::from_index(index);
     let _ = writeln!(out, "\n-- Failure categories (RQ1) --");
@@ -223,7 +349,8 @@ fn section_categories(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_spatial(index: &dyn FleetIndex) -> String {
+fn section_spatial(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     let nodes = NodeDistribution::from_index(index);
     let _ = writeln!(out, "\n-- Per-node distribution (RQ2) --");
@@ -256,7 +383,8 @@ fn section_spatial(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_involvement(index: &dyn FleetIndex) -> String {
+fn section_involvement(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     let inv = InvolvementTable::from_index(index);
     if inv.known() > 0 {
@@ -275,7 +403,8 @@ fn section_involvement(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_tbf(index: &dyn FleetIndex) -> String {
+fn section_tbf(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     if let Some(tbf) = TbfAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Time between failures (RQ4) --");
@@ -315,7 +444,8 @@ fn section_tbf(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_ttr_and_racks(index: &dyn FleetIndex) -> String {
+fn section_ttr_and_racks(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     if let Some(ttr) = TtrAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Time to recovery (RQ5) --");
@@ -357,7 +487,8 @@ fn section_ttr_and_racks(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_availability(index: &dyn FleetIndex) -> String {
+fn section_availability(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     if let Some(avail) = AvailabilityAnalysis::from_index(index) {
         let _ = writeln!(out, "\n-- Repair overlap and availability --");
@@ -378,7 +509,8 @@ fn section_availability(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_survival(index: &dyn FleetIndex) -> String {
+fn section_survival(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     if let Some(surv) = NodeSurvival::from_index(index) {
         let horizon = index.window().duration().get();
@@ -396,7 +528,8 @@ fn section_survival(index: &dyn FleetIndex) -> String {
     out
 }
 
-fn section_seasonal(index: &dyn FleetIndex) -> String {
+fn section_seasonal(ctx: &SectionCtx<'_>) -> String {
+    let index = ctx.index();
     let mut out = String::new();
     let seasonal = SeasonalAnalysis::from_index(index);
     if let Some(r) = seasonal.density_ttr_correlation() {
@@ -424,7 +557,8 @@ fn section_seasonal(index: &dyn FleetIndex) -> String {
 // JSON renderers (one per section, stable schema — see DESIGN.md).
 // ---------------------------------------------------------------------
 
-fn json_header(index: &dyn FleetIndex) -> JsonValue {
+fn json_header(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     JsonValue::object()
         .field("system", index.spec().name())
         .field("nodes", index.spec().nodes())
@@ -435,7 +569,8 @@ fn json_header(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_categories(index: &dyn FleetIndex) -> JsonValue {
+fn json_categories(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let cats = CategoryBreakdown::from_index(index);
     let loci = LocusBreakdown::from_index(index);
     JsonValue::object()
@@ -472,7 +607,8 @@ fn json_categories(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_spatial(index: &dyn FleetIndex) -> JsonValue {
+fn json_spatial(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let nodes = NodeDistribution::from_index(index);
     let slots = SlotDistribution::from_index(index);
     JsonValue::object()
@@ -506,7 +642,8 @@ fn json_spatial(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_involvement(index: &dyn FleetIndex) -> JsonValue {
+fn json_involvement(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let inv = InvolvementTable::from_index(index);
     if inv.known() == 0 {
         return JsonValue::Null;
@@ -532,7 +669,8 @@ fn json_involvement(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_tbf(index: &dyn FleetIndex) -> JsonValue {
+fn json_tbf(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let tbf = TbfAnalysis::from_index(index);
     let temporal = MultiGpuTemporal::from_index(index, 96.0);
     if tbf.is_none() && temporal.is_none() {
@@ -578,7 +716,8 @@ fn json_tbf(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_ttr(index: &dyn FleetIndex) -> JsonValue {
+fn json_ttr(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let ttr = TtrAnalysis::from_index(index);
     let racks = RackDistribution::from_index(index);
     let rack_test = racks.uniformity_test();
@@ -626,7 +765,8 @@ fn json_ttr(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
-fn json_availability(index: &dyn FleetIndex) -> JsonValue {
+fn json_availability(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     AvailabilityAnalysis::from_index(index).map_or(JsonValue::Null, |a| {
         JsonValue::object()
             .field("overlap_probability", a.overlap_probability())
@@ -639,7 +779,8 @@ fn json_availability(index: &dyn FleetIndex) -> JsonValue {
     })
 }
 
-fn json_survival(index: &dyn FleetIndex) -> JsonValue {
+fn json_survival(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     NodeSurvival::from_index(index).map_or(JsonValue::Null, |s| {
         let horizon = index.window().duration().get();
         JsonValue::object()
@@ -653,7 +794,8 @@ fn json_survival(index: &dyn FleetIndex) -> JsonValue {
     })
 }
 
-fn json_seasonal(index: &dyn FleetIndex) -> JsonValue {
+fn json_seasonal(ctx: &SectionCtx<'_>) -> JsonValue {
+    let index = ctx.index();
     let seasonal = SeasonalAnalysis::from_index(index);
     let Some(r) = seasonal.density_ttr_correlation() else {
         return JsonValue::Null;
@@ -689,6 +831,22 @@ fn json_seasonal(index: &dyn FleetIndex) -> JsonValue {
         .build()
 }
 
+fn section_metrics(ctx: &SectionCtx<'_>) -> String {
+    match ctx.trace() {
+        Some(trace) if !trace.is_empty() => {
+            format!("\n-- Runtime metrics --\n{}", trace.render_text())
+        }
+        _ => String::new(),
+    }
+}
+
+fn json_metrics(ctx: &SectionCtx<'_>) -> JsonValue {
+    match ctx.trace() {
+        Some(trace) if !trace.is_empty() => trace.to_json(false),
+        _ => JsonValue::Null,
+    }
+}
+
 // ---------------------------------------------------------------------
 // Whole-report entry points.
 // ---------------------------------------------------------------------
@@ -715,7 +873,7 @@ pub fn render_report(log: &FailureLog) -> String {
 /// output is byte-identical to the serial render at any thread count.
 pub fn render_report_threaded(log: &FailureLog, threads: usize) -> String {
     let view = LogView::new(log);
-    render_text_sections(&all_sections(), &view, threads)
+    render_text_sections(&all_sections(), &SectionCtx::new(&view), threads)
 }
 
 /// Renders the full report as NDJSON — one line per registry section,
@@ -733,7 +891,7 @@ pub fn render_report_threaded(log: &FailureLog, threads: usize) -> String {
 /// ```
 pub fn render_report_json(log: &FailureLog, threads: usize) -> String {
     let view = LogView::new(log);
-    render_json_sections(&all_sections(), &view, threads)
+    render_json_sections(&all_sections(), &SectionCtx::new(&view), threads)
 }
 
 /// Renders the two-generation comparison (MTBF/MTTR factors and the
@@ -924,11 +1082,12 @@ mod tests {
         let log = t3();
         let view = LogView::new(&log);
         let picked = select_sections("header,tbf").expect("valid ids");
-        let text = render_text_sections(&picked, &view, 2);
+        let ctx = SectionCtx::new(&view);
+        let text = render_text_sections(&picked, &ctx, 2);
         assert!(text.contains("Reliability report"));
         assert!(text.contains("Time between failures"));
         assert!(!text.contains("Time to recovery"));
-        let json = render_json_sections(&picked, &view, 2);
+        let json = render_json_sections(&picked, &ctx, 2);
         assert_eq!(json.lines().count(), 2);
     }
 
@@ -940,16 +1099,18 @@ mod tests {
         for rec in log.iter() {
             sv.push(rec.clone()).unwrap();
         }
+        let batch = SectionCtx::new(&view);
+        let stream = SectionCtx::new(&sv);
         for section in SECTIONS {
             assert_eq!(
-                (section.json)(&view).render(),
-                (section.json)(&sv).render(),
+                (section.json)(&batch).render(),
+                (section.json)(&stream).render(),
                 "JSON diverges for section {}",
                 section.id
             );
             assert_eq!(
-                (section.text)(&view),
-                (section.text)(&sv),
+                (section.text)(&batch),
+                (section.text)(&stream),
                 "text diverges for section {}",
                 section.id
             );

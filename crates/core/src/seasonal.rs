@@ -46,11 +46,13 @@ impl SeasonalAnalysis {
     }
 
     /// [`SeasonalAnalysis::from_index`], indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// [`SeasonalAnalysis::from_index`] on a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }

@@ -58,11 +58,13 @@ impl NodeDistribution {
     }
 
     /// Computes the distribution, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the distribution from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }
@@ -156,11 +158,13 @@ impl SlotDistribution {
     }
 
     /// Computes the distribution, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the distribution from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }
@@ -230,11 +234,13 @@ impl RackDistribution {
     }
 
     /// Counts failures per rack, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Self {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the distribution from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Self {
         Self::from_index(view)
     }

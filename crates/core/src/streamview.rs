@@ -65,6 +65,12 @@ impl From<InvalidRecordError> for StreamViewError {
     }
 }
 
+impl From<StreamViewError> for failtypes::Error {
+    fn from(e: StreamViewError) -> Self {
+        failtypes::Error::other("stream state error", e)
+    }
+}
+
 /// Incrementally maintained indexes over a record stream, mirroring
 /// [`crate::LogView`] field for field.
 ///

@@ -65,11 +65,13 @@ impl NodeSurvival {
     }
 
     /// [`NodeSurvival::from_index`], indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }
 
     /// [`NodeSurvival::from_index`] on a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
         Self::from_index(view)
     }

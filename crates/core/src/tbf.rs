@@ -46,11 +46,13 @@ impl TbfAnalysis {
     }
 
     /// Computes the analysis, indexing the log once.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }
 
     /// Computes the analysis from a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
         Self::from_index(view)
     }

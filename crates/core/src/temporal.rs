@@ -49,6 +49,7 @@ impl MultiGpuTemporal {
     /// # Panics
     ///
     /// Panics if `follow_up_hours` is not positive.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog, follow_up_hours: f64) -> Option<Self> {
         Self::from_index(&LogView::new(log), follow_up_hours)
     }
@@ -58,6 +59,7 @@ impl MultiGpuTemporal {
     /// # Panics
     ///
     /// Panics if `follow_up_hours` is not positive.
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>, follow_up_hours: f64) -> Option<Self> {
         Self::from_index(view, follow_up_hours)
     }

@@ -36,11 +36,13 @@ impl TtrAnalysis {
 
     /// [`TtrAnalysis::from_index`], indexing the log once; `None` for
     /// empty logs.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }
 
     /// [`TtrAnalysis::from_index`] on a prebuilt [`LogView`].
+    #[doc(hidden)]
     pub fn from_view(view: &LogView<'_>) -> Option<Self> {
         Self::from_index(view)
     }

@@ -28,7 +28,7 @@ use failtypes::{
     ObservationWindow, SoftwareLocus, SystemSpec, T2Category, T3Category,
 };
 
-use crate::error::{ParseLogError, WriteLogError};
+use failtypes::{Error, Result};
 
 const MAGIC: &str = "# failscope-log v1";
 const COLUMNS: &str = "id,time_h,ttr_h,category,node,gpus,locus";
@@ -39,7 +39,7 @@ const COLUMNS: &str = "id,time_h,ttr_h,category,node,gpus,locus";
 ///
 /// # Errors
 ///
-/// Returns [`WriteLogError`] on I/O failure.
+/// Returns [`Error`] on I/O failure.
 ///
 /// # Examples
 ///
@@ -53,7 +53,7 @@ const COLUMNS: &str = "id,time_h,ttr_h,category,node,gpus,locus";
 /// assert_eq!(&parsed, &log);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn write_log<W: Write>(mut w: W, log: &FailureLog) -> Result<(), WriteLogError> {
+pub fn write_log<W: Write>(mut w: W, log: &FailureLog) -> Result<()> {
     writeln!(w, "{MAGIC}")?;
     writeln!(w, "# generation: {}", log.generation())?;
     writeln!(w, "# name: {}", log.spec().name())?;
@@ -97,7 +97,7 @@ pub fn write_log<W: Write>(mut w: W, log: &FailureLog) -> Result<(), WriteLogErr
 ///
 /// Never fails in practice (writing to a `Vec` cannot I/O-fail); the
 /// `Result` mirrors [`write_log`].
-pub fn to_string(log: &FailureLog) -> Result<String, WriteLogError> {
+pub fn to_string(log: &FailureLog) -> Result<String> {
     let mut buf = Vec::new();
     write_log(&mut buf, log)?;
     Ok(String::from_utf8(buf).expect("format writes UTF-8 only"))
@@ -108,9 +108,9 @@ pub fn to_string(log: &FailureLog) -> Result<String, WriteLogError> {
 ///
 /// # Errors
 ///
-/// Returns [`ParseLogError`] for I/O failures, malformed headers or rows,
+/// Returns [`Error`] for I/O failures, malformed headers or rows,
 /// and logs that violate record invariants (e.g. node out of range).
-pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
+pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog> {
     let mut lines = r.lines().enumerate();
 
     let mut header = HeaderParser::new();
@@ -131,7 +131,7 @@ pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
         }
         let rec = parse_row(lineno + 1, line, generation)?;
         rec.validate(generation, &spec, window)
-            .map_err(|e| ParseLogError::invalid_row(lineno + 1, e))?;
+            .map_err(|e| Error::invalid_row(lineno + 1, e))?;
         records.push(rec);
     }
     Ok(FailureLog::with_spec(generation, spec, window, records)?)
@@ -142,16 +142,16 @@ pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog, ParseLogError> {
 /// # Errors
 ///
 /// See [`read_log`].
-pub fn from_str(s: &str) -> Result<FailureLog, ParseLogError> {
+pub fn from_str(s: &str) -> Result<FailureLog> {
     read_log(s.as_bytes())
 }
 
 type Lines<'a, R> = std::iter::Enumerate<std::io::Lines<R>>;
 
-fn next_line<R: BufRead>(lines: &mut Lines<'_, R>) -> Result<(usize, String), ParseLogError> {
+fn next_line<R: BufRead>(lines: &mut Lines<'_, R>) -> Result<(usize, String)> {
     match lines.next() {
         Some((i, line)) => Ok((i, line?)),
-        None => Err(ParseLogError::Header("unexpected end of file".into())),
+        None => Err(Error::Header("unexpected end of file".into())),
     }
 }
 
@@ -181,11 +181,11 @@ impl HeaderParser {
 
     /// Consumes one raw line (`lineno` is 0-based). Returns `Ok(true)`
     /// once the column row has been consumed and the header is complete.
-    pub(crate) fn feed(&mut self, lineno: usize, raw: &str) -> Result<bool, ParseLogError> {
+    pub(crate) fn feed(&mut self, lineno: usize, raw: &str) -> Result<bool> {
         let line = raw.trim();
         if !self.saw_magic {
             if line != MAGIC {
-                return Err(ParseLogError::Header(format!(
+                return Err(Error::Header(format!(
                     "expected `{MAGIC}`, found `{line}`"
                 )));
             }
@@ -196,13 +196,13 @@ impl HeaderParser {
             return Ok(true);
         }
         let Some(rest) = line.strip_prefix("# ") else {
-            return Err(ParseLogError::Header(format!(
+            return Err(Error::Header(format!(
                 "unexpected line {} before column header: `{line}`",
                 lineno + 1
             )));
         };
         let Some((key, value)) = rest.split_once(": ") else {
-            return Err(ParseLogError::Header(format!("malformed field `{rest}`")));
+            return Err(Error::Header(format!("malformed field `{rest}`")));
         };
         match key {
             "generation" => {
@@ -210,7 +210,7 @@ impl HeaderParser {
                     "Tsubame-2" => Generation::Tsubame2,
                     "Tsubame-3" => Generation::Tsubame3,
                     other => {
-                        return Err(ParseLogError::Header(format!(
+                        return Err(Error::Header(format!(
                             "unknown generation `{other}`"
                         )))
                     }
@@ -219,17 +219,17 @@ impl HeaderParser {
             "name" => self.name = Some(value.to_string()),
             "nodes" => {
                 self.nodes = Some(value.parse().map_err(|_| {
-                    ParseLogError::Header(format!("invalid node count `{value}`"))
+                    Error::Header(format!("invalid node count `{value}`"))
                 })?)
             }
             "gpus-per-node" => {
                 self.gpus = Some(value.parse().map_err(|_| {
-                    ParseLogError::Header(format!("invalid GPU count `{value}`"))
+                    Error::Header(format!("invalid GPU count `{value}`"))
                 })?)
             }
             "window" => self.window = Some(parse_window(value)?),
             other => {
-                return Err(ParseLogError::Header(format!("unknown field `{other}`")));
+                return Err(Error::Header(format!("unknown field `{other}`")));
             }
         }
         Ok(false)
@@ -238,34 +238,34 @@ impl HeaderParser {
     /// Finalizes the header into `(generation, spec, window)`.
     pub(crate) fn finish(
         self,
-    ) -> Result<(Generation, SystemSpec, ObservationWindow), ParseLogError> {
+    ) -> Result<(Generation, SystemSpec, ObservationWindow)> {
         let generation = self
             .generation
-            .ok_or_else(|| ParseLogError::Header("missing `generation`".into()))?;
+            .ok_or_else(|| Error::Header("missing `generation`".into()))?;
         let window = self
             .window
-            .ok_or_else(|| ParseLogError::Header("missing `window`".into()))?;
+            .ok_or_else(|| Error::Header("missing `window`".into()))?;
         let spec = rebuild_spec(generation, self.name, self.nodes, self.gpus)?;
         Ok((generation, spec, window))
     }
 }
 
-fn parse_window(value: &str) -> Result<ObservationWindow, ParseLogError> {
+fn parse_window(value: &str) -> Result<ObservationWindow> {
     let Some((a, b)) = value.split_once("..") else {
-        return Err(ParseLogError::Header(format!("malformed window `{value}`")));
+        return Err(Error::Header(format!("malformed window `{value}`")));
     };
     let start = parse_date(a)?;
     let end = parse_date(b)?;
     ObservationWindow::new(start, end)
-        .ok_or_else(|| ParseLogError::Header(format!("inverted window `{value}`")))
+        .ok_or_else(|| Error::Header(format!("inverted window `{value}`")))
 }
 
-fn parse_date(s: &str) -> Result<Date, ParseLogError> {
+fn parse_date(s: &str) -> Result<Date> {
     let parts: Vec<&str> = s.split('-').collect();
     if parts.len() != 3 {
-        return Err(ParseLogError::Header(format!("malformed date `{s}`")));
+        return Err(Error::Header(format!("malformed date `{s}`")));
     }
-    let bad = || ParseLogError::Header(format!("malformed date `{s}`"));
+    let bad = || Error::Header(format!("malformed date `{s}`"));
     let year: i32 = parts[0].parse().map_err(|_| bad())?;
     let month: u8 = parts[1].parse().map_err(|_| bad())?;
     let day: u8 = parts[2].parse().map_err(|_| bad())?;
@@ -277,7 +277,7 @@ fn rebuild_spec(
     name: Option<String>,
     nodes: Option<u32>,
     gpus: Option<u8>,
-) -> Result<SystemSpec, ParseLogError> {
+) -> Result<SystemSpec> {
     let base = generation.spec();
     let same_shape = nodes.is_none_or(|n| n == base.nodes())
         && gpus.is_none_or(|g| g == base.gpus_per_node())
@@ -289,34 +289,34 @@ fn rebuild_spec(
         .nodes(nodes.unwrap_or(base.nodes()))
         .gpus_per_node(gpus.unwrap_or(base.gpus_per_node()))
         .build()
-        .map_err(|e| ParseLogError::Header(e.to_string()))
+        .map_err(|e| Error::Header(e.to_string()))
 }
 
 pub(crate) fn parse_row(
     lineno: usize,
     line: &str,
     generation: Generation,
-) -> Result<FailureRecord, ParseLogError> {
+) -> Result<FailureRecord> {
     let fields: Vec<&str> = line.split(',').collect();
     if fields.len() != 7 {
-        return Err(ParseLogError::row(
+        return Err(Error::row(
             lineno,
             format!("expected 7 fields, found {}", fields.len()),
         ));
     }
     let id: u32 = fields[0].parse().map_err(|_| {
-        ParseLogError::row_field(lineno, "id", format!("invalid id `{}`", fields[0]))
+        Error::row_field(lineno, "id", format!("invalid id `{}`", fields[0]))
     })?;
     let time: f64 = fields[1].parse().map_err(|_| {
-        ParseLogError::row_field(lineno, "time_h", format!("invalid time `{}`", fields[1]))
+        Error::row_field(lineno, "time_h", format!("invalid time `{}`", fields[1]))
     })?;
     let ttr: f64 = fields[2].parse().map_err(|_| {
-        ParseLogError::row_field(lineno, "ttr_h", format!("invalid ttr `{}`", fields[2]))
+        Error::row_field(lineno, "ttr_h", format!("invalid ttr `{}`", fields[2]))
     })?;
     let category = parse_category(fields[3], generation)
-        .map_err(|msg| ParseLogError::row_field(lineno, "category", msg))?;
+        .map_err(|msg| Error::row_field(lineno, "category", msg))?;
     let node: u32 = fields[4].parse().map_err(|_| {
-        ParseLogError::row_field(lineno, "node", format!("invalid node `{}`", fields[4]))
+        Error::row_field(lineno, "node", format!("invalid node `{}`", fields[4]))
     })?;
 
     let mut rec = FailureRecord::new(
@@ -330,7 +330,7 @@ pub(crate) fn parse_row(
         let mut slots = Vec::new();
         for part in fields[5].split('|') {
             let idx: u8 = part.parse().map_err(|_| {
-                ParseLogError::row_field(lineno, "gpus", format!("invalid GPU slot `{part}`"))
+                Error::row_field(lineno, "gpus", format!("invalid GPU slot `{part}`"))
             })?;
             slots.push(GpuSlot::new(idx));
         }
@@ -338,13 +338,16 @@ pub(crate) fn parse_row(
     }
     if !fields[6].is_empty() {
         let locus = SoftwareLocus::from_str(fields[6])
-            .map_err(|e| ParseLogError::row_field(lineno, "locus", e.to_string()))?;
+            .map_err(|e| Error::row_field(lineno, "locus", e.to_string()))?;
         rec = rec.with_locus(locus);
     }
     Ok(rec)
 }
 
-pub(crate) fn parse_category(label: &str, generation: Generation) -> Result<Category, String> {
+pub(crate) fn parse_category(
+    label: &str,
+    generation: Generation,
+) -> std::result::Result<Category, String> {
     match generation {
         Generation::Tsubame2 => label
             .parse::<T2Category>()
@@ -412,7 +415,7 @@ mod tests {
     fn rejects_bad_magic() {
         assert!(matches!(
             from_str("# some-other-format v9\n"),
-            Err(ParseLogError::Header(_))
+            Err(Error::Header(_))
         ));
         assert!(from_str("").is_err());
     }
@@ -466,7 +469,7 @@ mod tests {
         // Node out of range; the header occupies lines 1-4, so the bad
         // row is line 5.
         let err = from_str(&format!("{header}0,1.0,1.0,GPU,99999,,\n")).unwrap_err();
-        assert!(matches!(err, ParseLogError::InvalidRow { line: 5, .. }), "{err}");
+        assert!(matches!(err, Error::InvalidRow { line: 5, .. }), "{err}");
         assert!(err.to_string().contains("line 5"), "{err}");
         // Negative time, after one good row: line 6.
         let err =

@@ -32,23 +32,22 @@
 #![deny(unsafe_code)]
 
 mod csv;
-mod error;
 mod ops;
 mod stream;
 
 pub use csv::{from_str, read_log, to_string, write_log};
-pub use error::{ParseLogError, WriteLogError};
 pub use ops::{
-    anonymize_nodes, clip, load, parse_time_bound, save, summarize, LogSummary, TimeRange,
+    anonymize_nodes, clip, load, load_traced, parse_time_bound, save, summarize, LogSummary, TimeRange,
 };
 pub use stream::{parse_ndjson_row, record_to_ndjson, LogTailer};
 
 #[cfg(test)]
 mod tests {
     #[test]
-    fn errors_are_std_errors() {
+    fn errors_are_the_unified_failtypes_error() {
         fn assert_err<E: std::error::Error + Send + Sync + 'static>() {}
-        assert_err::<crate::ParseLogError>();
-        assert_err::<crate::WriteLogError>();
+        assert_err::<failtypes::Error>();
+        let err = crate::from_str("not a log").unwrap_err();
+        assert!(matches!(err, failtypes::Error::Header(_)), "{err}");
     }
 }

@@ -7,7 +7,7 @@ use std::path::Path;
 use failtypes::{Date, FailureLog, FailureRecord, Hours, NodeId, ObservationWindow};
 
 use crate::csv;
-use crate::error::{ParseLogError, WriteLogError};
+use failtypes::{Error, Result};
 
 /// An inclusive `[since, until]` filter over failure times, expressed
 /// as hour offsets into a log's observation window.
@@ -52,11 +52,11 @@ impl TimeRange {
 ///
 /// # Errors
 ///
-/// Returns a description of the malformed bound.
-pub fn parse_time_bound(s: &str, window: ObservationWindow) -> Result<Hours, String> {
+/// Returns [`Error::Args`] describing the malformed bound.
+pub fn parse_time_bound(s: &str, window: ObservationWindow) -> Result<Hours> {
     if let Ok(h) = s.parse::<f64>() {
         if !h.is_finite() {
-            return Err(format!("time bound `{s}` is not finite"));
+            return Err(Error::args(format!("time bound `{s}` is not finite")));
         }
         return Ok(Hours::new(h));
     }
@@ -72,9 +72,9 @@ pub fn parse_time_bound(s: &str, window: ObservationWindow) -> Result<Hours, Str
             return Ok(window.start().hours_until(date));
         }
     }
-    Err(format!(
+    Err(Error::args(format!(
         "invalid time bound `{s}`: expected hours (e.g. `1200`) or a date (e.g. `2018-03-01`)"
-    ))
+    )))
 }
 
 /// Returns a copy of `log` keeping only the records inside `range`,
@@ -96,8 +96,8 @@ pub fn clip(log: &FailureLog, range: TimeRange) -> FailureLog {
 ///
 /// # Errors
 ///
-/// Returns [`WriteLogError`] on I/O failure.
-pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<(), WriteLogError> {
+/// Returns [`Error`] on I/O failure.
+pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<()> {
     let file = File::create(path)?;
     csv::write_log(BufWriter::new(file), log)
 }
@@ -106,10 +106,30 @@ pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<(), WriteLogErro
 ///
 /// # Errors
 ///
-/// Returns [`ParseLogError`] on I/O failure or malformed content.
-pub fn load(path: impl AsRef<Path>) -> Result<FailureLog, ParseLogError> {
+/// Returns [`Error`] on I/O failure or malformed content.
+pub fn load(path: impl AsRef<Path>) -> Result<FailureLog> {
     let file = File::open(path)?;
     csv::read_log(BufReader::new(file))
+}
+
+/// [`load`] with optional tracing: records a `log.parse` span and a
+/// `parse.records` counter into `trace`.
+///
+/// # Errors
+///
+/// Same as [`load`].
+pub fn load_traced(
+    path: impl AsRef<Path>,
+    trace: Option<&failtrace::Collector>,
+) -> Result<FailureLog> {
+    let Some(trace) = trace else {
+        return load(path);
+    };
+    let mut span = trace.span("log.parse");
+    let log = load(path)?;
+    span.add_items(log.len() as u64);
+    trace.incr("parse.records", log.len() as u64);
+    Ok(log)
 }
 
 /// Renames node ids with a keyed pseudorandom permutation, preserving

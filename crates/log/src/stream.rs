@@ -31,7 +31,7 @@ use failtypes::{
 };
 
 use crate::csv::{parse_category, parse_row, HeaderParser};
-use crate::error::ParseLogError;
+use failtypes::{Error, Result};
 
 /// Serializes one record as a one-line JSON object (no trailing
 /// newline), the inverse of the tailer's NDJSON row parser.
@@ -67,7 +67,7 @@ pub fn parse_ndjson_row(
     lineno: usize,
     line: &str,
     generation: Generation,
-) -> Result<FailureRecord, ParseLogError> {
+) -> Result<FailureRecord> {
     let mut c = JsonCursor::new(lineno, line);
     c.skip_ws();
     c.expect(b'{')?;
@@ -95,7 +95,7 @@ pub fn parse_ndjson_row(
                     let label = c.string("category")?;
                     category = Some(
                         parse_category(&label, generation)
-                            .map_err(|msg| ParseLogError::row_field(lineno, "category", msg))?,
+                            .map_err(|msg| Error::row_field(lineno, "category", msg))?,
                     );
                 }
                 "node" => node = Some(c.integer("node")?),
@@ -107,7 +107,7 @@ pub fn parse_ndjson_row(
                             c.skip_ws();
                             let idx: u32 = c.integer("gpus")?;
                             let idx = u8::try_from(idx).map_err(|_| {
-                                ParseLogError::row_field(
+                                Error::row_field(
                                     lineno,
                                     "gpus",
                                     format!("GPU slot `{idx}` out of range"),
@@ -128,12 +128,12 @@ pub fn parse_ndjson_row(
                     } else {
                         let label = c.string("locus")?;
                         locus = Some(SoftwareLocus::from_str(&label).map_err(|e| {
-                            ParseLogError::row_field(lineno, "locus", e.to_string())
+                            Error::row_field(lineno, "locus", e.to_string())
                         })?);
                     }
                 }
                 other => {
-                    return Err(ParseLogError::row(lineno, format!("unknown key `{other}`")));
+                    return Err(Error::row(lineno, format!("unknown key `{other}`")));
                 }
             }
             c.skip_ws();
@@ -145,10 +145,10 @@ pub fn parse_ndjson_row(
     }
     c.skip_ws();
     if !c.at_end() {
-        return Err(ParseLogError::row(lineno, "trailing content after object"));
+        return Err(Error::row(lineno, "trailing content after object"));
     }
 
-    let missing = |field| ParseLogError::row_field(lineno, field, "missing required key");
+    let missing = |field| Error::row_field(lineno, field, "missing required key");
     let mut rec = FailureRecord::new(
         id.ok_or_else(|| missing("id"))?,
         Hours::new(time.ok_or_else(|| missing("time_h"))?),
@@ -183,8 +183,8 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn err(&self, message: impl Into<String>) -> ParseLogError {
-        ParseLogError::row(self.lineno, message)
+    fn err(&self, message: impl Into<String>) -> Error {
+        Error::row(self.lineno, message)
     }
 
     fn skip_ws(&mut self) {
@@ -215,7 +215,7 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), ParseLogError> {
+    fn expect(&mut self, b: u8) -> Result<()> {
         if self.eat(b) {
             Ok(())
         } else {
@@ -227,9 +227,9 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn string(&mut self, field: &'static str) -> Result<String, ParseLogError> {
+    fn string(&mut self, field: &'static str) -> Result<String> {
         if !self.eat(b'"') {
-            return Err(ParseLogError::row_field(self.lineno, field, "expected a string"));
+            return Err(Error::row_field(self.lineno, field, "expected a string"));
         }
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
@@ -238,7 +238,7 @@ impl<'a> JsonCursor<'a> {
                     .expect("slice of a str on char boundaries");
                 self.pos += 1;
                 if s.contains('\\') {
-                    return Err(ParseLogError::row_field(
+                    return Err(Error::row_field(
                         self.lineno,
                         field,
                         "escapes are not supported in labels",
@@ -248,7 +248,7 @@ impl<'a> JsonCursor<'a> {
             }
             self.pos += 1;
         }
-        Err(ParseLogError::row_field(self.lineno, field, "unterminated string"))
+        Err(Error::row_field(self.lineno, field, "unterminated string"))
     }
 
     fn number_slice(&mut self) -> &'a str {
@@ -263,17 +263,17 @@ impl<'a> JsonCursor<'a> {
         std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice")
     }
 
-    fn number(&mut self, field: &'static str) -> Result<f64, ParseLogError> {
+    fn number(&mut self, field: &'static str) -> Result<f64> {
         let s = self.number_slice();
         s.parse().map_err(|_| {
-            ParseLogError::row_field(self.lineno, field, format!("invalid number `{s}`"))
+            Error::row_field(self.lineno, field, format!("invalid number `{s}`"))
         })
     }
 
-    fn integer(&mut self, field: &'static str) -> Result<u32, ParseLogError> {
+    fn integer(&mut self, field: &'static str) -> Result<u32> {
         let s = self.number_slice();
         s.parse().map_err(|_| {
-            ParseLogError::row_field(self.lineno, field, format!("invalid integer `{s}`"))
+            Error::row_field(self.lineno, field, format!("invalid integer `{s}`"))
         })
     }
 }
@@ -318,9 +318,9 @@ impl LogTailer<BufReader<File>> {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseLogError`] if the file cannot be opened or its
+    /// Returns [`Error`] if the file cannot be opened or its
     /// header is incomplete or malformed.
-    pub fn open(path: impl AsRef<Path>) -> Result<Self, ParseLogError> {
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
         let file = File::open(path)?;
         LogTailer::new(BufReader::new(file))
     }
@@ -331,17 +331,17 @@ impl<R: BufRead> LogTailer<R> {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseLogError::Header`] if the stream ends before the
+    /// Returns [`Error::Header`] if the stream ends before the
     /// column row — a tailed file must have a complete header before
     /// watching starts.
-    pub fn new(mut reader: R) -> Result<Self, ParseLogError> {
+    pub fn new(mut reader: R) -> Result<Self> {
         let mut header = HeaderParser::new();
         let mut lines_consumed = 0;
         let mut buf = String::new();
         loop {
             buf.clear();
             if reader.read_line(&mut buf)? == 0 {
-                return Err(ParseLogError::Header("unexpected end of file".into()));
+                return Err(Error::Header("unexpected end of file".into()));
             }
             let done = header.feed(lines_consumed, &buf)?;
             lines_consumed += 1;
@@ -387,10 +387,10 @@ impl<R: BufRead> LogTailer<R> {
     ///
     /// # Errors
     ///
-    /// Returns [`ParseLogError`] for I/O failures, malformed rows
+    /// Returns [`Error`] for I/O failures, malformed rows
     /// (with line number and field), and records violating invariants
     /// (with line number).
-    pub fn next_record(&mut self) -> Result<Option<FailureRecord>, ParseLogError> {
+    pub fn next_record(&mut self) -> Result<Option<FailureRecord>> {
         loop {
             if !self.partial.ends_with('\n') {
                 if self.reader.read_line(&mut self.partial)? == 0 {
@@ -414,7 +414,7 @@ impl<R: BufRead> LogTailer<R> {
     /// # Errors
     ///
     /// Same as [`next_record`](LogTailer::next_record).
-    pub fn flush_partial(&mut self) -> Result<Option<FailureRecord>, ParseLogError> {
+    pub fn flush_partial(&mut self) -> Result<Option<FailureRecord>> {
         let line = self.partial.trim().to_string();
         self.partial.clear();
         if line.is_empty() {
@@ -424,7 +424,7 @@ impl<R: BufRead> LogTailer<R> {
         self.parse_and_validate(&line).map(Some)
     }
 
-    fn parse_and_validate(&self, line: &str) -> Result<FailureRecord, ParseLogError> {
+    fn parse_and_validate(&self, line: &str) -> Result<FailureRecord> {
         let lineno = self.lines_consumed;
         let rec = if line.starts_with('{') {
             parse_ndjson_row(lineno, line, self.generation)?
@@ -432,7 +432,7 @@ impl<R: BufRead> LogTailer<R> {
             parse_row(lineno, line, self.generation)?
         };
         rec.validate(self.generation, &self.spec, self.window)
-            .map_err(|e| ParseLogError::invalid_row(lineno, e))?;
+            .map_err(|e| Error::invalid_row(lineno, e))?;
         Ok(rec)
     }
 }
@@ -565,7 +565,7 @@ mod tests {
     fn tailer_rejects_incomplete_header() {
         let err = LogTailer::new("# failscope-log v1\n# generation: Tsubame-3\n".as_bytes())
             .unwrap_err();
-        assert!(matches!(err, ParseLogError::Header(_)), "{err}");
+        assert!(matches!(err, Error::Header(_)), "{err}");
     }
 
     #[test]

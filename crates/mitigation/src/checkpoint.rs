@@ -95,6 +95,7 @@ impl CheckpointPlan {
     ///
     /// Fails when the log has fewer than two failures (no MTBF) or the
     /// parameters are invalid for the measured MTBF.
+    #[doc(hidden)]
     pub fn from_log(
         log: &FailureLog,
         checkpoint_cost_hours: f64,

@@ -60,6 +60,7 @@ impl NodeFailureModel {
     /// [`NodeFailureModel::from_index`], indexing the log once.
     ///
     /// Returns `None` when the log has no GPU failures.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }

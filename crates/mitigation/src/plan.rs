@@ -137,6 +137,7 @@ impl OperationsPlan {
     ///
     /// Returns `None` when the log is too small to measure an MTBF or
     /// has no GPU failures (both needed by most of the plan).
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog, config: PlanConfig) -> Option<Self> {
         Self::from_index(&LogView::new(log), config)
     }

@@ -51,6 +51,7 @@ impl SlotRiskModel {
     /// [`SlotRiskModel::from_index`], indexing the log once.
     ///
     /// Returns `None` when the log records no slot involvements.
+    #[doc(hidden)]
     pub fn from_log(log: &FailureLog) -> Option<Self> {
         Self::from_index(&LogView::new(log))
     }

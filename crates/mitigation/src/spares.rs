@@ -52,6 +52,7 @@ impl SparePolicy {
     /// [`SparePolicy::from_index`], indexing the log once.
     ///
     /// Returns `None` when the class never failed in the log.
+    #[doc(hidden)]
     pub fn from_log(
         log: &FailureLog,
         class: ComponentClass,

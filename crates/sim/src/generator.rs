@@ -1,7 +1,8 @@
 //! The log generator: turns a [`SystemModel`] into a validated
 //! [`FailureLog`].
 
-use failtypes::{FailureLog, FailureRecord, Hours, InvalidRecordError, SoftwareLocus};
+use failtrace::Collector;
+use failtypes::{FailureLog, FailureRecord, Hours, SoftwareLocus};
 use failstats::ContinuousDist;
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
@@ -21,7 +22,7 @@ use crate::spatial::NodeAssigner;
 /// let log = Simulator::new(SystemModel::tsubame3(), 42).generate()?;
 /// assert_eq!(log.len(), 338);
 /// assert_eq!(log.gpu_records().count(), 94);
-/// # Ok::<(), failtypes::InvalidRecordError>(())
+/// # Ok::<(), failtypes::Error>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct Simulator {
@@ -51,10 +52,10 @@ impl Simulator {
     ///
     /// # Errors
     ///
-    /// Returns [`InvalidRecordError`] if the generated records violate a
-    /// log invariant — this indicates an inconsistent custom
+    /// Returns [`failtypes::Error::Invalid`] if the generated records
+    /// violate a log invariant — this indicates an inconsistent custom
     /// [`SystemModel`] (the calibrated models cannot fail).
-    pub fn generate(&self) -> Result<FailureLog, InvalidRecordError> {
+    pub fn generate(&self) -> failtypes::Result<FailureLog> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let model = &self.model;
         let n = model.total_failures() as usize;
@@ -120,7 +121,30 @@ impl Simulator {
         debug_assert_eq!(gpu_cursor, gpu_indices.len());
         debug_assert_eq!(sw_cursor, software_indices.len());
 
-        FailureLog::with_spec(model.generation, model.spec.clone(), model.window, records)
+        Ok(FailureLog::with_spec(
+            model.generation,
+            model.spec.clone(),
+            model.window,
+            records,
+        )?)
+    }
+
+    /// [`Simulator::generate`] with optional tracing: records a
+    /// `sim.generate` span and a `sim.records_generated` counter into
+    /// `trace`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::generate`].
+    pub fn generate_traced(&self, trace: Option<&Collector>) -> failtypes::Result<FailureLog> {
+        let Some(trace) = trace else {
+            return self.generate();
+        };
+        let mut span = trace.span("sim.generate");
+        let log = self.generate()?;
+        span.add_items(log.len() as u64);
+        trace.incr("sim.records_generated", log.len() as u64);
+        Ok(log)
     }
 }
 

@@ -33,7 +33,7 @@
 //!     .expect("valid scenario");
 //! let log = Simulator::new(hypo, 44).generate()?;
 //! assert!(!log.is_empty());
-//! # Ok::<(), failtypes::InvalidRecordError>(())
+//! # Ok::<(), failtypes::Error>(())
 //! ```
 
 #![warn(missing_docs)]

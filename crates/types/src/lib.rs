@@ -65,7 +65,7 @@ mod system;
 mod time;
 
 pub use category::{Category, ComponentClass, Domain, T2Category, T3Category};
-pub use error::{InvalidRecordError, InvalidSpecError, ParseCategoryError};
+pub use error::{Error, InvalidRecordError, InvalidSpecError, ParseCategoryError, Result};
 pub use json::{JsonObjectBuilder, JsonValue};
 pub use record::{FailureLog, FailureRecord};
 pub use software::SoftwareLocus;

@@ -33,7 +33,7 @@ use std::collections::BTreeMap;
 use failscope::LogView;
 use failsim::{Simulator, SystemModel};
 use failstats::ks_test_two_sample;
-use failtypes::{Alert, AlertKind, AlertSeverity, Category, FailureLog, InvalidRecordError};
+use failtypes::{Alert, AlertKind, AlertSeverity, Category, FailureLog};
 
 use crate::state::WatchState;
 
@@ -63,7 +63,7 @@ impl Baseline {
     ///
     /// Propagates simulator validation failure (cannot happen for the
     /// stock calibrated models).
-    pub fn from_model(model: SystemModel, seed: u64) -> Result<Self, InvalidRecordError> {
+    pub fn from_model(model: SystemModel, seed: u64) -> failtypes::Result<Self> {
         let log = Simulator::new(model, seed).generate()?;
         Ok(Baseline::from_log(&log))
     }
@@ -159,6 +159,146 @@ impl Default for DriftConfig {
             burst_count: 3,
             burst_window_hours: 24.0,
         }
+    }
+}
+
+impl DriftConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> DriftConfigBuilder {
+        DriftConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`DriftConfig`].
+///
+/// [`build`](DriftConfigBuilder::build) rejects thresholds the checks
+/// cannot interpret (zero windows, inverted ratios, degenerate
+/// significance levels) with a [`failtypes::Error::Config`] naming the
+/// offending knob.
+///
+/// # Examples
+///
+/// ```
+/// use failwatch::DriftConfig;
+///
+/// let config = DriftConfig::builder().mttr_ratio(3.0).build()?;
+/// assert_eq!(config.mttr_ratio, 3.0);
+/// assert!(DriftConfig::builder().mttr_ratio(0.5).build().is_err());
+/// # Ok::<(), failtypes::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DriftConfigBuilder {
+    config: DriftConfig,
+}
+
+impl DriftConfigBuilder {
+    /// Minimum records in the trailing window before any check runs.
+    #[must_use]
+    pub fn min_window(mut self, records: usize) -> Self {
+        self.config.min_window = records;
+        self
+    }
+
+    /// Total-variation margin beyond the sampling-noise allowance.
+    #[must_use]
+    pub fn mix_threshold(mut self, threshold: f64) -> Self {
+        self.config.mix_threshold = threshold;
+        self
+    }
+
+    /// Windowed-MTTR / baseline-MTTR ratio that triggers a regression.
+    #[must_use]
+    pub fn mttr_ratio(mut self, ratio: f64) -> Self {
+        self.config.mttr_ratio = ratio;
+        self
+    }
+
+    /// Significance level for the corroborating KS test.
+    #[must_use]
+    pub fn ks_alpha(mut self, alpha: f64) -> Self {
+        self.config.ks_alpha = alpha;
+        self
+    }
+
+    /// Absolute slot-share change that triggers a skew alert.
+    #[must_use]
+    pub fn slot_share_threshold(mut self, threshold: f64) -> Self {
+        self.config.slot_share_threshold = threshold;
+        self
+    }
+
+    /// Minimum windowed involvements before the slot check runs.
+    #[must_use]
+    pub fn min_involvements(mut self, involvements: usize) -> Self {
+        self.config.min_involvements = involvements;
+        self
+    }
+
+    /// Multi-GPU failures inside the burst window that trigger an alert.
+    #[must_use]
+    pub fn burst_count(mut self, count: usize) -> Self {
+        self.config.burst_count = count;
+        self
+    }
+
+    /// Span of the burst excitation window, hours.
+    #[must_use]
+    pub fn burst_window_hours(mut self, hours: f64) -> Self {
+        self.config.burst_window_hours = hours;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`failtypes::Error::Config`] (target `drift detector`) when a
+    /// window or count is zero, the MTTR ratio is below 1, the KS
+    /// significance level is outside `(0, 1)`, or a threshold is
+    /// negative or non-finite.
+    pub fn build(self) -> failtypes::Result<DriftConfig> {
+        let c = &self.config;
+        let err = |reason: String| Err(failtypes::Error::config("drift detector", reason));
+        if c.min_window == 0 {
+            return err("minimum window must hold at least 1 record".into());
+        }
+        if !(c.mix_threshold.is_finite() && c.mix_threshold >= 0.0) {
+            return err(format!(
+                "mix threshold must be a finite non-negative distance, got {}",
+                c.mix_threshold
+            ));
+        }
+        if !(c.mttr_ratio.is_finite() && c.mttr_ratio >= 1.0) {
+            return err(format!(
+                "MTTR ratio must be finite and at least 1, got {}",
+                c.mttr_ratio
+            ));
+        }
+        if !(c.ks_alpha > 0.0 && c.ks_alpha < 1.0) {
+            return err(format!(
+                "KS significance level must be in (0, 1), got {}",
+                c.ks_alpha
+            ));
+        }
+        if !(c.slot_share_threshold.is_finite() && c.slot_share_threshold > 0.0) {
+            return err(format!(
+                "slot-share threshold must be a positive finite share, got {}",
+                c.slot_share_threshold
+            ));
+        }
+        if c.min_involvements == 0 {
+            return err("minimum involvements must be at least 1".into());
+        }
+        if c.burst_count == 0 {
+            return err("burst count must be at least 1".into());
+        }
+        if !(c.burst_window_hours.is_finite() && c.burst_window_hours > 0.0) {
+            return err(format!(
+                "burst window must be a positive finite number of hours, got {}",
+                c.burst_window_hours
+            ));
+        }
+        Ok(self.config)
     }
 }
 

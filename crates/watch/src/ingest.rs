@@ -13,73 +13,15 @@
 //!   durations of the tail of the replay, the canonical regression
 //!   scenario the acceptance tests alert on.
 
-use std::error::Error;
-use std::fmt;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
 
-use faillog::{LogTailer, ParseLogError};
-use failscope::StreamViewError;
+use faillog::LogTailer;
 use failsim::{ReplayClock, Simulator, SystemModel};
 use failtypes::{
-    FailureRecord, Generation, Hours, InvalidRecordError, ObservationWindow, StreamEvent,
-    SystemSpec,
+    FailureRecord, Generation, Hours, ObservationWindow, Result, StreamEvent, SystemSpec,
 };
-
-/// Any failure inside the watch pipeline.
-#[derive(Debug)]
-pub enum WatchError {
-    /// The stream could not be parsed (includes I/O on the source).
-    Parse(ParseLogError),
-    /// A record was rejected by the online state.
-    View(StreamViewError),
-    /// The simulator rejected its own output (cannot happen for stock
-    /// models).
-    Sim(InvalidRecordError),
-    /// Writing watch output failed.
-    Io(std::io::Error),
-}
-
-impl fmt::Display for WatchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            WatchError::Parse(e) => write!(f, "stream parse error: {e}"),
-            WatchError::View(e) => write!(f, "stream state error: {e}"),
-            WatchError::Sim(e) => write!(f, "simulation error: {e}"),
-            WatchError::Io(e) => write!(f, "watch output error: {e}"),
-        }
-    }
-}
-
-impl Error for WatchError {
-    fn source(&self) -> Option<&(dyn Error + 'static)> {
-        match self {
-            WatchError::Parse(e) => Some(e),
-            WatchError::View(e) => Some(e),
-            WatchError::Sim(e) => Some(e),
-            WatchError::Io(e) => Some(e),
-        }
-    }
-}
-
-impl From<ParseLogError> for WatchError {
-    fn from(e: ParseLogError) -> Self {
-        WatchError::Parse(e)
-    }
-}
-
-impl From<StreamViewError> for WatchError {
-    fn from(e: StreamViewError) -> Self {
-        WatchError::View(e)
-    }
-}
-
-impl From<std::io::Error> for WatchError {
-    fn from(e: std::io::Error) -> Self {
-        WatchError::Io(e)
-    }
-}
 
 /// A producer of [`StreamEvent`]s plus the system metadata the online
 /// state needs up front.
@@ -92,7 +34,7 @@ pub trait EventSource {
     fn window(&self) -> ObservationWindow;
     /// Pulls the next event. [`StreamEvent::Idle`] means "nothing right
     /// now, poll again"; [`StreamEvent::Eof`] is terminal.
-    fn next_event(&mut self) -> Result<StreamEvent, WatchError>;
+    fn next_event(&mut self) -> Result<StreamEvent>;
     /// Human-readable description of the source for the watch banner.
     fn describe(&self) -> String;
 }
@@ -111,9 +53,9 @@ impl TailSource {
     ///
     /// # Errors
     ///
-    /// Returns [`WatchError::Parse`] when the file cannot be opened or
-    /// its header is incomplete.
-    pub fn open(path: impl AsRef<Path>, follow: bool) -> Result<Self, WatchError> {
+    /// Returns [`failtypes::Error::Io`] when the file cannot be opened
+    /// and a parse variant when its header is incomplete.
+    pub fn open(path: impl AsRef<Path>, follow: bool) -> Result<Self> {
         let display = path.as_ref().display().to_string();
         let tailer = LogTailer::open(path)?;
         Ok(TailSource {
@@ -138,7 +80,7 @@ impl EventSource for TailSource {
         self.tailer.window()
     }
 
-    fn next_event(&mut self) -> Result<StreamEvent, WatchError> {
+    fn next_event(&mut self) -> Result<StreamEvent> {
         if self.done {
             return Ok(StreamEvent::Eof);
         }
@@ -184,11 +126,9 @@ impl SimSource {
     ///
     /// Propagates simulator validation failure (cannot happen for stock
     /// models).
-    pub fn new(model: SystemModel, seed: u64, clock: ReplayClock) -> Result<Self, WatchError> {
+    pub fn new(model: SystemModel, seed: u64, clock: ReplayClock) -> Result<Self> {
         let name = format!("sim:{} seed {seed}", model.spec.name());
-        let log = Simulator::new(model, seed)
-            .generate()
-            .map_err(WatchError::Sim)?;
+        let log = Simulator::new(model, seed).generate()?;
         Ok(SimSource {
             records: log.records().to_vec(),
             pos: 0,
@@ -257,7 +197,7 @@ impl EventSource for SimSource {
         self.window
     }
 
-    fn next_event(&mut self) -> Result<StreamEvent, WatchError> {
+    fn next_event(&mut self) -> Result<StreamEvent> {
         let Some(rec) = self.records.get(self.pos) else {
             return Ok(StreamEvent::Eof);
         };
@@ -357,9 +297,9 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_a_parse_error() {
+    fn missing_file_is_an_io_error() {
         let err = TailSource::open("/definitely/not/here.fslog", false).unwrap_err();
-        assert!(matches!(err, WatchError::Parse(_)), "{err}");
-        assert!(err.source().is_some());
+        assert!(matches!(err, failtypes::Error::Io { .. }), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 }

@@ -40,12 +40,47 @@ mod sketch;
 mod state;
 mod watch;
 
-pub use drift::{Baseline, DriftConfig, DriftDetector};
+pub use drift::{Baseline, DriftConfig, DriftConfigBuilder, DriftDetector};
 pub use estimators::{Ewma, RateWindow, WindowMean};
-pub use ingest::{EventSource, SimSource, TailSource, WatchError};
+pub use ingest::{EventSource, SimSource, TailSource};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
-pub use state::{StateConfig, WatchState};
+pub use state::{StateConfig, StateConfigBuilder, WatchState};
 pub use watch::{
     render_summary, render_summary_sections, run, select_watch_sections, watch_section_by_id,
-    WatchConfig, WatchOutcome, WatchSection, WATCH_SECTIONS,
+    WatchConfig, WatchConfigBuilder, WatchOutcome, WatchSection, WATCH_SECTIONS,
 };
+
+/// One-stop imports for driving the watch loop.
+///
+/// Errors across the crate are the unified [`failtypes::Error`]
+/// (re-exported here with its `Result` alias), so a whole
+/// source → state → detector → loop pipeline propagates with `?`.
+///
+/// # Examples
+///
+/// ```
+/// use failwatch::prelude::*;
+///
+/// let mut source = SimSource::new(
+///     failsim::SystemModel::tsubame3(),
+///     7,
+///     failsim::ReplayClock::unpaced(),
+/// )?;
+/// let config = WatchConfig::builder().max_records(30).build()?;
+/// let mut out = Vec::new();
+/// let outcome = run(&mut source, None, &config, &mut out)?;
+/// assert_eq!(outcome.records, 30);
+/// # Ok::<(), failwatch::prelude::Error>(())
+/// ```
+pub mod prelude {
+    pub use crate::drift::{Baseline, DriftConfig, DriftConfigBuilder, DriftDetector};
+    pub use crate::ingest::{EventSource, SimSource, TailSource};
+    pub use crate::sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
+    pub use crate::state::{StateConfig, StateConfigBuilder, WatchState};
+    pub use crate::watch::{
+        render_summary, render_summary_sections, run, select_watch_sections,
+        watch_section_by_id, WatchConfig, WatchConfigBuilder, WatchOutcome, WatchSection,
+        WATCH_SECTIONS,
+    };
+    pub use failtypes::{Error, Result};
+}

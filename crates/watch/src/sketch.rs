@@ -48,7 +48,7 @@ pub struct QuantileSketch {
     count: u64,
     min: f64,
     max: f64,
-    compacted: bool,
+    compactions: u64,
 }
 
 impl Default for QuantileSketch {
@@ -69,7 +69,7 @@ impl QuantileSketch {
             count: 0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
-            compacted: false,
+            compactions: 0,
         }
     }
 
@@ -94,7 +94,7 @@ impl QuantileSketch {
     /// Compacts one full level: sort, keep alternating halves with
     /// doubled weight one level up. Length is always even here.
     fn compact(&mut self, level: usize) {
-        self.compacted = true;
+        self.compactions += 1;
         if self.levels.len() == level + 1 {
             self.levels.push(Vec::new());
             self.parity.push(false);
@@ -120,7 +120,14 @@ impl QuantileSketch {
     /// `true` while no compaction has happened — quantiles and mean are
     /// bit-identical to the batch [`failstats::Ecdf`] on the same data.
     pub const fn is_exact(&self) -> bool {
-        !self.compacted
+        self.compactions == 0
+    }
+
+    /// Number of level compactions performed so far (zero while the
+    /// sketch is exact). Surfaced through watch tracing as the
+    /// `watch.sketch_compactions` counter.
+    pub const fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// Smallest observation (always exact).
@@ -142,7 +149,7 @@ impl QuantileSketch {
         if self.count == 0 {
             return None;
         }
-        if !self.compacted {
+        if self.is_exact() {
             let mut sorted = self.levels[0].clone();
             sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in sketch"));
             return quantile_sorted(&sorted, p);
@@ -174,7 +181,7 @@ impl QuantileSketch {
         if self.count == 0 {
             return None;
         }
-        if !self.compacted {
+        if self.is_exact() {
             let mut sorted = self.levels[0].clone();
             sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("no NaN in sketch"));
             return Some(sorted.iter().sum::<f64>() / sorted.len() as f64);

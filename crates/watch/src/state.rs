@@ -16,7 +16,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use failscope::{StreamView, StreamViewError};
+use failscope::StreamView;
 use failtypes::{Category, FailureRecord, Generation, ObservationWindow, SystemSpec};
 
 use crate::estimators::{Ewma, RateWindow, WindowMean};
@@ -44,6 +44,107 @@ impl Default for StateConfig {
             ewma_alpha: 0.2,
             rate_window_hours: 30.0 * 24.0,
         }
+    }
+}
+
+impl StateConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> StateConfigBuilder {
+        StateConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`StateConfig`].
+///
+/// Every setter takes the candidate value as-is; [`build`] rejects
+/// configurations the estimators cannot honour (zero windows,
+/// out-of-range smoothing factors) with a
+/// [`failtypes::Error::Config`] naming the offending knob.
+///
+/// # Examples
+///
+/// ```
+/// use failwatch::StateConfig;
+///
+/// let config = StateConfig::builder().window(25).ewma_alpha(0.5).build()?;
+/// assert_eq!(config.window, 25);
+/// assert!(StateConfig::builder().ewma_alpha(0.0).build().is_err());
+/// # Ok::<(), failtypes::Error>(())
+/// ```
+///
+/// [`build`]: StateConfigBuilder::build
+#[derive(Debug, Clone, Default)]
+pub struct StateConfigBuilder {
+    config: StateConfig,
+}
+
+impl StateConfigBuilder {
+    /// Trailing-window size in records for drift samples.
+    #[must_use]
+    pub fn window(mut self, window: usize) -> Self {
+        self.config.window = window;
+        self
+    }
+
+    /// Sketch exactness capacity before compaction begins.
+    #[must_use]
+    pub fn sketch_capacity(mut self, capacity: usize) -> Self {
+        self.config.sketch_capacity = capacity;
+        self
+    }
+
+    /// EWMA smoothing factor in `(0, 1]`.
+    #[must_use]
+    pub fn ewma_alpha(mut self, alpha: f64) -> Self {
+        self.config.ewma_alpha = alpha;
+        self
+    }
+
+    /// Span of the failure-rate window, in stream hours.
+    #[must_use]
+    pub fn rate_window_hours(mut self, hours: f64) -> Self {
+        self.config.rate_window_hours = hours;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`failtypes::Error::Config`] (target `watch state`) when the
+    /// trailing window or sketch capacity is zero, the EWMA factor is
+    /// outside `(0, 1]`, or the rate window is not a positive finite
+    /// number of hours.
+    pub fn build(self) -> failtypes::Result<StateConfig> {
+        let c = &self.config;
+        if c.window == 0 {
+            return Err(failtypes::Error::config(
+                "watch state",
+                "trailing window must hold at least 1 record",
+            ));
+        }
+        if c.sketch_capacity == 0 {
+            return Err(failtypes::Error::config(
+                "watch state",
+                "sketch capacity must be at least 1",
+            ));
+        }
+        if !(c.ewma_alpha > 0.0 && c.ewma_alpha <= 1.0) {
+            return Err(failtypes::Error::config(
+                "watch state",
+                format!("EWMA alpha must be in (0, 1], got {}", c.ewma_alpha),
+            ));
+        }
+        if !(c.rate_window_hours.is_finite() && c.rate_window_hours > 0.0) {
+            return Err(failtypes::Error::config(
+                "watch state",
+                format!(
+                    "rate window must be a positive finite number of hours, got {}",
+                    c.rate_window_hours
+                ),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -115,8 +216,10 @@ impl WatchState {
     ///
     /// # Errors
     ///
-    /// See [`StreamView::push`].
-    pub fn ingest(&mut self, rec: FailureRecord) -> Result<(), StreamViewError> {
+    /// See [`failscope::StreamView::push`]; the underlying
+    /// [`failscope::StreamViewError`] is carried as the source of a
+    /// [`failtypes::Error`].
+    pub fn ingest(&mut self, rec: FailureRecord) -> failtypes::Result<()> {
         let time = rec.time().get();
         let ttr = rec.ttr().get();
         let category = rec.category();
@@ -220,6 +323,12 @@ impl WatchState {
     /// Whether both sketches are still in their exact mode.
     pub fn sketches_exact(&self) -> bool {
         self.gap_sketch.is_exact() && self.ttr_sketch.is_exact()
+    }
+
+    /// Total level compactions across the gap and TTR sketches (zero
+    /// while [`sketches_exact`](WatchState::sketches_exact) holds).
+    pub const fn sketch_compactions(&self) -> u64 {
+        self.gap_sketch.compactions() + self.ttr_sketch.compactions()
     }
 
     /// Mean TTR over the trailing window of records.

@@ -16,10 +16,11 @@ use std::thread;
 use std::time::Duration;
 
 use failstats::par_map_ordered;
+use failtrace::Collector;
 use failtypes::{Alert, JsonValue, StreamEvent};
 
 use crate::drift::DriftDetector;
-use crate::ingest::{EventSource, WatchError};
+use crate::ingest::EventSource;
 use crate::state::{StateConfig, WatchState};
 
 /// One streaming summary section: a stable machine id, a human title,
@@ -75,8 +76,9 @@ pub fn watch_section_by_id(id: &str) -> Option<&'static WatchSection> {
 ///
 /// # Errors
 ///
-/// Rejects unknown or empty selections, naming the known vocabulary.
-pub fn select_watch_sections(spec: &str) -> Result<Vec<&'static WatchSection>, String> {
+/// Rejects unknown or empty selections with a
+/// [`failtypes::Error::Args`] naming the known vocabulary.
+pub fn select_watch_sections(spec: &str) -> failtypes::Result<Vec<&'static WatchSection>> {
     let known = || {
         WATCH_SECTIONS
             .iter()
@@ -88,11 +90,19 @@ pub fn select_watch_sections(spec: &str) -> Result<Vec<&'static WatchSection>, S
     for id in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
         match watch_section_by_id(id) {
             Some(section) => out.push(section),
-            None => return Err(format!("unknown section `{id}` (known: {})", known())),
+            None => {
+                return Err(failtypes::Error::args(format!(
+                    "unknown section `{id}` (known: {})",
+                    known()
+                )))
+            }
         }
     }
     if out.is_empty() {
-        return Err(format!("no sections selected (known: {})", known()));
+        return Err(failtypes::Error::args(format!(
+            "no sections selected (known: {})",
+            known()
+        )));
     }
     Ok(out)
 }
@@ -120,6 +130,10 @@ pub struct WatchConfig {
     /// Summary sections to render, in order (defaults to all of
     /// [`WATCH_SECTIONS`]).
     pub summary_sections: Vec<&'static WatchSection>,
+    /// Optional trace collector; when set, the loop records the
+    /// `watch.records_ingested`, `watch.alerts_raised`, and
+    /// `watch.sketch_compactions` counters as it runs.
+    pub trace: Option<Collector>,
 }
 
 impl Default for WatchConfig {
@@ -133,7 +147,131 @@ impl Default for WatchConfig {
             threads: 1,
             json_summaries: false,
             summary_sections: WATCH_SECTIONS.iter().collect(),
+            trace: None,
         }
+    }
+}
+
+impl WatchConfig {
+    /// A validating builder starting from the defaults.
+    pub fn builder() -> WatchConfigBuilder {
+        WatchConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`WatchConfig`].
+///
+/// [`build`](WatchConfigBuilder::build) rejects loop parameters the run
+/// cannot honour (a zero refresh cadence or zero worker threads) with a
+/// [`failtypes::Error::Config`] naming the offending knob.
+///
+/// # Examples
+///
+/// ```
+/// use failwatch::WatchConfig;
+///
+/// let config = WatchConfig::builder().max_records(25).threads(4).build()?;
+/// assert_eq!(config.max_records, Some(25));
+/// assert!(WatchConfig::builder().threads(0).build().is_err());
+/// # Ok::<(), failtypes::Error>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WatchConfigBuilder {
+    config: WatchConfig,
+}
+
+impl WatchConfigBuilder {
+    /// Online-state tuning (see [`StateConfig::builder`]).
+    #[must_use]
+    pub fn state(mut self, state: StateConfig) -> Self {
+        self.config.state = state;
+        self
+    }
+
+    /// Records between summary refreshes.
+    #[must_use]
+    pub fn refresh_every(mut self, records: usize) -> Self {
+        self.config.refresh_every = records;
+        self
+    }
+
+    /// Sleep between polls when a followed source is idle.
+    #[must_use]
+    pub fn idle_sleep_ms(mut self, millis: u64) -> Self {
+        self.config.idle_sleep_ms = millis;
+        self
+    }
+
+    /// Stop after this many consecutive idle polls.
+    #[must_use]
+    pub fn max_idle_polls(mut self, polls: u64) -> Self {
+        self.config.max_idle_polls = Some(polls);
+        self
+    }
+
+    /// Stop after ingesting this many records.
+    #[must_use]
+    pub fn max_records(mut self, records: usize) -> Self {
+        self.config.max_records = Some(records);
+        self
+    }
+
+    /// Worker threads for summary rendering.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
+    /// Emit summaries as NDJSON section lines instead of `#` text.
+    #[must_use]
+    pub fn json_summaries(mut self, json: bool) -> Self {
+        self.config.json_summaries = json;
+        self
+    }
+
+    /// Summary sections to render, in order.
+    #[must_use]
+    pub fn summary_sections(mut self, sections: Vec<&'static WatchSection>) -> Self {
+        self.config.summary_sections = sections;
+        self
+    }
+
+    /// Attach a trace collector (see [`WatchConfig::trace`]).
+    #[must_use]
+    pub fn trace(mut self, trace: Collector) -> Self {
+        self.config.trace = Some(trace);
+        self
+    }
+
+    /// Validates and returns the configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`failtypes::Error::Config`] (target `watch loop`) when the
+    /// refresh cadence or thread count is zero, or no summary section
+    /// is selected.
+    pub fn build(self) -> failtypes::Result<WatchConfig> {
+        let c = &self.config;
+        if c.refresh_every == 0 {
+            return Err(failtypes::Error::config(
+                "watch loop",
+                "summary refresh cadence must be at least 1 record",
+            ));
+        }
+        if c.threads == 0 {
+            return Err(failtypes::Error::config(
+                "watch loop",
+                "summary rendering needs at least 1 worker thread",
+            ));
+        }
+        if c.summary_sections.is_empty() {
+            return Err(failtypes::Error::config(
+                "watch loop",
+                "at least one summary section must be selected",
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -164,7 +302,7 @@ pub fn run(
     mut detector: Option<DriftDetector>,
     config: &WatchConfig,
     out: &mut dyn Write,
-) -> Result<WatchOutcome, WatchError> {
+) -> failtypes::Result<WatchOutcome> {
     let mut state = WatchState::new(
         source.generation(),
         source.spec().clone(),
@@ -190,9 +328,15 @@ pub fn run(
                 idle_polls = 0;
                 state.ingest(rec)?;
                 records += 1;
+                if let Some(trace) = &config.trace {
+                    trace.incr("watch.records_ingested", 1);
+                }
                 if let Some(det) = &mut detector {
                     for alert in det.evaluate(&state) {
                         writeln!(out, "{}", alert.to_ndjson())?;
+                        if let Some(trace) = &config.trace {
+                            trace.incr("watch.alerts_raised", 1);
+                        }
                         alerts.push(alert);
                     }
                 }
@@ -215,6 +359,9 @@ pub fn run(
     }
 
     out.write_all(config_summary(&state, config).as_bytes())?;
+    if let Some(trace) = &config.trace {
+        trace.incr("watch.sketch_compactions", state.sketch_compactions());
+    }
     if !config.json_summaries {
         writeln!(
             out,
@@ -515,24 +662,15 @@ mod tests {
 
     #[test]
     fn max_records_bounds_the_run() {
-        let config = WatchConfig {
-            max_records: Some(25),
-            ..WatchConfig::default()
-        };
+        let config = WatchConfig::builder().max_records(25).build().unwrap();
         let (outcome, _) = watch_sim(1, None, &config);
         assert_eq!(outcome.records, 25);
     }
 
     #[test]
     fn whole_stream_output_is_deterministic() {
-        let config_a = WatchConfig {
-            threads: 1,
-            ..WatchConfig::default()
-        };
-        let config_b = WatchConfig {
-            threads: 6,
-            ..WatchConfig::default()
-        };
+        let config_a = WatchConfig::builder().threads(1).build().unwrap();
+        let config_b = WatchConfig::builder().threads(6).build().unwrap();
         let (_, out_a) = watch_sim(3, Some((4.0, 0.6)), &config_a);
         let (_, out_b) = watch_sim(3, Some((4.0, 0.6)), &config_b);
         assert_eq!(out_a, out_b);
@@ -589,11 +727,48 @@ mod tests {
     }
 
     #[test]
+    fn builders_reject_degenerate_configurations() {
+        assert!(WatchConfig::builder().build().is_ok());
+        for bad in [
+            WatchConfig::builder().refresh_every(0).build(),
+            WatchConfig::builder().threads(0).build(),
+            WatchConfig::builder().summary_sections(Vec::new()).build(),
+        ] {
+            let err = bad.unwrap_err();
+            assert!(matches!(err, failtypes::Error::Config { .. }), "{err}");
+            assert!(err.to_string().starts_with("invalid watch loop configuration:"));
+        }
+        assert!(StateConfig::builder().window(0).build().is_err());
+        assert!(StateConfig::builder().sketch_capacity(0).build().is_err());
+        assert!(StateConfig::builder().ewma_alpha(1.5).build().is_err());
+        assert!(StateConfig::builder().rate_window_hours(f64::NAN).build().is_err());
+        let drift = crate::DriftConfig::builder();
+        assert!(drift.clone().ks_alpha(1.0).build().is_err());
+        assert!(drift.clone().mttr_ratio(0.9).build().is_err());
+        assert!(drift.clone().burst_window_hours(0.0).build().is_err());
+        assert!(drift.min_window(5).build().is_ok());
+    }
+
+    #[test]
+    fn traced_run_counts_records_and_alerts() {
+        let trace = Collector::new();
+        let config = WatchConfig::builder()
+            .max_records(120)
+            .trace(trace.clone())
+            .build()
+            .unwrap();
+        let (outcome, _) = watch_sim(1, Some((5.0, 0.1)), &config);
+        assert_eq!(trace.counter("watch.records_ingested"), outcome.records as u64);
+        assert_eq!(trace.counter("watch.alerts_raised"), outcome.alerts.len() as u64);
+        assert_eq!(
+            trace.counter("watch.sketch_compactions"),
+            outcome.state.sketch_compactions()
+        );
+    }
+
+    #[test]
     fn json_summary_config_streams_ndjson_sections() {
-        let config = WatchConfig {
-            json_summaries: true,
-            ..WatchConfig::default()
-        };
+        let config = WatchConfig::builder().json_summaries(true).build().unwrap();
         let (outcome, output) = watch_sim(1, None, &config);
         assert!(outcome.records > 0);
         assert!(output.contains(r#"{"id":"overview","title":"Stream overview","data":{"#));

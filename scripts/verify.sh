@@ -14,12 +14,19 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p failsuite --test stream_equivalence
 cargo run -q -p failbench --bin bench_stream --release -- --json BENCH_stream.json
 
+watch_trace=$(mktemp)
 smoke=$(cargo run -q --release -p failctl -- \
-    watch sim:tsubame2 --accel max --inject-mttr 5)
+    watch sim:tsubame2 --accel max --inject-mttr 5 --trace "$watch_trace")
 echo "$smoke" | grep -q '"kind":"mttr_regression"' || {
     echo "verify: failctl watch smoke test did not alert on the injected regression" >&2
     exit 1
 }
+# The traced watch loop must account for every ingested record.
+grep -q '"stage":"watch.records_ingested"' "$watch_trace" || {
+    echo "verify: traced watch smoke run did not record watch.records_ingested" >&2
+    exit 1
+}
+rm -f "$watch_trace"
 
 # JSON report gate: the section registry must emit one well-formed
 # NDJSON line per section with the stable {id, title, data} shape, on
@@ -32,14 +39,40 @@ if command -v jq >/dev/null 2>&1; then
         cargo run -q --release -p failctl -- \
             generate --system "$system" --out "$log" >/dev/null
         cargo run -q --release -p failctl -- report "$log" --format json \
-            | jq -e -s 'length == 9
+            | jq -e -s 'length == 10
                 and .[0].id == "header"
+                and .[-1].id == "metrics"
                 and all(.[]; has("id") and has("title") and has("data"))' \
             >/dev/null || {
             echo "verify: failctl report --format json schema gate failed for $system" >&2
             exit 1
         }
     done
+
+    # Trace gate: the deterministic NDJSON trace export must be valid,
+    # carry the known record kinds, and be byte-identical at any thread
+    # count.
+    trace1="$tmpdir/trace1.ndjson"
+    trace4="$tmpdir/trace4.ndjson"
+    cargo run -q --release -p failctl -- \
+        report --model tsubame2 --seed 42 --threads 1 --trace "$trace1" \
+        >/dev/null
+    cargo run -q --release -p failctl -- \
+        report --model tsubame2 --seed 42 --threads 4 --trace "$trace4" \
+        >/dev/null
+    cmp -s "$trace1" "$trace4" || {
+        echo "verify: trace export differs between --threads 1 and --threads 4" >&2
+        exit 1
+    }
+    jq -e -s 'length > 0
+        and all(.[]; has("kind") and has("id") and has("stage"))
+        and all(.[]; .kind == "counter" or .kind == "hist" or .kind == "span")
+        and any(.[]; .kind == "counter" and .stage == "sim.records_generated")
+        and any(.[]; .kind == "span" and .stage == "index.logview")' \
+        "$trace4" >/dev/null || {
+        echo "verify: failctl report --trace NDJSON schema gate failed" >&2
+        exit 1
+    }
 else
     echo "verify: jq not found, skipping the JSON schema gate" >&2
 fi
@@ -47,4 +80,4 @@ fi
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "verify: build + tests + clippy + streaming gate + json gate + docs all green"
+echo "verify: build + tests + clippy + streaming gate + json gate + trace gate + docs all green"

@@ -13,7 +13,7 @@
 //!   raw-log rescan.
 
 use failmitigate::{OperationsPlan, PlanConfig};
-use failscope::{LogView, StreamView, SECTIONS};
+use failscope::{LogView, SectionCtx, StreamView, SECTIONS};
 use failsim::{Simulator, SystemModel};
 use failtypes::FailureLog;
 use proptest::prelude::*;
@@ -72,17 +72,19 @@ fn every_section_agrees_between_batch_and_stream_on_canonical_logs() {
     for log in [t2(), t3()] {
         let view = LogView::new(&log);
         let sv = streamed(&log);
+        let batch = SectionCtx::new(&view);
+        let stream = SectionCtx::new(&sv);
         for section in SECTIONS {
             assert_eq!(
-                (section.json)(&view).render(),
-                (section.json)(&sv).render(),
+                (section.json)(&batch).render(),
+                (section.json)(&stream).render(),
                 "section `{}` JSON diverges on {}",
                 section.id,
                 log.spec().name()
             );
             assert_eq!(
-                (section.text)(&view),
-                (section.text)(&sv),
+                (section.text)(&batch),
+                (section.text)(&stream),
                 "section `{}` text diverges on {}",
                 section.id,
                 log.spec().name()
@@ -121,15 +123,17 @@ proptest! {
         let log = Simulator::new(model, seed).generate().unwrap();
         let view = LogView::new(&log);
         let sv = streamed(&log);
+        let batch = SectionCtx::new(&view);
+        let stream = SectionCtx::new(&sv);
         for section in SECTIONS {
             prop_assert_eq!(
-                (section.json)(&view).render(),
-                (section.json)(&sv).render(),
+                (section.json)(&batch).render(),
+                (section.json)(&stream).render(),
                 "section `{}` JSON diverges at seed {}", section.id, seed
             );
             prop_assert_eq!(
-                (section.text)(&view),
-                (section.text)(&sv),
+                (section.text)(&batch),
+                (section.text)(&stream),
                 "section `{}` text diverges at seed {}", section.id, seed
             );
         }
