@@ -183,7 +183,13 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
 
     let mut json = JsonValue::object()
         .field("experiments", catalog.len())
-        .field("threads", threads)
+        // The serial pass always runs on 1 thread and the parallel pass
+        // on `parallel_threads` workers; `detected_cores` is what the
+        // host reports, so a ~1x speedup on a 1-core machine is
+        // self-explanatory in the artifact.
+        .field("detected_cores", failstats::available_threads())
+        .field("serial_threads", 1)
+        .field("parallel_threads", threads)
         .field("logs_simulated", serial_sims)
         .field("serial_seconds", serial_seconds)
         .field("parallel_seconds", parallel_seconds)

@@ -50,14 +50,17 @@ COMMANDS
       json emits one JSON document.
   watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
         [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
-        [--max-records N] [--max-idle N] [--inject-mttr F] [--threads N]
-        [--format text|json] [--sections IDS] [--trace FILE]
+        [--chunk N] [--max-records N] [--max-idle N] [--inject-mttr F]
+        [--threads N] [--format text|json] [--sections IDS] [--trace FILE]
       Stream a log (or an accelerated simulated replay) through the
       online monitor: NDJSON drift alerts against a calibrated
-      baseline, plus periodic summaries. --format json makes the whole
-      stream NDJSON (one line per summary section); --sections picks
-      from: overview, categories, slots, months. --trace writes the
-      loop's ingestion/alert counters as NDJSON.
+      baseline, plus periodic summaries. Records are ingested in
+      chunks of up to --chunk (default 256; drift checks run per
+      chunk, partial chunks flush on idle/EOF so follow mode never
+      lags). --format json makes the whole stream NDJSON (one line per
+      summary section); --sections picks from: overview, categories,
+      slots, months. --trace writes the loop's ingestion/alert
+      counters as NDJSON.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -524,6 +527,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         "baseline",
         "window",
         "refresh",
+        "chunk",
         "max-records",
         "max-idle",
         "threads",
@@ -589,6 +593,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
     let mut builder = WatchConfig::builder()
         .state(state)
         .refresh_every(args.flag_or("refresh", 100)?)
+        .ingest_chunk(args.flag_or("chunk", WatchConfig::default().ingest_chunk)?)
         .threads(threads_flag(args)?)
         .json_summaries(format_flag(args)? == OutputFormat::Json)
         .trace(trace.clone());

@@ -87,14 +87,14 @@ pub fn parse_ndjson_row(
             c.skip_ws();
             c.expect(b':')?;
             c.skip_ws();
-            match key.as_str() {
+            match key {
                 "id" => id = Some(c.integer("id")?),
                 "time_h" => time = Some(c.number("time_h")?),
                 "ttr_h" => ttr = Some(c.number("ttr_h")?),
                 "category" => {
                     let label = c.string("category")?;
                     category = Some(
-                        parse_category(&label, generation)
+                        parse_category(label, generation)
                             .map_err(|msg| Error::row_field(lineno, "category", msg))?,
                     );
                 }
@@ -127,7 +127,7 @@ pub fn parse_ndjson_row(
                         locus = None;
                     } else {
                         let label = c.string("locus")?;
-                        locus = Some(SoftwareLocus::from_str(&label).map_err(|e| {
+                        locus = Some(SoftwareLocus::from_str(label).map_err(|e| {
                             Error::row_field(lineno, "locus", e.to_string())
                         })?);
                     }
@@ -227,7 +227,9 @@ impl<'a> JsonCursor<'a> {
         }
     }
 
-    fn string(&mut self, field: &'static str) -> Result<String> {
+    /// Borrows the string contents straight out of the line — label
+    /// matching allocates nothing.
+    fn string(&mut self, field: &'static str) -> Result<&'a str> {
         if !self.eat(b'"') {
             return Err(Error::row_field(self.lineno, field, "expected a string"));
         }
@@ -244,7 +246,7 @@ impl<'a> JsonCursor<'a> {
                         "escapes are not supported in labels",
                     ));
                 }
-                return Ok(s.to_string());
+                return Ok(s);
             }
             self.pos += 1;
         }
@@ -399,12 +401,17 @@ impl<R: BufRead> LogTailer<R> {
                 continue;
             }
             self.lines_consumed += 1;
-            let line = self.partial.trim().to_string();
-            self.partial.clear();
+            // Parse straight from the line buffer — no per-line copy.
+            // The buffer is cleared after the parse either way, so the
+            // next poll starts clean even on a row error.
+            let line = self.partial.trim();
             if line.is_empty() {
+                self.partial.clear();
                 continue;
             }
-            return self.parse_and_validate(&line).map(Some);
+            let parsed = self.parse_and_validate(line).map(Some);
+            self.partial.clear();
+            return parsed;
         }
     }
 
@@ -415,13 +422,14 @@ impl<R: BufRead> LogTailer<R> {
     ///
     /// Same as [`next_record`](LogTailer::next_record).
     pub fn flush_partial(&mut self) -> Result<Option<FailureRecord>> {
-        let line = self.partial.trim().to_string();
-        self.partial.clear();
-        if line.is_empty() {
+        if self.partial.trim().is_empty() {
+            self.partial.clear();
             return Ok(None);
         }
         self.lines_consumed += 1;
-        self.parse_and_validate(&line).map(Some)
+        let parsed = self.parse_and_validate(self.partial.trim()).map(Some);
+        self.partial.clear();
+        parsed
     }
 
     fn parse_and_validate(&self, line: &str) -> Result<FailureRecord> {

@@ -24,7 +24,7 @@ use std::collections::VecDeque;
 /// e.update(20.0);
 /// assert_eq!(e.value(), Some(15.0));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,
@@ -72,7 +72,7 @@ impl Ewma {
 /// Mean over a trailing window of the last `cap` observations, with
 /// access to the raw window sample (for KS comparison against a
 /// baseline sample).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WindowMean {
     cap: usize,
     buf: VecDeque<f64>,
@@ -127,7 +127,7 @@ impl WindowMean {
 /// Failure rate over a trailing span of simulated time: keeps event
 /// times within `window_hours` of the newest event and reports events
 /// per hour over the span actually covered.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RateWindow {
     window_hours: f64,
     times: VecDeque<f64>,

@@ -13,6 +13,7 @@
 //!   durations of the tail of the replay, the canonical regression
 //!   scenario the acceptance tests alert on.
 
+use std::collections::VecDeque;
 use std::fs::File;
 use std::io::BufReader;
 use std::path::Path;
@@ -22,6 +23,17 @@ use failsim::{ReplayClock, Simulator, SystemModel};
 use failtypes::{
     FailureRecord, Generation, Hours, ObservationWindow, Result, StreamEvent, SystemSpec,
 };
+
+/// Why a chunked pull ([`EventSource::next_chunk`]) stopped delivering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChunkEnd {
+    /// The chunk filled to its limit; more records may be ready now.
+    More,
+    /// Nothing available right now — poll again later (follow mode).
+    Idle,
+    /// The stream ended; no further records will arrive.
+    Eof,
+}
 
 /// A producer of [`StreamEvent`]s plus the system metadata the online
 /// state needs up front.
@@ -35,6 +47,28 @@ pub trait EventSource {
     /// Pulls the next event. [`StreamEvent::Idle`] means "nothing right
     /// now, poll again"; [`StreamEvent::Eof`] is terminal.
     fn next_event(&mut self) -> Result<StreamEvent>;
+    /// Pulls up to `max` immediately deliverable records into `out`
+    /// (appending; the caller owns clearing), so the watch loop ingests
+    /// whole chunks between refresh ticks instead of making per-record
+    /// virtual calls. Stops early on [`StreamEvent::Idle`] /
+    /// [`StreamEvent::Eof`] and reports why it stopped; partial chunks
+    /// are always handed over, so chunking never delays follow-mode
+    /// delivery.
+    ///
+    /// # Errors
+    ///
+    /// As [`next_event`](EventSource::next_event); records pulled
+    /// before the failing event remain in `out`.
+    fn next_chunk(&mut self, max: usize, out: &mut Vec<FailureRecord>) -> Result<ChunkEnd> {
+        while out.len() < max {
+            match self.next_event()? {
+                StreamEvent::Record(rec) => out.push(rec),
+                StreamEvent::Idle => return Ok(ChunkEnd::Idle),
+                StreamEvent::Eof => return Ok(ChunkEnd::Eof),
+            }
+        }
+        Ok(ChunkEnd::More)
+    }
     /// Human-readable description of the source for the watch banner.
     fn describe(&self) -> String;
 }
@@ -109,8 +143,9 @@ impl EventSource for TailSource {
 /// Replays a calibrated simulation as a stream (see the module docs).
 #[derive(Debug)]
 pub struct SimSource {
-    records: Vec<FailureRecord>,
-    pos: usize,
+    /// Remaining records, popped from the front so delivery **moves**
+    /// each record out instead of cloning its GPU-slot heap data.
+    records: VecDeque<FailureRecord>,
     clock: ReplayClock,
     generation: Generation,
     spec: SystemSpec,
@@ -130,8 +165,7 @@ impl SimSource {
         let name = format!("sim:{} seed {seed}", model.spec.name());
         let log = Simulator::new(model, seed).generate()?;
         Ok(SimSource {
-            records: log.records().to_vec(),
-            pos: 0,
+            records: log.records().to_vec().into(),
             clock,
             generation: log.generation(),
             spec: log.spec().clone(),
@@ -180,7 +214,7 @@ impl SimSource {
 
     /// Records remaining in the replay.
     pub fn remaining(&self) -> usize {
-        self.records.len() - self.pos
+        self.records.len()
     }
 }
 
@@ -198,14 +232,14 @@ impl EventSource for SimSource {
     }
 
     fn next_event(&mut self) -> Result<StreamEvent> {
-        let Some(rec) = self.records.get(self.pos) else {
+        let Some(rec) = self.records.front() else {
             return Ok(StreamEvent::Eof);
         };
         // Paced replay sleeps inline until the record is due; unpaced
         // clocks return immediately.
         self.clock.sleep_until(rec.time().get());
-        self.pos += 1;
-        Ok(StreamEvent::Record(rec.clone()))
+        let rec = self.records.pop_front().expect("front() was Some");
+        Ok(StreamEvent::Record(rec))
     }
 
     fn describe(&self) -> String {
@@ -240,6 +274,56 @@ mod tests {
         assert_eq!(records.as_slice(), log.records());
         // Eof is sticky.
         assert_eq!(src.next_event().unwrap(), StreamEvent::Eof);
+    }
+
+    #[test]
+    fn chunked_delivery_matches_per_record_and_flushes_partials() {
+        let log = Simulator::new(SystemModel::tsubame3(), 5).generate().unwrap();
+        let mut src =
+            SimSource::new(SystemModel::tsubame3(), 5, ReplayClock::unpaced()).unwrap();
+        let mut out = Vec::new();
+        let mut chunk = Vec::new();
+        loop {
+            chunk.clear();
+            let end = src.next_chunk(7, &mut chunk).unwrap();
+            out.append(&mut chunk);
+            match end {
+                ChunkEnd::More => {}
+                ChunkEnd::Idle => panic!("unpaced replay never idles"),
+                ChunkEnd::Eof => break,
+            }
+        }
+        assert_eq!(out.as_slice(), log.records());
+        // Eof is sticky through the chunked path too.
+        chunk.clear();
+        assert_eq!(src.next_chunk(7, &mut chunk).unwrap(), ChunkEnd::Eof);
+        assert!(chunk.is_empty());
+    }
+
+    #[test]
+    fn follow_mode_chunks_end_with_idle_not_eof() {
+        let log = Simulator::new(SystemModel::tsubame2(), 6).generate().unwrap();
+        let dir = std::env::temp_dir().join("failscope-test-watch-ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow-chunk.fslog");
+        faillog::save(&path, &log).unwrap();
+        let mut src = TailSource::open(&path, true).unwrap();
+        let mut records = 0;
+        let mut chunk = Vec::new();
+        loop {
+            chunk.clear();
+            let end = src.next_chunk(16, &mut chunk).unwrap();
+            records += chunk.len();
+            match end {
+                ChunkEnd::More => {}
+                ChunkEnd::Idle => break,
+                ChunkEnd::Eof => panic!("follow mode must idle, not end"),
+            }
+        }
+        // The whole file arrives before the first idle — partial chunks
+        // are flushed, chunking adds no delivery latency.
+        assert_eq!(records, log.len());
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

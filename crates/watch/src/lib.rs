@@ -42,7 +42,7 @@ mod watch;
 
 pub use drift::{Baseline, DriftConfig, DriftConfigBuilder, DriftDetector};
 pub use estimators::{Ewma, RateWindow, WindowMean};
-pub use ingest::{EventSource, SimSource, TailSource};
+pub use ingest::{ChunkEnd, EventSource, SimSource, TailSource};
 pub use sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
 pub use state::{StateConfig, StateConfigBuilder, WatchState};
 pub use watch::{
@@ -74,7 +74,7 @@ pub use watch::{
 /// ```
 pub mod prelude {
     pub use crate::drift::{Baseline, DriftConfig, DriftConfigBuilder, DriftDetector};
-    pub use crate::ingest::{EventSource, SimSource, TailSource};
+    pub use crate::ingest::{ChunkEnd, EventSource, SimSource, TailSource};
     pub use crate::sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
     pub use crate::state::{StateConfig, StateConfigBuilder, WatchState};
     pub use crate::watch::{

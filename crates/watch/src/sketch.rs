@@ -39,7 +39,7 @@ pub const DEFAULT_SKETCH_CAPACITY: usize = 4096;
 /// assert_eq!(s.mean(), Some(2.5));
 /// assert_eq!(s.len(), 4);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QuantileSketch {
     capacity: usize,
     /// `levels[i]` holds items of weight `2^i`; level 0 is the intake.

@@ -23,7 +23,7 @@ use crate::estimators::{Ewma, RateWindow, WindowMean};
 use crate::sketch::{QuantileSketch, DEFAULT_SKETCH_CAPACITY};
 
 /// Tuning knobs for [`WatchState`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StateConfig {
     /// Trailing-window size in records for drift samples.
     pub window: usize,
@@ -158,14 +158,12 @@ impl StateConfigBuilder {
 ///
 /// let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
 /// let mut state = WatchState::for_log(&log, Default::default());
-/// for rec in log.iter() {
-///     state.ingest(rec.clone()).unwrap();
-/// }
+/// state.ingest_batch(log.records().to_vec()).unwrap();
 /// // MTBF identical to the batch formula: window hours / n.
 /// let mtbf = state.mtbf_hours().unwrap();
 /// assert_eq!(mtbf, log.window().duration().get() / log.len() as f64);
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WatchState {
     view: StreamView,
     config: StateConfig,
@@ -214,6 +212,10 @@ impl WatchState {
     /// validated (and time order enforced) by the underlying
     /// [`StreamView`]; state is unchanged on error.
     ///
+    /// Allocation-free: the record moves into the view and every other
+    /// layer updates in place (GPU slots are read back from the view's
+    /// copy rather than collected into a temporary).
+    ///
     /// # Errors
     ///
     /// See [`failscope::StreamView::push`]; the underlying
@@ -223,7 +225,6 @@ impl WatchState {
         let time = rec.time().get();
         let ttr = rec.ttr().get();
         let category = rec.category();
-        let slots: Vec<u8> = rec.gpus().iter().map(|s| s.index()).collect();
         self.view.push(rec)?;
 
         // Since-start sketches: gaps mirror inter_arrival_times (first
@@ -240,11 +241,19 @@ impl WatchState {
             self.window_categories.pop_front();
         }
         self.window_categories.push_back(category);
-        for slot in slots {
+        // Borrow the slots back from the record the view just took —
+        // disjoint fields, so no temporary Vec is needed.
+        let gpus = self
+            .view
+            .records()
+            .last()
+            .expect("record was just pushed")
+            .gpus();
+        for slot in gpus {
             if self.window_slots.len() == self.config.window {
                 self.window_slots.pop_front();
             }
-            self.window_slots.push_back(slot);
+            self.window_slots.push_back(slot.index());
         }
         self.rate.push(time);
 
@@ -261,6 +270,36 @@ impl WatchState {
         }
         self.cat_last_time.insert(category, time);
         Ok(())
+    }
+
+    /// Ingests a whole chunk of records in time order — the batched
+    /// mirror of [`ingest`](WatchState::ingest), with identical
+    /// resulting state (the batched-vs-per-record proptest in `tests/`
+    /// asserts this bit for bit, sketches and EWMAs included). Returns
+    /// the number of records accepted.
+    ///
+    /// # Errors
+    ///
+    /// As [`ingest`](WatchState::ingest); records before the offending
+    /// one remain incorporated.
+    pub fn ingest_batch<I>(&mut self, records: I) -> failtypes::Result<usize>
+    where
+        I: IntoIterator<Item = FailureRecord>,
+    {
+        let mut accepted = 0;
+        for rec in records {
+            self.ingest(rec)?;
+            accepted += 1;
+        }
+        Ok(accepted)
+    }
+
+    /// Forces the view's deferred sorted-array merges now (see
+    /// [`StreamView::materialize`]); the watch loop calls this before
+    /// rendering summaries so parallel section renderers read zero-cost
+    /// slices instead of racing to build the merge cache.
+    pub fn materialize(&mut self) {
+        self.view.materialize();
     }
 
     /// The underlying incremental index.
@@ -411,9 +450,8 @@ mod tests {
     fn fed(seed: u64) -> (FailureLog, WatchState) {
         let log = Simulator::new(SystemModel::tsubame3(), seed).generate().unwrap();
         let mut state = WatchState::for_log(&log, StateConfig::default());
-        for rec in log.iter() {
-            state.ingest(rec.clone()).unwrap();
-        }
+        let accepted = state.ingest_batch(log.records().to_vec()).unwrap();
+        assert_eq!(accepted, log.len());
         (log, state)
     }
 

@@ -17,10 +17,10 @@ use std::time::Duration;
 
 use failstats::par_map_ordered;
 use failtrace::Collector;
-use failtypes::{Alert, JsonValue, StreamEvent};
+use failtypes::{Alert, FailureRecord, JsonValue};
 
 use crate::drift::DriftDetector;
-use crate::ingest::EventSource;
+use crate::ingest::{ChunkEnd, EventSource};
 use crate::state::{StateConfig, WatchState};
 
 /// One streaming summary section: a stable machine id, a human title,
@@ -115,6 +115,14 @@ pub struct WatchConfig {
     pub state: StateConfig,
     /// Records between summary refreshes.
     pub refresh_every: usize,
+    /// Largest record chunk pulled from the source per
+    /// [`EventSource::next_chunk`] call. Chunks are additionally
+    /// clipped to the next refresh tick and the `max_records` bound, so
+    /// summaries and record limits are honoured exactly; drift checks
+    /// run once per chunk (partial chunks are flushed on idle/EOF, so
+    /// chunking never delays follow-mode delivery or alerting on a
+    /// stalled stream).
+    pub ingest_chunk: usize,
     /// Sleep between polls when a followed source is idle.
     pub idle_sleep_ms: u64,
     /// Stop after this many *consecutive* idle polls (`None` = follow
@@ -141,6 +149,7 @@ impl Default for WatchConfig {
         WatchConfig {
             state: StateConfig::default(),
             refresh_every: 100,
+            ingest_chunk: 256,
             idle_sleep_ms: 200,
             max_idle_polls: None,
             max_records: None,
@@ -192,6 +201,14 @@ impl WatchConfigBuilder {
     #[must_use]
     pub fn refresh_every(mut self, records: usize) -> Self {
         self.config.refresh_every = records;
+        self
+    }
+
+    /// Largest record chunk per source pull (see
+    /// [`WatchConfig::ingest_chunk`]).
+    #[must_use]
+    pub fn ingest_chunk(mut self, records: usize) -> Self {
+        self.config.ingest_chunk = records;
         self
     }
 
@@ -259,6 +276,12 @@ impl WatchConfigBuilder {
                 "summary refresh cadence must be at least 1 record",
             ));
         }
+        if c.ingest_chunk == 0 {
+            return Err(failtypes::Error::config(
+                "watch loop",
+                "ingest chunk must hold at least 1 record",
+            ));
+        }
         if c.threads == 0 {
             return Err(failtypes::Error::config(
                 "watch loop",
@@ -321,43 +344,65 @@ pub fn run(
     let mut records = 0usize;
     let mut idle_polls = 0u64;
     let refresh = config.refresh_every.max(1);
+    // One reusable chunk buffer for the whole run; records move from
+    // the source through it into the state without cloning.
+    let mut chunk: Vec<FailureRecord> = Vec::with_capacity(config.ingest_chunk.max(1));
 
     loop {
-        match source.next_event()? {
-            StreamEvent::Record(rec) => {
-                idle_polls = 0;
-                state.ingest(rec)?;
-                records += 1;
-                if let Some(trace) = &config.trace {
-                    trace.incr("watch.records_ingested", 1);
-                }
-                if let Some(det) = &mut detector {
-                    for alert in det.evaluate(&state) {
-                        writeln!(out, "{}", alert.to_ndjson())?;
-                        if let Some(trace) = &config.trace {
-                            trace.incr("watch.alerts_raised", 1);
-                        }
-                        alerts.push(alert);
+        // Clip the chunk to the next refresh tick and the record bound
+        // so both are honoured exactly, as per-record ingestion did.
+        let mut limit = config.ingest_chunk.max(1);
+        limit = limit.min(refresh - records % refresh);
+        if let Some(max) = config.max_records {
+            if records >= max {
+                break;
+            }
+            limit = limit.min(max - records);
+        }
+        chunk.clear();
+        let end = source.next_chunk(limit, &mut chunk)?;
+
+        if !chunk.is_empty() {
+            idle_polls = 0;
+            let ingested = state.ingest_batch(chunk.drain(..))?;
+            records += ingested;
+            if let Some(trace) = &config.trace {
+                trace.incr("watch.records_ingested", ingested as u64);
+            }
+            // Drift checks run once per chunk — the chunk boundary is
+            // where the trailing windows have genuinely new content.
+            if let Some(det) = &mut detector {
+                for alert in det.evaluate(&state) {
+                    writeln!(out, "{}", alert.to_ndjson())?;
+                    if let Some(trace) = &config.trace {
+                        trace.incr("watch.alerts_raised", 1);
                     }
-                }
-                if records.is_multiple_of(refresh) {
-                    out.write_all(config_summary(&state, config).as_bytes())?;
-                }
-                if config.max_records.is_some_and(|max| records >= max) {
-                    break;
+                    alerts.push(alert);
                 }
             }
-            StreamEvent::Idle => {
+            if records.is_multiple_of(refresh) {
+                state.materialize();
+                out.write_all(config_summary(&state, config).as_bytes())?;
+            }
+            if config.max_records.is_some_and(|max| records >= max) {
+                break;
+            }
+        }
+
+        match end {
+            ChunkEnd::More => {}
+            ChunkEnd::Idle => {
                 idle_polls += 1;
                 if config.max_idle_polls.is_some_and(|max| idle_polls >= max) {
                     break;
                 }
                 thread::sleep(Duration::from_millis(config.idle_sleep_ms));
             }
-            StreamEvent::Eof => break,
+            ChunkEnd::Eof => break,
         }
     }
 
+    state.materialize();
     out.write_all(config_summary(&state, config).as_bytes())?;
     if let Some(trace) = &config.trace {
         trace.incr("watch.sketch_compactions", state.sketch_compactions());
@@ -668,6 +713,33 @@ mod tests {
     }
 
     #[test]
+    fn chunk_size_preserves_bounds_and_final_state() {
+        // max_records is honoured exactly at any chunk size (chunks are
+        // clipped to the bound, never overshooting).
+        for chunk in [1, 7, 64, 1024] {
+            let config = WatchConfig::builder()
+                .ingest_chunk(chunk)
+                .max_records(25)
+                .build()
+                .unwrap();
+            let (outcome, _) = watch_sim(1, None, &config);
+            assert_eq!(outcome.records, 25, "chunk={chunk}");
+        }
+        // The final online state of a full replay is identical at any
+        // chunk size — chunking changes when drift checks run, never
+        // what was ingested. ingest_chunk(1) is the per-record path.
+        let base = {
+            let config = WatchConfig::builder().ingest_chunk(1).build().unwrap();
+            watch_sim(7, None, &config).0.state
+        };
+        for chunk in [3, 100, 4096] {
+            let config = WatchConfig::builder().ingest_chunk(chunk).build().unwrap();
+            let state = watch_sim(7, None, &config).0.state;
+            assert_eq!(state, base, "chunk={chunk}");
+        }
+    }
+
+    #[test]
     fn whole_stream_output_is_deterministic() {
         let config_a = WatchConfig::builder().threads(1).build().unwrap();
         let config_b = WatchConfig::builder().threads(6).build().unwrap();
@@ -731,6 +803,7 @@ mod tests {
         assert!(WatchConfig::builder().build().is_ok());
         for bad in [
             WatchConfig::builder().refresh_every(0).build(),
+            WatchConfig::builder().ingest_chunk(0).build(),
             WatchConfig::builder().threads(0).build(),
             WatchConfig::builder().summary_sections(Vec::new()).build(),
         ] {

@@ -14,6 +14,22 @@ cargo clippy --workspace --all-targets -- -D warnings
 cargo test -q -p failsuite --test stream_equivalence
 cargo run -q -p failbench --bin bench_stream --release -- --json BENCH_stream.json
 
+# Streaming throughput gate: the amortized deferred-merge ingest path
+# sustains ~2.4M records/second on the ~110k-record scaled year (one
+# container core); fail if it regresses below half that, which is where
+# an accidental return to per-record O(n) insertion would land.
+stream_floor=1200000
+stream_rate=$(sed -n 's/.*"scaled_stream_records_per_second": \([0-9]*\).*/\1/p' \
+    BENCH_stream.json)
+if [ -z "$stream_rate" ]; then
+    echo "verify: scaled_stream_records_per_second missing from BENCH_stream.json" >&2
+    exit 1
+fi
+if [ "$stream_rate" -lt "$stream_floor" ]; then
+    echo "verify: scaled stream throughput regressed: $stream_rate rec/s < floor $stream_floor" >&2
+    exit 1
+fi
+
 watch_trace=$(mktemp)
 smoke=$(cargo run -q --release -p failctl -- \
     watch sim:tsubame2 --accel max --inject-mttr 5 --trace "$watch_trace")

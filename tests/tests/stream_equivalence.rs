@@ -185,4 +185,41 @@ proptest! {
         let k = (log.len() as f64 * frac) as usize;
         assert_stream_matches_batch(&prefix(&log, k));
     }
+
+    // Batched ingest is bit-identical to per-record ingest on every
+    // prefix that falls on a chunk boundary: the complete state
+    // (incremental index with its deferred sorted runs, quantile
+    // sketches, EWMAs, trailing windows) compares equal, and drift
+    // detectors evaluated at the same boundaries emit the same alerts.
+    #[test]
+    fn batched_ingest_matches_per_record_at_every_chunk_boundary(
+        seed in 0u64..10_000,
+        chunk_sizes in proptest::collection::vec(1usize..48, 1..24),
+    ) {
+        let log = Simulator::new(SystemModel::tsubame3(), seed).generate().unwrap();
+        let baseline = Baseline::from_model(SystemModel::tsubame3(), 1).unwrap();
+        let mut det_batched = DriftDetector::new(baseline.clone(), DriftConfig::default());
+        let mut det_single = DriftDetector::new(baseline, DriftConfig::default());
+        let mut batched = WatchState::for_log(&log, StateConfig::default());
+        let mut per_record = WatchState::for_log(&log, StateConfig::default());
+
+        let mut pos = 0;
+        let mut turn = 0;
+        while pos < log.len() {
+            let size = chunk_sizes[turn % chunk_sizes.len()].min(log.len() - pos);
+            turn += 1;
+            let chunk = &log.records()[pos..pos + size];
+            let accepted = batched.ingest_batch(chunk.to_vec()).unwrap();
+            prop_assert_eq!(accepted, size);
+            for rec in chunk {
+                per_record.ingest(rec.clone()).unwrap();
+            }
+            pos += size;
+            prop_assert_eq!(&batched, &per_record, "diverged after {} records", pos);
+            let alerts_batched = det_batched.evaluate(&batched);
+            let alerts_single = det_single.evaluate(&per_record);
+            prop_assert_eq!(alerts_batched, alerts_single, "alerts diverged after {} records", pos);
+        }
+        prop_assert_eq!(batched.len(), log.len());
+    }
 }
