@@ -181,6 +181,88 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         );
     }
 
+    // Parse-path bench: serialize a ~110k-record synthetic year once,
+    // then time the serial chunked parser, the parallel chunked parser,
+    // and the transparent-gzip ingest path over the same bytes. The
+    // parallel output is verified byte-identical to serial before any
+    // rate is reported; `parse_records_per_second` (the parallel plain-
+    // text rate) is the figure scripts/verify.sh gates on.
+    const PARSE_REPS: usize = 5;
+    let parse_log = {
+        let model = failsim::ScenarioBuilder::new("bench-scale")
+            .nodes(1408)
+            .gpus_per_node(4)
+            .system_mtbf_hours(0.08)
+            .window_days(365)
+            .build()
+            .expect("scaled scenario parameters are valid");
+        Simulator::new(model, 42)
+            .generate()
+            .expect("scaled scenario simulates")
+    };
+    let parse_records = parse_log.len();
+    let parse_text = faillog::to_string(&parse_log).expect("serializes");
+    let parse_gzip = faillog::gzip_compress(parse_text.as_bytes());
+    let serial_opts = faillog::ParseOptions::serial();
+    let parallel_opts = faillog::ParseOptions::default();
+    let serial_reparse = faillog::from_str_with(&parse_text, &serial_opts).expect("parses");
+    let parallel_reparse = faillog::from_str_with(&parse_text, &parallel_opts).expect("parses");
+    let parse_identical = faillog::to_string(&serial_reparse).expect("serializes")
+        == faillog::to_string(&parallel_reparse).expect("serializes");
+    drop((serial_reparse, parallel_reparse));
+    let parse_serial_seconds = best_of(PARSE_REPS, || {
+        std::hint::black_box(faillog::from_str_with(&parse_text, &serial_opts).expect("parses"));
+    });
+    let parse_parallel_seconds = best_of(PARSE_REPS, || {
+        std::hint::black_box(faillog::from_str_with(&parse_text, &parallel_opts).expect("parses"));
+    });
+    let parse_gzip_seconds = best_of(PARSE_REPS, || {
+        let inflated = faillog::gzip_decompress(&parse_gzip).expect("inflates");
+        let text = String::from_utf8(inflated).expect("log text is UTF-8");
+        std::hint::black_box(faillog::from_str_with(&text, &parallel_opts).expect("parses"));
+    });
+    let parse_serial_rate = parse_records as f64 / parse_serial_seconds.max(f64::MIN_POSITIVE);
+    let parse_parallel_rate =
+        parse_records as f64 / parse_parallel_seconds.max(f64::MIN_POSITIVE);
+    let parse_gzip_rate = parse_records as f64 / parse_gzip_seconds.max(f64::MIN_POSITIVE);
+    let parse_speedup = parse_serial_seconds / parse_parallel_seconds.max(f64::MIN_POSITIVE);
+    println!(
+        "  parse bench: {parse_records} records ({} bytes plain, {} gzip)",
+        parse_text.len(),
+        parse_gzip.len()
+    );
+    println!(
+        "    serial   (1 thread):  {:.1} ms | {:.0} rec/s",
+        parse_serial_seconds * 1e3,
+        parse_serial_rate
+    );
+    println!(
+        "    parallel ({} threads): {:.1} ms | {:.0} rec/s | speedup {parse_speedup:.2}x",
+        parallel_opts.threads,
+        parse_parallel_seconds * 1e3,
+        parse_parallel_rate
+    );
+    println!(
+        "    gzip     ({} threads): {:.1} ms | {:.0} rec/s | identical: {parse_identical}",
+        parallel_opts.threads,
+        parse_gzip_seconds * 1e3,
+        parse_gzip_rate
+    );
+    let parse_json = JsonValue::object()
+        .field("records", parse_records)
+        .field("bytes", parse_text.len())
+        .field("gzip_bytes", parse_gzip.len())
+        .field("threads", parallel_opts.threads)
+        .field("serial_seconds", parse_serial_seconds)
+        .field("parallel_seconds", parse_parallel_seconds)
+        .field("gzip_seconds", parse_gzip_seconds)
+        .field("serial_records_per_second", parse_serial_rate as u64)
+        .field("parallel_records_per_second", parse_parallel_rate as u64)
+        .field("gzip_records_per_second", parse_gzip_rate as u64)
+        .field("speedup", parse_speedup)
+        .field("identical_output", parse_identical)
+        .build();
+
     let mut json = JsonValue::object()
         .field("experiments", catalog.len())
         // The serial pass always runs on 1 thread and the parallel pass
@@ -195,6 +277,8 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("parallel_seconds", parallel_seconds)
         .field("speedup", speedup)
         .field("identical_output", identical)
+        .field("parse", parse_json)
+        .field("parse_records_per_second", parse_parallel_rate as u64)
         .field("sections", JsonValue::Array(section_rows))
         .field("trace", collector.to_json(true))
         .build()
@@ -209,6 +293,10 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     }
     if !identical {
         eprintln!("parallel output diverged from serial");
+        std::process::exit(1);
+    }
+    if !parse_identical {
+        eprintln!("parallel parse diverged from serial");
         std::process::exit(1);
     }
 }

@@ -106,12 +106,35 @@ pub fn to_string(log: &FailureLog) -> Result<String> {
 /// Parses a `failscope-log v1` stream back into a validated
 /// [`FailureLog`].
 ///
+/// The stream is read fully into memory and handed to the chunked
+/// parallel parser with default [`crate::ParseOptions`]; output
+/// (including errors and their line numbers) is byte-identical to a
+/// serial line-by-line pass.
+///
 /// # Errors
 ///
 /// Returns [`Error`] for I/O failures, malformed headers or rows,
 /// and logs that violate record invariants (e.g. node out of range).
-pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog> {
-    let mut lines = r.lines().enumerate();
+pub fn read_log<R: BufRead>(mut r: R) -> Result<FailureLog> {
+    let mut text = String::new();
+    r.read_to_string(&mut text)?;
+    from_str(&text)
+}
+
+/// Parses a log from a string slice.
+///
+/// # Errors
+///
+/// See [`read_log`].
+pub fn from_str(s: &str) -> Result<FailureLog> {
+    crate::parallel::from_str_with(s, &crate::ParseOptions::default())
+}
+
+/// The original single-pass serial parser, kept verbatim as the
+/// reference oracle the parallel path is tested against.
+#[cfg(test)]
+pub(crate) fn parse_serial(s: &str) -> Result<FailureLog> {
+    let mut lines = s.as_bytes().lines().enumerate();
 
     let mut header = HeaderParser::new();
     loop {
@@ -137,17 +160,10 @@ pub fn read_log<R: BufRead>(r: R) -> Result<FailureLog> {
     Ok(FailureLog::with_spec(generation, spec, window, records)?)
 }
 
-/// Parses a log from a string slice.
-///
-/// # Errors
-///
-/// See [`read_log`].
-pub fn from_str(s: &str) -> Result<FailureLog> {
-    read_log(s.as_bytes())
-}
-
+#[cfg(test)]
 type Lines<'a, R> = std::iter::Enumerate<std::io::Lines<R>>;
 
+#[cfg(test)]
 fn next_line<R: BufRead>(lines: &mut Lines<'_, R>) -> Result<(usize, String)> {
     match lines.next() {
         Some((i, line)) => Ok((i, line?)),

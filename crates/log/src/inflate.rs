@@ -1,0 +1,728 @@
+//! In-repo gzip codec: a complete RFC 1951 DEFLATE decoder plus a
+//! small LZ77/fixed-Huffman compressor, wrapped in the RFC 1952 gzip
+//! member format.
+//!
+//! The build environment vendors no compression crates, so transparent
+//! ingestion of `.fslog.gz` fleet archives needs its own decoder. The
+//! decoder side is complete — stored, fixed-Huffman, and
+//! dynamic-Huffman blocks, multi-member streams, CRC32 and length
+//! trailers — so archives produced by any standard `gzip`/`zlib`
+//! implementation inflate correctly. The encoder side is deliberately
+//! small: greedy LZ77 matching over a 32 KiB window emitted with the
+//! fixed Huffman code, which compresses the highly repetitive
+//! `failscope-log v1` text to roughly a third while staying ~150 lines.
+//! Output from [`gzip_compress`] is a fully standard gzip member any
+//! external `gunzip` accepts.
+//!
+//! Errors are plain `String` descriptions; the [`crate::input`] layer
+//! maps them onto [`failtypes::Error`] with I/O context.
+
+/// Maximum bits in a DEFLATE Huffman code.
+const MAX_BITS: usize = 15;
+/// Length-code bases and extra bits, codes 257..=285 (RFC 1951 §3.2.5).
+const LENGTH_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115,
+    131, 163, 195, 227, 258,
+];
+const LENGTH_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// Distance-code bases and extra bits, codes 0..=29.
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12,
+    13, 13,
+];
+/// Order in which code-length code lengths are stored (RFC 1951 §3.2.7).
+const CLEN_ORDER: [usize; 19] = [
+    16, 17, 18, 0, 8, 7, 9, 6, 10, 5, 11, 4, 12, 3, 13, 2, 14, 1, 15,
+];
+
+/// LSB-first bit reader over a byte slice.
+struct BitReader<'a> {
+    data: &'a [u8],
+    /// Next unread byte.
+    pos: usize,
+    /// Bit accumulator, low bits first.
+    bits: u32,
+    /// Number of valid bits in the accumulator.
+    count: u32,
+}
+
+impl<'a> BitReader<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        BitReader { data, pos: 0, bits: 0, count: 0 }
+    }
+
+    fn take(&mut self, n: u32) -> Result<u32, String> {
+        debug_assert!(n <= 16);
+        while self.count < n {
+            let byte = *self
+                .data
+                .get(self.pos)
+                .ok_or_else(|| "unexpected end of deflate stream".to_string())?;
+            self.bits |= u32::from(byte) << self.count;
+            self.count += 8;
+            self.pos += 1;
+        }
+        let value = self.bits & ((1u32 << n) - 1);
+        self.bits >>= n;
+        self.count -= n;
+        Ok(value)
+    }
+
+    /// Discards partial bits so the next read starts on a byte boundary.
+    fn align(&mut self) {
+        let drop = self.count % 8;
+        self.bits >>= drop;
+        self.count -= drop;
+    }
+
+    /// Byte offset of the next unconsumed input byte (accumulator
+    /// included), valid only when byte-aligned.
+    fn byte_pos(&self) -> usize {
+        self.pos - (self.count / 8) as usize
+    }
+}
+
+/// A canonical Huffman decoding table in the `puff.c` counts/symbols
+/// form: `count[l]` codes of length `l`, symbols sorted by (length,
+/// symbol order).
+struct Huffman {
+    count: [u16; MAX_BITS + 1],
+    symbol: Vec<u16>,
+}
+
+impl Huffman {
+    /// Builds a table from per-symbol code lengths (0 = unused).
+    fn new(lengths: &[u8]) -> Result<Huffman, String> {
+        let mut count = [0u16; MAX_BITS + 1];
+        for &len in lengths {
+            count[len as usize] += 1;
+        }
+        if count[0] as usize == lengths.len() {
+            // No codes at all — legal for an unused distance table.
+            return Ok(Huffman { count, symbol: Vec::new() });
+        }
+        // An over-subscribed or incomplete code is invalid, except for
+        // the degenerate one-code case gzip emits for single-distance
+        // streams (left incomplete by construction).
+        let mut left = 1i32;
+        for &n in count.iter().skip(1) {
+            left <<= 1;
+            left -= i32::from(n);
+            if left < 0 {
+                return Err("over-subscribed Huffman code".into());
+            }
+        }
+        let mut offsets = [0u16; MAX_BITS + 1];
+        for len in 1..MAX_BITS {
+            offsets[len + 1] = offsets[len] + count[len];
+        }
+        let mut symbol = vec![0u16; lengths.len()];
+        for (sym, &len) in lengths.iter().enumerate() {
+            if len != 0 {
+                symbol[offsets[len as usize] as usize] = sym as u16;
+                offsets[len as usize] += 1;
+            }
+        }
+        Ok(Huffman { count, symbol })
+    }
+
+    /// Decodes one symbol, reading bits MSB-of-code-first.
+    fn decode(&self, r: &mut BitReader<'_>) -> Result<u16, String> {
+        let mut code = 0i32;
+        let mut first = 0i32;
+        let mut index = 0i32;
+        for len in 1..=MAX_BITS {
+            code |= r.take(1)? as i32;
+            let count = i32::from(self.count[len]);
+            if code - count < first {
+                return Ok(self.symbol[(index + (code - first)) as usize]);
+            }
+            index += count;
+            first = (first + count) << 1;
+            code <<= 1;
+        }
+        Err("invalid Huffman code".into())
+    }
+}
+
+fn fixed_literal_lengths() -> [u8; 288] {
+    let mut lengths = [8u8; 288];
+    lengths[144..256].fill(9);
+    lengths[256..280].fill(7);
+    lengths
+}
+
+/// Inflates a raw DEFLATE stream. Returns the decompressed bytes and
+/// the number of input bytes consumed (so the gzip layer can find the
+/// trailer and any following member).
+pub(crate) fn inflate(data: &[u8]) -> Result<(Vec<u8>, usize), String> {
+    let mut r = BitReader::new(data);
+    let mut out = Vec::with_capacity(data.len().saturating_mul(4));
+    loop {
+        let bfinal = r.take(1)?;
+        let btype = r.take(2)?;
+        match btype {
+            0 => inflate_stored(&mut r, &mut out)?,
+            1 => {
+                let lit = Huffman::new(&fixed_literal_lengths())?;
+                let dist = Huffman::new(&[5u8; 30])?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            2 => {
+                let (lit, dist) = read_dynamic_tables(&mut r)?;
+                inflate_block(&mut r, &lit, &dist, &mut out)?;
+            }
+            _ => return Err("reserved deflate block type 3".into()),
+        }
+        if bfinal == 1 {
+            break;
+        }
+    }
+    r.align();
+    Ok((out, r.byte_pos()))
+}
+
+fn inflate_stored(r: &mut BitReader<'_>, out: &mut Vec<u8>) -> Result<(), String> {
+    r.align();
+    let len = r.take(16)? as usize;
+    let nlen = r.take(16)? as usize;
+    if len ^ nlen != 0xFFFF {
+        return Err("stored block length check failed".into());
+    }
+    let start = r.byte_pos();
+    let end = start + len;
+    if end > r.data.len() {
+        return Err("stored block overruns the input".into());
+    }
+    out.extend_from_slice(&r.data[start..end]);
+    r.pos = end;
+    Ok(())
+}
+
+fn read_dynamic_tables(r: &mut BitReader<'_>) -> Result<(Huffman, Huffman), String> {
+    let hlit = r.take(5)? as usize + 257;
+    let hdist = r.take(5)? as usize + 1;
+    let hclen = r.take(4)? as usize + 4;
+    if hlit > 286 || hdist > 30 {
+        return Err("dynamic block declares too many codes".into());
+    }
+    let mut clen_lengths = [0u8; 19];
+    for &idx in CLEN_ORDER.iter().take(hclen) {
+        clen_lengths[idx] = r.take(3)? as u8;
+    }
+    let clen = Huffman::new(&clen_lengths)?;
+
+    let mut lengths = vec![0u8; hlit + hdist];
+    let mut i = 0;
+    while i < lengths.len() {
+        let sym = clen.decode(r)?;
+        match sym {
+            0..=15 => {
+                lengths[i] = sym as u8;
+                i += 1;
+            }
+            16 => {
+                if i == 0 {
+                    return Err("length repeat with no previous length".into());
+                }
+                let prev = lengths[i - 1];
+                let reps = 3 + r.take(2)? as usize;
+                for _ in 0..reps {
+                    if i >= lengths.len() {
+                        return Err("length repeats overflow the tables".into());
+                    }
+                    lengths[i] = prev;
+                    i += 1;
+                }
+            }
+            17 | 18 => {
+                let reps = if sym == 17 {
+                    3 + r.take(3)? as usize
+                } else {
+                    11 + r.take(7)? as usize
+                };
+                if i + reps > lengths.len() {
+                    return Err("length repeats overflow the tables".into());
+                }
+                i += reps; // already zero
+            }
+            _ => return Err("invalid code-length symbol".into()),
+        }
+    }
+    if lengths[256] == 0 {
+        return Err("dynamic block has no end-of-block code".into());
+    }
+    let lit = Huffman::new(&lengths[..hlit])?;
+    let dist = Huffman::new(&lengths[hlit..])?;
+    Ok((lit, dist))
+}
+
+fn inflate_block(
+    r: &mut BitReader<'_>,
+    lit: &Huffman,
+    dist: &Huffman,
+    out: &mut Vec<u8>,
+) -> Result<(), String> {
+    loop {
+        let sym = lit.decode(r)?;
+        match sym {
+            0..=255 => out.push(sym as u8),
+            256 => return Ok(()),
+            257..=285 => {
+                let idx = sym as usize - 257;
+                let len =
+                    LENGTH_BASE[idx] as usize + r.take(u32::from(LENGTH_EXTRA[idx]))? as usize;
+                let dsym = dist.decode(r)? as usize;
+                if dsym >= 30 {
+                    return Err("invalid distance code".into());
+                }
+                let distance =
+                    DIST_BASE[dsym] as usize + r.take(u32::from(DIST_EXTRA[dsym]))? as usize;
+                if distance > out.len() {
+                    return Err("back-reference before start of output".into());
+                }
+                // Overlapping copies are the point (run-length encoding
+                // via distance < length), so copy byte by byte.
+                let from = out.len() - distance;
+                for i in 0..len {
+                    let byte = out[from + i];
+                    out.push(byte);
+                }
+            }
+            _ => return Err("invalid literal/length symbol".into()),
+        }
+    }
+}
+
+/// CRC-32 (IEEE, reflected 0xEDB88320) over `data` — the gzip trailer
+/// checksum.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    // Small table built on the fly; parsing dominates ingest, not CRC.
+    let mut table = [0u32; 256];
+    for (n, entry) in table.iter_mut().enumerate() {
+        let mut c = n as u32;
+        for _ in 0..8 {
+            c = if c & 1 == 1 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+        }
+        *entry = c;
+    }
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = table[((crc ^ u32::from(byte)) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// The two gzip magic bytes.
+pub(crate) const GZIP_MAGIC: [u8; 2] = [0x1F, 0x8B];
+
+/// Decompresses a complete gzip stream (one or more members, as
+/// produced by concatenating gzip files), validating each member's
+/// CRC32 and length trailer.
+pub fn gzip_decompress(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut out = Vec::new();
+    let mut rest = data;
+    if !rest.starts_with(&GZIP_MAGIC) {
+        return Err("missing gzip magic bytes".into());
+    }
+    while !rest.is_empty() {
+        rest = gzip_member(rest, &mut out)?;
+        if !rest.is_empty() && !rest.starts_with(&GZIP_MAGIC) {
+            return Err("trailing garbage after gzip member".into());
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes one member, appending to `out`; returns the remaining bytes.
+fn gzip_member<'a>(data: &'a [u8], out: &mut Vec<u8>) -> Result<&'a [u8], String> {
+    if data.len() < 10 {
+        return Err("truncated gzip header".into());
+    }
+    if data[0..2] != GZIP_MAGIC {
+        return Err("missing gzip magic bytes".into());
+    }
+    if data[2] != 8 {
+        return Err(format!("unsupported gzip compression method {}", data[2]));
+    }
+    let flg = data[3];
+    if flg & 0xE0 != 0 {
+        return Err("reserved gzip FLG bits set".into());
+    }
+    let mut pos = 10;
+    if flg & 0x04 != 0 {
+        // FEXTRA: u16 little-endian length, then the field.
+        if data.len() < pos + 2 {
+            return Err("truncated gzip FEXTRA".into());
+        }
+        let xlen = u16::from_le_bytes([data[pos], data[pos + 1]]) as usize;
+        pos += 2 + xlen;
+    }
+    for flag in [0x08u8, 0x10] {
+        // FNAME, FCOMMENT: zero-terminated strings.
+        if flg & flag != 0 {
+            let end = data[pos.min(data.len())..]
+                .iter()
+                .position(|&b| b == 0)
+                .ok_or_else(|| "unterminated gzip name/comment".to_string())?;
+            pos += end + 1;
+        }
+    }
+    if flg & 0x02 != 0 {
+        pos += 2; // FHCRC: header CRC16, not validated.
+    }
+    if pos > data.len() {
+        return Err("truncated gzip header fields".into());
+    }
+
+    let before = out.len();
+    let (inflated, consumed) = inflate(&data[pos..])?;
+    out.extend_from_slice(&inflated);
+    let trailer_at = pos + consumed;
+    if data.len() < trailer_at + 8 {
+        return Err("truncated gzip trailer".into());
+    }
+    let t = &data[trailer_at..trailer_at + 8];
+    let expect_crc = u32::from_le_bytes([t[0], t[1], t[2], t[3]]);
+    let expect_len = u32::from_le_bytes([t[4], t[5], t[6], t[7]]);
+    let member = &out[before..];
+    if crc32(member) != expect_crc {
+        return Err("gzip CRC32 mismatch".into());
+    }
+    if member.len() as u32 != expect_len {
+        return Err("gzip length (ISIZE) mismatch".into());
+    }
+    Ok(&data[trailer_at + 8..])
+}
+
+/// LSB-first bit writer, the mirror of [`BitReader`].
+struct BitWriter {
+    out: Vec<u8>,
+    bits: u32,
+    count: u32,
+}
+
+impl BitWriter {
+    fn new() -> Self {
+        BitWriter { out: Vec::new(), bits: 0, count: 0 }
+    }
+
+    fn put(&mut self, value: u32, n: u32) {
+        self.bits |= value << self.count;
+        self.count += n;
+        while self.count >= 8 {
+            self.out.push((self.bits & 0xFF) as u8);
+            self.bits >>= 8;
+            self.count -= 8;
+        }
+    }
+
+    /// Huffman codes are transmitted MSB first; reverse before writing.
+    fn put_code(&mut self, code: u32, n: u32) {
+        let mut rev = 0u32;
+        for i in 0..n {
+            rev |= ((code >> i) & 1) << (n - 1 - i);
+        }
+        self.put(rev, n);
+    }
+
+    fn finish(mut self) -> Vec<u8> {
+        if self.count > 0 {
+            self.out.push((self.bits & 0xFF) as u8);
+        }
+        self.out
+    }
+}
+
+/// Canonical code values for the fixed literal/length alphabet.
+fn fixed_literal_codes() -> Vec<(u32, u32)> {
+    let lengths = fixed_literal_lengths();
+    // Canonical assignment (RFC 1951 §3.2.2).
+    let mut bl_count = [0u32; MAX_BITS + 1];
+    for &l in &lengths {
+        bl_count[l as usize] += 1;
+    }
+    let mut next_code = [0u32; MAX_BITS + 1];
+    let mut code = 0;
+    for bits in 1..=MAX_BITS {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            let c = next_code[l as usize];
+            next_code[l as usize] += 1;
+            (c, u32::from(l))
+        })
+        .collect()
+}
+
+/// Greedy LZ77 + fixed-Huffman DEFLATE of `data` as a single final
+/// block.
+fn deflate_fixed(data: &[u8]) -> Vec<u8> {
+    const WINDOW: usize = 32 * 1024;
+    const MIN_MATCH: usize = 3;
+    const MAX_MATCH: usize = 258;
+    const HASH_BITS: u32 = 15;
+
+    let codes = fixed_literal_codes();
+    let mut w = BitWriter::new();
+    w.put(1, 1); // BFINAL
+    w.put(1, 2); // BTYPE = fixed Huffman
+
+    let hash = |p: usize| -> usize {
+        let v = u32::from(data[p])
+            | u32::from(data[p + 1]) << 8
+            | u32::from(data[p + 2]) << 16;
+        (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+    };
+    // Single-probe hash table of the most recent position for each
+    // 3-byte prefix; greedy matching is plenty for log text.
+    let mut head = vec![usize::MAX; 1 << HASH_BITS];
+
+    let emit_literal = |w: &mut BitWriter, byte: u8| {
+        let (code, len) = codes[byte as usize];
+        w.put_code(code, len);
+    };
+    let emit_match = |w: &mut BitWriter, length: usize, distance: usize| {
+        let li = LENGTH_BASE
+            .iter()
+            .rposition(|&b| b as usize <= length)
+            .expect("length >= 3");
+        // Code 284 covers 227..=257; 258 has its own code 285.
+        let li = if length == 258 { 28 } else { li.min(27) };
+        let (code, bits) = codes[257 + li];
+        w.put_code(code, bits);
+        w.put(
+            (length - LENGTH_BASE[li] as usize) as u32,
+            u32::from(LENGTH_EXTRA[li]),
+        );
+        let di = DIST_BASE
+            .iter()
+            .rposition(|&b| b as usize <= distance)
+            .expect("distance >= 1");
+        w.put_code(di as u32, 5);
+        w.put(
+            (distance - DIST_BASE[di] as usize) as u32,
+            u32::from(DIST_EXTRA[di]),
+        );
+    };
+
+    let mut pos = 0;
+    while pos < data.len() {
+        let mut matched = 0usize;
+        let mut match_dist = 0usize;
+        if pos + MIN_MATCH <= data.len() {
+            let h = hash(pos);
+            let candidate = head[h];
+            head[h] = pos;
+            if candidate != usize::MAX && pos - candidate <= WINDOW {
+                let limit = (data.len() - pos).min(MAX_MATCH);
+                let mut n = 0;
+                while n < limit && data[candidate + n] == data[pos + n] {
+                    n += 1;
+                }
+                if n >= MIN_MATCH {
+                    matched = n;
+                    match_dist = pos - candidate;
+                }
+            }
+        }
+        if matched >= MIN_MATCH {
+            emit_match(&mut w, matched, match_dist);
+            // Index the skipped positions so later matches can land in
+            // the middle of this run.
+            let end = (pos + matched).min(data.len().saturating_sub(MIN_MATCH - 1));
+            for p in pos + 1..end {
+                head[hash(p)] = p;
+            }
+            pos += matched;
+        } else {
+            emit_literal(&mut w, data[pos]);
+            pos += 1;
+        }
+    }
+    let (code, len) = codes[256];
+    w.put_code(code, len); // end of block
+    w.finish()
+}
+
+/// Compresses `data` into a standard single-member gzip stream
+/// (fixed-Huffman DEFLATE, zeroed MTIME, OS = unknown).
+pub fn gzip_compress(data: &[u8]) -> Vec<u8> {
+    let mut out = vec![
+        GZIP_MAGIC[0],
+        GZIP_MAGIC[1],
+        8,    // CM = deflate
+        0,    // FLG
+        0, 0, 0, 0, // MTIME
+        0,    // XFL
+        255,  // OS = unknown
+    ];
+    out.extend_from_slice(&deflate_fixed(data));
+    out.extend_from_slice(&crc32(data).to_le_bytes());
+    out.extend_from_slice(&(data.len() as u32).to_le_bytes());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"hello world"), 0x0D4A_1185);
+    }
+
+    #[test]
+    fn roundtrip_small_and_empty() {
+        for data in [&b""[..], b"a", b"abc", b"hello hello hello hello"] {
+            let gz = gzip_compress(data);
+            assert_eq!(gzip_decompress(&gz).unwrap(), data, "{data:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_repetitive_log_text_compresses() {
+        let line = b"12345,8760.25,4.5,GPU,539,0|1|2|3,\n";
+        let mut data = Vec::new();
+        for _ in 0..2000 {
+            data.extend_from_slice(line);
+        }
+        let gz = gzip_compress(&data);
+        assert!(
+            gz.len() * 3 < data.len(),
+            "repetitive text should compress >3x: {} vs {}",
+            gz.len(),
+            data.len()
+        );
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_incompressible_bytes() {
+        // SplitMix64 noise: matches are rare, mostly literals.
+        let mut state = 0x1234_5678u64;
+        let mut data = Vec::new();
+        for _ in 0..10_000 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            data.extend_from_slice(&(z ^ (z >> 31)).to_le_bytes());
+        }
+        let gz = gzip_compress(&data);
+        assert_eq!(gzip_decompress(&gz).unwrap(), data);
+    }
+
+    #[test]
+    fn decodes_stored_blocks() {
+        // Hand-built member: one stored block, "stored!".
+        let payload = b"stored!";
+        let mut gz = vec![0x1F, 0x8B, 8, 0, 0, 0, 0, 0, 0, 255];
+        gz.push(0b001); // BFINAL=1, BTYPE=00
+        gz.extend_from_slice(&(payload.len() as u16).to_le_bytes());
+        gz.extend_from_slice(&(!(payload.len() as u16)).to_le_bytes());
+        gz.extend_from_slice(payload);
+        gz.extend_from_slice(&crc32(payload).to_le_bytes());
+        gz.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+    }
+
+    #[test]
+    fn decodes_reference_dynamic_huffman_member() {
+        // Produced by zlib level 9 (dynamic-Huffman block, BTYPE=2) over
+        // 5323 bytes of varied fleet-log vocabulary — exercises the
+        // dynamic table reader against a real external encoder.
+        let gz = reference_gzip();
+        assert_eq!((gz[10] >> 1) & 3, 2, "vector must be a dynamic block");
+        let raw = gzip_decompress(&gz).unwrap();
+        assert_eq!(raw.len(), 5323);
+        assert!(raw.starts_with(b"multi970 failure404 icache49 node840"));
+        assert!(raw.ends_with(b"icache111 xid739"));
+        // And our own compressor round-trips the same content.
+        assert_eq!(gzip_decompress(&gzip_compress(&raw)).unwrap(), raw);
+    }
+
+    #[test]
+    fn multi_member_streams_concatenate() {
+        let mut gz = gzip_compress(b"first,");
+        gz.extend_from_slice(&gzip_compress(b"second"));
+        assert_eq!(gzip_decompress(&gz).unwrap(), b"first,second");
+    }
+
+    #[test]
+    fn skips_optional_header_fields() {
+        // FLG = FNAME | FCOMMENT | FEXTRA | FHCRC.
+        let payload = b"with headers";
+        let deflate_and_trailer = {
+            let full = gzip_compress(payload);
+            full[10..].to_vec()
+        };
+        let mut gz = vec![0x1F, 0x8B, 8, 0x1E, 0, 0, 0, 0, 0, 255];
+        gz.extend_from_slice(&3u16.to_le_bytes()); // FEXTRA len
+        gz.extend_from_slice(b"xyz");
+        gz.extend_from_slice(b"name.fslog\0");
+        gz.extend_from_slice(b"a comment\0");
+        gz.extend_from_slice(&[0xAB, 0xCD]); // FHCRC (unvalidated)
+        gz.extend_from_slice(&deflate_and_trailer);
+        assert_eq!(gzip_decompress(&gz).unwrap(), payload);
+    }
+
+    #[test]
+    fn rejects_corruption() {
+        let gz = gzip_compress(b"check me");
+        // Flip a payload bit: CRC must catch it (or the stream breaks).
+        let mut bad = gz.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x10;
+        assert!(gzip_decompress(&bad).is_err());
+        // Truncation.
+        assert!(gzip_decompress(&gz[..gz.len() - 3]).is_err());
+        assert!(gzip_decompress(&gz[..5]).is_err());
+        // Wrong magic / method / reserved flags.
+        assert!(gzip_decompress(b"not gzip at all").is_err());
+        let mut wrong_cm = gz.clone();
+        wrong_cm[2] = 7;
+        assert!(gzip_decompress(&wrong_cm).is_err());
+        let mut reserved = gz.clone();
+        reserved[3] = 0x80;
+        assert!(gzip_decompress(&reserved).is_err());
+        // Bad trailer CRC.
+        let mut bad_crc = gz.clone();
+        let n = bad_crc.len();
+        bad_crc[n - 8] ^= 0xFF;
+        assert!(gzip_decompress(&bad_crc).unwrap_err().contains("CRC32"));
+        // Trailing garbage.
+        let mut garbage = gz;
+        garbage.extend_from_slice(b"????");
+        assert!(gzip_decompress(&garbage).is_err());
+    }
+
+    /// The zlib-produced dynamic-Huffman reference member.
+    fn reference_gzip() -> Vec<u8> {
+        const HEX: &str = "1f8b08000000000002034d5859925c370ebc4a1d81000192384e4baa1977583d52b4a509fbf6c6cefaaaeeb790583213c9f7f1fbfbaf77d9e3f19fb7f7efbf3f9f34e8f1fef5edeb1f4f92c7ff7e7c7b1e1a8f8fe7c78fcf7f643d3eec69d63ffefbf3b74cc81b086217ce79fcf5fdc72fc2e32f222dffe5457e7d8dc7dfefdf78c7b2b6e5e7f3e7dbfbe722ce1d736116bdf5f6f54f1ab18f483e493b373cba48c68bfa8ead0e7d13305e9fc0f5f8ac1de070c424eccf2ca65c7b1ec868c7e3db97a7c6ecf7c17f10f4e2e7fbff9f9fcb8ae08bd2dc8f9f5fdf9f1321efb1061a7f4d4deed75fbfbfbc7d3c5177b0c7e090adbbe5e486674694a3e2e691f5dd5ab8580725c2d814b1615412d689adb9db26ccf90e695bac6aa772d65ad9c3bc2397338ef5c1c28edd20ff587aa31299fe0aad1d10d09a78cff4ff4c8b74792bd3893b0b3d3938757fe9152fa06cdb8d78d59d3da72721ba5d043835768b78cd2a9ffe95792dcc860d7f063122b3c2e4135b974e7868297de5e919f2081cc2aee61134624fbf7f66c0f6e8a5bae9b9916e1d85d1befabaa7200b1c0d81d30d408543a483baa0864a8a148d628dce059774f99a6e28b9ebdcc72b6604f9085272e738bc8a8c3b8aaa19656f79fb5ecbef1bb86c4bdd393a8e41c8ac0b69281635697b93e28a6b7d1d248a8c501d8015dc9d9441c59b412ccb3ea9a62b4689d073d60d757f84e8fd3c9dc0a24e5d34cf780712ef94a404f0f0a9694452d49a10aa612cb7dfad09077ab92147e202b3b5edb92b4754c6deaaf1b8252d22cb7499d9bb2ecc51d4314cf8761089addd0b756a7305c151374b2227e51928336528adc3108d33f277cf9203455b0943b4cb7aeb0b4fcc3b3c4733c4d5044377c7c595aa4afe090a066328249c28971316bb3e392b786a7518a585742ade491515a51409a68cac11281fcd62f4f51707ed0ed720010c1c9e01ae12ebf43e2de344946fa71a9d9038599e050d7ee1b05e901580d884b504ec661536049626152f5a81331e05a3a7a03aeb73a6a5d26ae3bb03172d594740adeac27a20eaba5298a6975354855e5251b080c2587f8e5455b1918ad03aca5000d8275933bb85cc81042b65eba137cf7e621ea56a9c493d979c06322b03d005f32fae89c8da12cb458af05b2e5755638d0f92838b5bc080aa984bd7d438006be9554220cd02aa7b942bed941919152b17124c810ac2a1f0308ab4b4660b736002621de2569fe2e5c27a0b4730e45486dcb70ed67c65286bb1af59906e8e50052a505d34dca746aa31f2699c5399940039bf6b125078935d2fafd3699e81510c3859e68015f7547c8133374f446a7b444fd0a684174315e56a77ca1737b7578c34aa014890b533bb905c5f39efc417b6fd150693daf0acd2e58dcefd29b906a3a497c1aad79929e99c1a46e9249a03dbb5595210e15666ef7967734cdea35b674af3ea3d3464999aaea720ba21054e8748f1294abdc71dbf3327df767bb1caf362fbb71346f1ecd53dec5b9924adac54a190b021b4e68b2ee4ed8db59694b112bc26c1eb62f5c86794fcb5185d69489ad86cab7a70756a9dd63fdc2df3ce78641f76e0e96e1ead7205516e7220d7f485b66a56feb40e2abce9da7b929a4eb9519262ac79706321967332cb9a44e2f08cb45a96c318a61d3c2a7ead3b6132c9adb98c9b32b538731896a5a3cbdc6d7801860a57e456f14aeecbe0acace1ce2403458edb7a6ceee4b848e9c5bc046a089b4d8d3972764063a690576d4fbdbe76bd8e6dab4c7afd80d5489babed4f1ca562f80e57ea39d645c8d5a918d7a7556fcf169aac0938d14d899cbd92a78ad0766b6b9fb1e24c3467b7ca417a62d2ed59b45f84695d7c489f3e2102d5237b37e68e9baa33c337c00af716c11c65af6d2952aa986985df6dbaac125d39a1a7663acd44aeda5043c9a04b43985aa0b9d5748f32d22e116132f8ea7f098cd4bb3c4f5a512f17bd487b1e80cfba6a17d0dd3d09503b9a2e2247d1e0002ea4472f5f85393d29bd3ff53923edfc8296b339e51ec0bc802f10372972fb1e7ed74e01fe73c79db4430aa7867839de22bab1a08b522e84760d9f9d5e5e7a9eda20aec2f488bae7c8f471a7ed8ab4e937fe199ab087ef4e5077fbf7ea6d561e2b60a662cfeef75573c933a14d307fdafbe0bb598b339ba0152c574cd9edb564b709bdd38a5ece7279a0310c462caa03d6d4e93e7d26d26da41a44c7ce53754de93d47ccc419e6bee1531f2768a493ce2f24759492d4051b9d5d6bd7103c3b3f1df8c970dfc174bf1d205ff3d5d37e62aba494251f75720f815676bb654f9723b3dde54b46f90d68c489ba3fa3607c94002a765a4a7d90db217fed5be7fd3c756a483420e705987d0b30de4ab51e57c4765576deaf1c7d8aae8331ecd68a5527e276346954781450118bbb82d987dd3cb0af433d996ae461da0ba8be71a27fb62398b7432623fef1293e83ed38e3531ea62840c2b3dfbc026400f3cecc1e3779789351c0ac21c04dd4954730b33576d845486bb46b0789daaf550c351350d1ae3cee047702c966af4c844e009f320c5313cb28dd426093c947366d69ff91071080feec728ff6b34f97003184e45f149ef097cb140000";
+        let mut bytes = Vec::with_capacity(HEX.len() / 2);
+        let hex = HEX.as_bytes();
+        let nibble = |c: u8| -> u8 {
+            match c {
+                b'0'..=b'9' => c - b'0',
+                b'a'..=b'f' => c - b'a' + 10,
+                _ => unreachable!("vector is lowercase hex"),
+            }
+        };
+        for pair in hex.chunks_exact(2) {
+            bytes.push(nibble(pair[0]) << 4 | nibble(pair[1]));
+        }
+        bytes
+    }
+}

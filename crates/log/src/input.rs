@@ -1,0 +1,304 @@
+//! Layered log input: magic-byte sniffing with transparent
+//! decompression.
+//!
+//! Fleet archives at the scale the paper's successors analyse (multi-GB
+//! job histories) are almost always stored compressed. [`InputReader`]
+//! opens a path, sniffs the leading magic bytes, and presents a
+//! [`BufRead`] over the *decoded* text — gzip members are inflated
+//! in-memory by the in-repo [`crate::inflate`] codec (no temp files,
+//! no external processes). Plain text passes straight through a
+//! [`BufReader`]. The zstd magic is recognised so the error message is
+//! precise, but decoding it is out of scope for now; the sniff table
+//! below is the single place a future decoder plugs into.
+//!
+//! Batch callers that want the whole decoded text at once (the chunked
+//! parallel parser needs a contiguous buffer to split) use
+//! [`read_input`].
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, Cursor, Read};
+use std::path::Path;
+
+use failtypes::{Error, Result};
+
+use crate::inflate;
+
+/// The zstd frame magic (little-endian 0xFD2FB528), recognised but not
+/// yet decoded.
+const ZSTD_MAGIC: [u8; 4] = [0x28, 0xB5, 0x2F, 0xFD];
+
+/// Compression detected on an input file, by magic bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Compression {
+    /// No recognised magic: treated as plain `failscope-log v1` text.
+    Plain,
+    /// RFC 1952 gzip (`1f 8b`), inflated transparently.
+    Gzip,
+    /// Zstandard frame (`28 b5 2f fd`): recognised so the error can say
+    /// so, but not yet decodable.
+    Zstd,
+}
+
+impl Compression {
+    /// Classifies a file by its leading bytes.
+    pub fn sniff(prefix: &[u8]) -> Compression {
+        if prefix.starts_with(&inflate::GZIP_MAGIC) {
+            Compression::Gzip
+        } else if prefix.starts_with(&ZSTD_MAGIC) {
+            Compression::Zstd
+        } else {
+            Compression::Plain
+        }
+    }
+
+    /// Human label used in errors and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            Compression::Plain => "plain",
+            Compression::Gzip => "gzip",
+            Compression::Zstd => "zstd",
+        }
+    }
+}
+
+/// A buffered reader over the decoded bytes of a log file, whatever
+/// the on-disk encoding.
+///
+/// Plain files stream through a [`BufReader`]; gzip files are inflated
+/// eagerly into memory and served from a cursor (gzip cannot be
+/// range-seeked, and the batch parser wants the whole buffer anyway).
+///
+/// # Examples
+///
+/// ```no_run
+/// use std::io::BufRead;
+///
+/// let mut reader = faillog::InputReader::open("fleet.fslog.gz")?;
+/// assert_eq!(reader.compression(), faillog::Compression::Gzip);
+/// let mut first = String::new();
+/// reader.read_line(&mut first)?;
+/// assert!(first.starts_with("# failscope-log v1"));
+/// # Ok::<(), failtypes::Error>(())
+/// ```
+#[derive(Debug)]
+pub struct InputReader {
+    source: Source,
+    compression: Compression,
+}
+
+#[derive(Debug)]
+enum Source {
+    File(BufReader<File>),
+    Memory(Cursor<Vec<u8>>),
+}
+
+impl InputReader {
+    /// Opens `path`, sniffing and transparently decoding compression.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] on I/O failure, corrupt gzip data, or a
+    /// recognised-but-unsupported encoding (zstd).
+    pub fn open(path: impl AsRef<Path>) -> Result<InputReader> {
+        Self::open_with_capacity(path, None)
+    }
+
+    /// [`InputReader::open`] with an explicit buffer capacity in bytes
+    /// for the plain-text path (`None` keeps the [`BufReader`]
+    /// default). Gzip input is fully in-memory, so capacity does not
+    /// apply there.
+    ///
+    /// # Errors
+    ///
+    /// See [`InputReader::open`].
+    pub fn open_with_capacity(
+        path: impl AsRef<Path>,
+        capacity: Option<usize>,
+    ) -> Result<InputReader> {
+        let file = File::open(path.as_ref())?;
+        let mut reader = match capacity {
+            Some(bytes) => BufReader::with_capacity(bytes.max(16), file),
+            None => BufReader::new(file),
+        };
+        // fill_buf peeks without consuming, so a plain-text reader
+        // starts from byte 0.
+        let compression = Compression::sniff(reader.fill_buf()?);
+        match compression {
+            Compression::Plain => Ok(InputReader {
+                source: Source::File(reader),
+                compression,
+            }),
+            Compression::Gzip => {
+                let mut raw = Vec::new();
+                reader.read_to_end(&mut raw)?;
+                let decoded = inflate::gzip_decompress(&raw).map_err(gzip_error)?;
+                Ok(InputReader {
+                    source: Source::Memory(Cursor::new(decoded)),
+                    compression,
+                })
+            }
+            Compression::Zstd => Err(zstd_unsupported()),
+        }
+    }
+
+    /// The compression detected on the underlying file.
+    pub fn compression(&self) -> Compression {
+        self.compression
+    }
+}
+
+impl Read for InputReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match &mut self.source {
+            Source::File(r) => r.read(buf),
+            Source::Memory(r) => r.read(buf),
+        }
+    }
+}
+
+impl BufRead for InputReader {
+    fn fill_buf(&mut self) -> io::Result<&[u8]> {
+        match &mut self.source {
+            Source::File(r) => r.fill_buf(),
+            Source::Memory(r) => r.fill_buf(),
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        match &mut self.source {
+            Source::File(r) => r.consume(amt),
+            Source::Memory(r) => r.consume(amt),
+        }
+    }
+}
+
+/// Reads a log file's full decoded text plus the compression it was
+/// stored with — the entry point for the chunked parallel parser,
+/// which splits one contiguous buffer.
+///
+/// # Errors
+///
+/// Same as [`InputReader::open`], plus invalid UTF-8 in the decoded
+/// stream.
+pub fn read_input(path: impl AsRef<Path>) -> Result<(String, Compression)> {
+    let raw = std::fs::read(path.as_ref())?;
+    let compression = Compression::sniff(&raw);
+    let bytes = match compression {
+        Compression::Plain => raw,
+        Compression::Gzip => inflate::gzip_decompress(&raw).map_err(gzip_error)?,
+        Compression::Zstd => return Err(zstd_unsupported()),
+    };
+    let text = String::from_utf8(bytes).map_err(|_| {
+        Error::io(
+            "decoding log input",
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                "stream did not contain valid UTF-8",
+            ),
+        )
+    })?;
+    Ok((text, compression))
+}
+
+fn gzip_error(msg: String) -> Error {
+    Error::io(
+        "inflating gzip input",
+        io::Error::new(io::ErrorKind::InvalidData, msg),
+    )
+}
+
+fn zstd_unsupported() -> Error {
+    Error::io(
+        "decoding log input",
+        io::Error::new(
+            io::ErrorKind::Unsupported,
+            "zstd-compressed input is not yet supported; recompress with gzip",
+        ),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("failscope-test-input");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn sniff_classifies_magic_bytes() {
+        assert_eq!(Compression::sniff(b"# failscope-log v1"), Compression::Plain);
+        assert_eq!(Compression::sniff(&[0x1F, 0x8B, 8, 0]), Compression::Gzip);
+        assert_eq!(
+            Compression::sniff(&[0x28, 0xB5, 0x2F, 0xFD, 0]),
+            Compression::Zstd
+        );
+        assert_eq!(Compression::sniff(b""), Compression::Plain);
+        assert_eq!(Compression::sniff(&[0x1F]), Compression::Plain);
+    }
+
+    #[test]
+    fn plain_file_reads_from_byte_zero() {
+        let path = tmp("plain.fslog", b"# failscope-log v1\nrest\n");
+        let mut r = InputReader::open(&path).unwrap();
+        assert_eq!(r.compression(), Compression::Plain);
+        let mut text = String::new();
+        r.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "# failscope-log v1\nrest\n");
+    }
+
+    #[test]
+    fn gzip_file_decodes_transparently() {
+        let body = b"# failscope-log v1\nline two\n";
+        let path = tmp("packed.fslog.gz", &inflate::gzip_compress(body));
+        let mut r = InputReader::open(&path).unwrap();
+        assert_eq!(r.compression(), Compression::Gzip);
+        let mut line = String::new();
+        r.read_line(&mut line).unwrap();
+        assert_eq!(line, "# failscope-log v1\n");
+        let (text, comp) = read_input(&path).unwrap();
+        assert_eq!(comp, Compression::Gzip);
+        assert_eq!(text.as_bytes(), body);
+    }
+
+    #[test]
+    fn corrupt_gzip_is_an_input_error() {
+        let mut bytes = inflate::gzip_compress(b"payload payload payload");
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let path = tmp("corrupt.fslog.gz", &bytes);
+        let err = InputReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains("gzip"), "{err}");
+        assert!(read_input(&path).is_err());
+    }
+
+    #[test]
+    fn zstd_is_recognised_but_unsupported() {
+        let path = tmp("future.fslog.zst", &[0x28, 0xB5, 0x2F, 0xFD, 0, 0, 0]);
+        let err = InputReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains("zstd"), "{err}");
+        let err = read_input(&path).unwrap_err();
+        assert!(err.to_string().contains("zstd"), "{err}");
+    }
+
+    #[test]
+    fn capacity_knob_still_decodes_correctly() {
+        let path = tmp("tiny-buf.fslog", b"abc\ndef\nghi\n");
+        let mut r = InputReader::open_with_capacity(&path, Some(1)).unwrap();
+        let mut text = String::new();
+        r.read_to_string(&mut text).unwrap();
+        assert_eq!(text, "abc\ndef\nghi\n");
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        assert!(InputReader::open("/definitely/not/here.fslog").is_err());
+        assert!(read_input("/definitely/not/here.fslog").is_err());
+    }
+}

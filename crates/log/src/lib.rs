@@ -32,13 +32,20 @@
 #![deny(unsafe_code)]
 
 mod csv;
+mod inflate;
+mod input;
 mod ops;
+mod parallel;
 mod stream;
 
 pub use csv::{from_str, read_log, to_string, write_log};
+pub use inflate::{gzip_compress, gzip_decompress};
+pub use input::{read_input, Compression, InputReader};
 pub use ops::{
-    anonymize_nodes, clip, load, load_traced, parse_time_bound, save, summarize, LogSummary, TimeRange,
+    anonymize_nodes, clip, load, load_traced, load_traced_with, load_with, parse_time_bound,
+    save, summarize, LogSummary, TimeRange,
 };
+pub use parallel::{from_str_with, ParseOptions, DEFAULT_CHUNK_BYTES};
 pub use stream::{parse_ndjson_row, record_to_ndjson, LogTailer};
 
 #[cfg(test)]

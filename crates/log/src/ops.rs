@@ -1,12 +1,12 @@
 //! Log operations: file helpers, anonymization, and quick summaries.
 
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::BufWriter;
 use std::path::Path;
 
 use failtypes::{Date, FailureLog, FailureRecord, Hours, NodeId, ObservationWindow};
 
-use crate::csv;
+use crate::{csv, ParseOptions};
 use failtypes::{Error, Result};
 
 /// An inclusive `[since, until]` filter over failure times, expressed
@@ -94,22 +94,42 @@ pub fn clip(log: &FailureLog, range: TimeRange) -> FailureLog {
 
 /// Writes a log to a file in the `failscope-log v1` format.
 ///
+/// A path ending in `.gz` is written gzip-compressed (by the in-repo
+/// codec), so `failctl generate --out fleet.fslog.gz` and the
+/// transparent reader compose without external tooling.
+///
 /// # Errors
 ///
 /// Returns [`Error`] on I/O failure.
 pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<()> {
+    let path = path.as_ref();
+    if path.extension().is_some_and(|e| e == "gz") {
+        let text = csv::to_string(log)?;
+        std::fs::write(path, crate::gzip_compress(text.as_bytes()))?;
+        return Ok(());
+    }
     let file = File::create(path)?;
     csv::write_log(BufWriter::new(file), log)
 }
 
-/// Reads a log from a file.
+/// Reads a log from a file with default [`ParseOptions`], sniffing and
+/// transparently decompressing gzip input.
 ///
 /// # Errors
 ///
 /// Returns [`Error`] on I/O failure or malformed content.
 pub fn load(path: impl AsRef<Path>) -> Result<FailureLog> {
-    let file = File::open(path)?;
-    csv::read_log(BufReader::new(file))
+    load_with(path, &ParseOptions::default())
+}
+
+/// [`load`] with explicit parse options (worker threads, chunk size).
+///
+/// # Errors
+///
+/// Same as [`load`].
+pub fn load_with(path: impl AsRef<Path>, opts: &ParseOptions) -> Result<FailureLog> {
+    let (text, _compression) = crate::read_input(path)?;
+    crate::from_str_with(&text, opts)
 }
 
 /// [`load`] with optional tracing: records a `log.parse` span and a
@@ -122,11 +142,28 @@ pub fn load_traced(
     path: impl AsRef<Path>,
     trace: Option<&failtrace::Collector>,
 ) -> Result<FailureLog> {
+    load_traced_with(path, trace, &ParseOptions::default())
+}
+
+/// [`load_with`] with optional tracing: records a `log.parse` span plus
+/// `parse.records`, `parse.chunks`, and `parse.chunk_bytes` counters
+/// into `trace`. Every counter depends only on the input and chunk
+/// size, so trace exports stay byte-identical across thread counts.
+///
+/// # Errors
+///
+/// Same as [`load`].
+pub fn load_traced_with(
+    path: impl AsRef<Path>,
+    trace: Option<&failtrace::Collector>,
+    opts: &ParseOptions,
+) -> Result<FailureLog> {
     let Some(trace) = trace else {
-        return load(path);
+        return load_with(path, opts);
     };
     let mut span = trace.span("log.parse");
-    let log = load(path)?;
+    let (text, _compression) = crate::read_input(path)?;
+    let log = crate::parallel::from_str_traced(&text, opts, Some(trace))?;
     span.add_items(log.len() as u64);
     trace.incr("parse.records", log.len() as u64);
     Ok(log)

@@ -1,0 +1,351 @@
+//! Chunked parallel parsing of `failscope-log v1` text.
+//!
+//! PR 5 pushed streaming analysis past 2M records/second, which left the
+//! serial line-by-line parser as the ingest bottleneck for fleet-scale
+//! archives. This module splits the body of a log into byte-range
+//! chunks snapped to line boundaries ([`failstats::line_chunks`]),
+//! parses each chunk on the shared [`failstats::par_map_ordered`]
+//! worker pool with the existing allocation-free row parser, and
+//! concatenates the per-chunk record vectors in declaration order.
+//!
+//! **Determinism contract:** output is byte-identical to the serial
+//! parser for every `threads` value and every `chunk_bytes` value —
+//! including errors. Chunk boundaries depend only on the input and
+//! `chunk_bytes`; results merge in declaration order; and when several
+//! chunks contain malformed rows, the error from the earliest chunk
+//! wins, with its line number remapped from chunk-relative to global
+//! (1-based, counting the header) before it is returned. The existing
+//! `csv` error tests run through this path unchanged.
+//!
+//! Worker count defaults to [`failstats::available_threads`]; `threads
+//! <= 1` or a single chunk short-circuits to a plain serial loop with
+//! no pool spin-up.
+
+use failstats::{available_threads, line_chunks, par_map_ordered};
+use failtypes::{Error, FailureLog, FailureRecord, Generation, ObservationWindow, Result, SystemSpec};
+
+use crate::csv::{parse_row, HeaderParser};
+
+/// Default chunk size for the parallel parser: large enough that chunk
+/// dispatch overhead vanishes, small enough that a year-scale log
+/// still fans out across every core.
+pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
+
+/// Tuning knobs for the chunked parallel parser.
+///
+/// The defaults parse with every available core and 1 MiB chunks;
+/// [`ParseOptions::serial`] pins a single-threaded pass. Any
+/// combination produces byte-identical output (see the module docs),
+/// so these only ever trade wall-clock time.
+///
+/// # Examples
+///
+/// ```
+/// use faillog::ParseOptions;
+///
+/// let opts = ParseOptions::new().threads(4).chunk_bytes(64 * 1024);
+/// assert_eq!(opts.threads, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseOptions {
+    /// Worker threads to parse with (`<= 1` means serial).
+    pub threads: usize,
+    /// Target bytes per chunk, snapped up to line boundaries (clamped
+    /// to at least 1).
+    pub chunk_bytes: usize,
+}
+
+impl Default for ParseOptions {
+    fn default() -> Self {
+        ParseOptions {
+            threads: available_threads(),
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+}
+
+impl ParseOptions {
+    /// The default options: all available cores, 1 MiB chunks.
+    pub fn new() -> Self {
+        ParseOptions::default()
+    }
+
+    /// Single-threaded options (the serial reference configuration).
+    pub fn serial() -> Self {
+        ParseOptions {
+            threads: 1,
+            chunk_bytes: DEFAULT_CHUNK_BYTES,
+        }
+    }
+
+    /// Returns the options with the worker count replaced.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the options with the chunk size replaced.
+    pub fn chunk_bytes(mut self, chunk_bytes: usize) -> Self {
+        self.chunk_bytes = chunk_bytes;
+        self
+    }
+}
+
+/// Parses a log with explicit [`ParseOptions`]; [`crate::from_str`] is
+/// this with the defaults.
+///
+/// # Errors
+///
+/// Identical to the serial parser, byte for byte: malformed headers,
+/// malformed rows (first in declaration order, global line numbers),
+/// and record-invariant violations.
+///
+/// # Examples
+///
+/// ```
+/// use failsim::{Simulator, SystemModel};
+///
+/// let log = Simulator::new(SystemModel::tsubame3(), 5).generate().unwrap();
+/// let text = faillog::to_string(&log)?;
+/// let opts = faillog::ParseOptions::new().threads(4).chunk_bytes(4096);
+/// assert_eq!(faillog::from_str_with(&text, &opts)?, log);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn from_str_with(s: &str, opts: &ParseOptions) -> Result<FailureLog> {
+    from_str_traced(s, opts, None)
+}
+
+/// [`from_str_with`] plus chunk instrumentation: records `parse.chunks`
+/// and `parse.chunk_bytes` counters. Both depend only on the input and
+/// chunk size — never on thread count — preserving the byte-identical
+/// trace guarantee.
+pub(crate) fn from_str_traced(
+    s: &str,
+    opts: &ParseOptions,
+    trace: Option<&failtrace::Collector>,
+) -> Result<FailureLog> {
+    let (generation, spec, window, header_lines, body_start) = parse_header(s)?;
+    let body = &s[body_start..];
+
+    let chunks = line_chunks(body.as_bytes(), opts.chunk_bytes);
+    if let Some(trace) = trace {
+        trace.incr("parse.chunks", chunks.len() as u64);
+        trace.incr("parse.chunk_bytes", body.len() as u64);
+    }
+
+    let outcomes = par_map_ordered(chunks.len(), opts.threads, |i| {
+        parse_chunk(&body[chunks[i].clone()], generation, &spec, window)
+    });
+
+    // Declaration-order merge. The first erroring chunk wins; every
+    // chunk before it completed, so their line counts are known and the
+    // chunk-relative error line remaps exactly onto the serial parser's
+    // global number.
+    let mut records = Vec::new();
+    let mut lines_before = header_lines;
+    for outcome in outcomes {
+        match outcome {
+            Ok((mut chunk_records, chunk_lines)) => {
+                records.append(&mut chunk_records);
+                lines_before += chunk_lines;
+            }
+            Err(err) => return Err(offset_error_line(err, lines_before)),
+        }
+    }
+    Ok(FailureLog::with_spec(generation, spec, window, records)?)
+}
+
+/// Serially parses the header block. Returns the metadata plus the
+/// number of lines the header occupies and the byte offset where the
+/// body begins.
+fn parse_header(
+    s: &str,
+) -> Result<(Generation, SystemSpec, ObservationWindow, usize, usize)> {
+    let mut header = HeaderParser::new();
+    let mut offset = 0usize;
+    for (lines, raw) in s.split_inclusive('\n').enumerate() {
+        offset += raw.len();
+        if header.feed(lines, raw)? {
+            let (generation, spec, window) = header.finish()?;
+            return Ok((generation, spec, window, lines + 1, offset));
+        }
+    }
+    Err(Error::Header("unexpected end of file".into()))
+}
+
+/// Parses one chunk with chunk-relative 1-based line numbers. Returns
+/// the records plus the number of lines in the chunk (blank lines
+/// included — they advance the global numbering).
+fn parse_chunk(
+    chunk: &str,
+    generation: Generation,
+    spec: &SystemSpec,
+    window: ObservationWindow,
+) -> Result<(Vec<FailureRecord>, usize)> {
+    let mut records = Vec::new();
+    let mut lines = 0usize;
+    for raw in chunk.split_inclusive('\n') {
+        lines += 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let rec = parse_row(lines, line, generation)?;
+        rec.validate(generation, spec, window)
+            .map_err(|e| Error::invalid_row(lines, e))?;
+        records.push(rec);
+    }
+    Ok((records, lines))
+}
+
+/// Shifts a chunk-relative row error to its global line number. Only
+/// the row-shaped variants carry a line; anything else passes through.
+fn offset_error_line(err: Error, delta: usize) -> Error {
+    match err {
+        Error::Row {
+            line,
+            field,
+            message,
+        } => Error::Row {
+            line: line + delta,
+            field,
+            message,
+        },
+        Error::InvalidRow { line, error } => Error::InvalidRow {
+            line: line + delta,
+            error,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::parse_serial;
+    use failsim::{Simulator, SystemModel};
+
+    fn t3_text() -> String {
+        let log = Simulator::new(SystemModel::tsubame3(), 31).generate().unwrap();
+        crate::to_string(&log).unwrap()
+    }
+
+    #[test]
+    fn matches_serial_oracle_across_threads_and_chunks() {
+        let text = t3_text();
+        let oracle = parse_serial(&text).unwrap();
+        for threads in [1, 2, 3, 4, 8] {
+            for chunk_bytes in [1, 64, 4096, DEFAULT_CHUNK_BYTES, usize::MAX] {
+                let opts = ParseOptions::new().threads(threads).chunk_bytes(chunk_bytes);
+                let parsed = from_str_with(&text, &opts).unwrap();
+                assert_eq!(
+                    parsed, oracle,
+                    "threads = {threads}, chunk_bytes = {chunk_bytes}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_from_str_goes_through_the_chunked_path() {
+        let text = t3_text();
+        assert_eq!(crate::from_str(&text).unwrap(), parse_serial(&text).unwrap());
+    }
+
+    #[test]
+    fn error_lines_are_global_at_any_chunk_size() {
+        // Header is 7 lines; rows start at line 8.
+        let mut text = t3_text();
+        text.push_str("0,1.0,zz,GPU,0,,\n");
+        let total_lines = text.lines().count();
+        let serial_err = parse_serial(&text).unwrap_err();
+        assert_eq!(serial_err.line(), Some(total_lines));
+        for chunk_bytes in [1, 17, 256, 4096, usize::MAX] {
+            for threads in [1, 3] {
+                let opts = ParseOptions::new().threads(threads).chunk_bytes(chunk_bytes);
+                let err = from_str_with(&text, &opts).unwrap_err();
+                assert_eq!(
+                    err.to_string(),
+                    serial_err.to_string(),
+                    "chunk_bytes = {chunk_bytes}, threads = {threads}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn first_error_in_declaration_order_wins() {
+        // Two bad rows far apart; with 1-byte chunks they land in
+        // different chunks, and every thread count must report the
+        // earlier one.
+        let mut text = t3_text();
+        let insert_at = text.find("\n100,").unwrap() + 1;
+        text.insert_str(insert_at, "9999,bad-time,1.0,GPU,0,,\n");
+        text.push_str("0,1.0,1.0,NotACategory,0,,\n");
+        let serial_err = parse_serial(&text).unwrap_err();
+        assert!(serial_err.to_string().contains("time"), "{serial_err}");
+        for threads in [1, 2, 4] {
+            let opts = ParseOptions::new().threads(threads).chunk_bytes(1);
+            let err = from_str_with(&text, &opts).unwrap_err();
+            assert_eq!(err.to_string(), serial_err.to_string(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn invariant_violations_keep_global_lines_too() {
+        let header = "# failscope-log v1\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\nid,time_h,ttr_h,category,node,gpus,locus\n";
+        let mut text = String::from(header);
+        for i in 0..50 {
+            text.push_str(&format!("{i},1.5,1.0,GPU,0,,\n"));
+        }
+        text.push_str("50,1.0,1.0,GPU,99999,,\n"); // node out of range, line 55
+        for chunk_bytes in [1, 32, usize::MAX] {
+            let opts = ParseOptions::new().threads(4).chunk_bytes(chunk_bytes);
+            let err = from_str_with(&text, &opts).unwrap_err();
+            assert!(
+                matches!(err, Error::InvalidRow { line: 55, .. }),
+                "chunk_bytes = {chunk_bytes}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn blank_lines_and_missing_trailing_newline() {
+        let header = "# failscope-log v1\n# generation: Tsubame-3\n# window: 2017-05-09..2020-02-22\nid,time_h,ttr_h,category,node,gpus,locus\n";
+        // Blank lines between rows, no trailing newline on the last row.
+        let text = format!("{header}\n0,1.0,1.0,GPU,0,0|2,\n\n1,2.0,1.0,GPU,1,,");
+        let oracle = parse_serial(&text).unwrap();
+        assert_eq!(oracle.len(), 2);
+        for chunk_bytes in [1, 3, usize::MAX] {
+            let opts = ParseOptions::new().threads(4).chunk_bytes(chunk_bytes);
+            assert_eq!(from_str_with(&text, &opts).unwrap(), oracle);
+        }
+    }
+
+    #[test]
+    fn header_errors_are_unchanged() {
+        assert!(matches!(
+            from_str_with("nope", &ParseOptions::default()),
+            Err(Error::Header(_))
+        ));
+        assert!(matches!(
+            from_str_with("# failscope-log v1\n# generation: Tsubame-3\n", &ParseOptions::default()),
+            Err(Error::Header(_))
+        ));
+    }
+
+    #[test]
+    fn chunk_counters_are_thread_invariant() {
+        let text = t3_text();
+        let export = |threads: usize| {
+            let trace = failtrace::Collector::new();
+            let opts = ParseOptions::new().threads(threads).chunk_bytes(512);
+            from_str_traced(&text, &opts, Some(&trace)).unwrap();
+            trace.export()
+        };
+        let one = export(1);
+        assert_eq!(one, export(4));
+        assert!(one.contains("parse.chunks"), "{one}");
+        assert!(one.contains("parse.chunk_bytes"), "{one}");
+    }
+}

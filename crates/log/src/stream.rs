@@ -20,8 +20,7 @@
 //! ```
 
 use std::fmt;
-use std::fs::File;
-use std::io::{BufRead, BufReader};
+use std::io::BufRead;
 use std::path::Path;
 use std::str::FromStr;
 
@@ -315,16 +314,40 @@ pub struct LogTailer<R> {
     window: ObservationWindow,
 }
 
-impl LogTailer<BufReader<File>> {
-    /// Opens a log file for tailing.
+impl LogTailer<crate::InputReader> {
+    /// Opens a log file for tailing through the layered
+    /// [`crate::InputReader`], so a gzip-compressed replay file tails
+    /// exactly like plain text (decoded in-memory, no temp file).
+    ///
+    /// Follow-mode polling only observes appended bytes on *plain*
+    /// files — a gzip member is decoded once at open, so callers that
+    /// follow live growth should check [`crate::InputReader::compression`]
+    /// (as `failctl watch --follow` does) and reject compressed input.
     ///
     /// # Errors
     ///
-    /// Returns [`Error`] if the file cannot be opened or its
-    /// header is incomplete or malformed.
+    /// Returns [`Error`] if the file cannot be opened or decoded, or
+    /// its header is incomplete or malformed.
     pub fn open(path: impl AsRef<Path>) -> Result<Self> {
-        let file = File::open(path)?;
-        LogTailer::new(BufReader::new(file))
+        Self::open_with_capacity(path, None)
+    }
+
+    /// [`LogTailer::open`] with an explicit read-buffer capacity in
+    /// bytes for plain files (`--parse-chunk` on the watch CLI).
+    ///
+    /// # Errors
+    ///
+    /// See [`LogTailer::open`].
+    pub fn open_with_capacity(
+        path: impl AsRef<Path>,
+        capacity: Option<usize>,
+    ) -> Result<Self> {
+        LogTailer::new(crate::InputReader::open_with_capacity(path, capacity)?)
+    }
+
+    /// The compression detected on the underlying file.
+    pub fn compression(&self) -> crate::Compression {
+        self.reader.compression()
     }
 }
 

@@ -73,7 +73,7 @@ pub use htest::{
 };
 pub use ks::{ks_test_dist, ks_test_two_sample, KsTest};
 pub use logrank::{log_rank, LogRankTest};
-pub use parallel::{available_threads, par_map_ordered};
+pub use parallel::{available_threads, line_chunks, par_map_ordered};
 pub use rate::{chi_square_quantile, poisson_rate_ci, RateInterval};
 pub use survival::{HazardStep, KaplanMeier, Lifetime, NelsonAalen, SurvivalStep};
 

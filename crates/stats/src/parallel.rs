@@ -16,6 +16,50 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// Splits `data` into contiguous byte ranges of roughly `chunk_bytes`
+/// each, snapped forward to line boundaries: every range except
+/// possibly the last ends immediately after a `\n`, so no line is ever
+/// split across two chunks.
+///
+/// Boundaries depend only on the input bytes and `chunk_bytes` — never
+/// on thread count — so a chunked parallel pass over the ranges is
+/// deterministic. The ranges partition `0..data.len()` exactly;
+/// `chunk_bytes` is clamped to at least 1 (a 1-byte request yields one
+/// chunk per line).
+///
+/// # Examples
+///
+/// ```
+/// let text = b"alpha\nbeta\ngamma\n";
+/// let chunks = failstats::line_chunks(text, 7);
+/// assert_eq!(chunks, vec![0..11, 11..17]);
+/// let rebuilt: Vec<u8> = chunks
+///     .into_iter()
+///     .flat_map(|r| text[r].to_vec())
+///     .collect();
+/// assert_eq!(rebuilt, text);
+/// ```
+pub fn line_chunks(data: &[u8], chunk_bytes: usize) -> Vec<std::ops::Range<usize>> {
+    let step = chunk_bytes.max(1);
+    let mut chunks = Vec::new();
+    let mut start = 0;
+    while start < data.len() {
+        let mut end = start.saturating_add(step).min(data.len());
+        if end < data.len() {
+            // Snap forward so the chunk ends just after a newline. When
+            // `end` already sits on one (previous byte is `\n`), the
+            // search matches at offset 0 and the boundary stays put.
+            end = match data[end - 1..].iter().position(|&b| b == b'\n') {
+                Some(offset) => end + offset,
+                None => data.len(),
+            };
+        }
+        chunks.push(start..end);
+        start = end;
+    }
+    chunks
+}
+
 /// Maps `f` over `0..count` with up to `threads` workers, returning the
 /// results in index order.
 ///
@@ -83,6 +127,31 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn line_chunks_partition_and_respect_newlines() {
+        let text = b"a\nbb\nccc\ndddd\neeeee\nno-trailing-newline";
+        for chunk_bytes in [1, 2, 3, 5, 8, 100, usize::MAX] {
+            let chunks = line_chunks(text, chunk_bytes);
+            // Exact partition of the input.
+            let mut expected_start = 0;
+            for r in &chunks {
+                assert_eq!(r.start, expected_start, "chunk_bytes = {chunk_bytes}");
+                assert!(r.end > r.start);
+                expected_start = r.end;
+            }
+            assert_eq!(expected_start, text.len());
+            // Every boundary except the final one follows a newline.
+            for r in &chunks[..chunks.len() - 1] {
+                assert_eq!(text[r.end - 1], b'\n', "chunk_bytes = {chunk_bytes}");
+            }
+        }
+        // One chunk per line at the smallest size.
+        assert_eq!(line_chunks(text, 1).len(), 6);
+        assert_eq!(line_chunks(b"", 4), Vec::<std::ops::Range<usize>>::new());
+        // A boundary landing exactly on a newline stays put.
+        assert_eq!(line_chunks(b"ab\ncd\n", 3), vec![0..3, 3..6]);
+    }
 
     #[test]
     fn matches_serial_for_every_thread_count() {

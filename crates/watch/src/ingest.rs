@@ -14,11 +14,9 @@
 //!   scenario the acceptance tests alert on.
 
 use std::collections::VecDeque;
-use std::fs::File;
-use std::io::BufReader;
 use std::path::Path;
 
-use faillog::LogTailer;
+use faillog::{Compression, InputReader, LogTailer};
 use failsim::{ReplayClock, Simulator, SystemModel};
 use failtypes::{
     FailureRecord, Generation, Hours, ObservationWindow, Result, StreamEvent, SystemSpec,
@@ -74,9 +72,16 @@ pub trait EventSource {
 }
 
 /// Tails a `failscope-log v1` file (see the module docs).
+///
+/// Files open through the layered [`InputReader`], so a
+/// gzip-compressed replay (`.fslog.gz`) streams exactly like plain
+/// text in non-follow mode. Follow mode polls the file for appended
+/// bytes, which only plain text supports — a gzip member is decoded
+/// once at open — so `--follow` on compressed input is rejected at
+/// open time.
 #[derive(Debug)]
 pub struct TailSource {
-    tailer: LogTailer<BufReader<File>>,
+    tailer: LogTailer<InputReader>,
     path: String,
     follow: bool,
     done: bool,
@@ -88,10 +93,32 @@ impl TailSource {
     /// # Errors
     ///
     /// Returns [`failtypes::Error::Io`] when the file cannot be opened
-    /// and a parse variant when its header is incomplete.
+    /// or decoded, a parse variant when its header is incomplete, and
+    /// [`failtypes::Error::Args`] for `follow` on compressed input.
     pub fn open(path: impl AsRef<Path>, follow: bool) -> Result<Self> {
+        Self::open_with_capacity(path, follow, None)
+    }
+
+    /// [`TailSource::open`] with an explicit read-buffer capacity in
+    /// bytes for plain files (`failctl watch --parse-chunk`).
+    ///
+    /// # Errors
+    ///
+    /// See [`TailSource::open`].
+    pub fn open_with_capacity(
+        path: impl AsRef<Path>,
+        follow: bool,
+        capacity: Option<usize>,
+    ) -> Result<Self> {
         let display = path.as_ref().display().to_string();
-        let tailer = LogTailer::open(path)?;
+        let tailer = LogTailer::open_with_capacity(path, capacity)?;
+        if follow && tailer.compression() != Compression::Plain {
+            return Err(failtypes::Error::args(format!(
+                "--follow requires plain text, but `{display}` is {}-compressed \
+                 (appended bytes cannot be observed through a compressed member)",
+                tailer.compression().label()
+            )));
+        }
         Ok(TailSource {
             tailer,
             path: display,
@@ -377,6 +404,33 @@ mod tests {
         }
         assert_eq!(records, log.len());
         assert!(src.describe().contains("follow"));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn gzip_replay_streams_like_plain_text() {
+        let log = Simulator::new(SystemModel::tsubame3(), 9).generate().unwrap();
+        let dir = std::env::temp_dir().join("failscope-test-watch-ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("replay.fslog.gz");
+        faillog::save(&path, &log).unwrap();
+        let mut src = TailSource::open(&path, false).unwrap();
+        assert_eq!(src.generation(), log.generation());
+        let records = drain(&mut src);
+        assert_eq!(records.as_slice(), log.records());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn follow_on_gzip_input_is_rejected() {
+        let log = Simulator::new(SystemModel::tsubame2(), 9).generate().unwrap();
+        let dir = std::env::temp_dir().join("failscope-test-watch-ingest");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("follow.fslog.gz");
+        faillog::save(&path, &log).unwrap();
+        let err = TailSource::open(&path, true).unwrap_err();
+        assert!(matches!(err, failtypes::Error::Args(_)), "{err}");
+        assert!(err.to_string().contains("--follow"), "{err}");
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -30,6 +30,41 @@ if [ "$stream_rate" -lt "$stream_floor" ]; then
     exit 1
 fi
 
+# Parse-path gate: the chunked parallel parser sustains ~2.4M
+# records/second on the ~110k-record scaled year (one container core);
+# fail if it regresses below half that. `repro bench` also verifies the
+# parallel parse is byte-identical to serial before reporting a rate.
+cargo run -q -p failbench --bin repro --release -- bench
+parse_floor=1150000
+parse_rate=$(sed -n 's/.*"parse_records_per_second":\([0-9]*\).*/\1/p' \
+    BENCH_pipeline.json)
+if [ -z "$parse_rate" ]; then
+    echo "verify: parse_records_per_second missing from BENCH_pipeline.json" >&2
+    exit 1
+fi
+if [ "$parse_rate" -lt "$parse_floor" ]; then
+    echo "verify: parse throughput regressed: $parse_rate rec/s < floor $parse_floor" >&2
+    exit 1
+fi
+
+# Gzip ingest smoke: the same log written plain and as .fslog.gz must
+# produce byte-identical reports (input is sniffed by magic bytes and
+# inflated in memory — no temp files, no external tooling).
+gz_dir=$(mktemp -d)
+cargo run -q --release -p failctl -- \
+    generate --system tsubame2 --out "$gz_dir/smoke.fslog" >/dev/null
+cargo run -q --release -p failctl -- \
+    generate --system tsubame2 --out "$gz_dir/smoke.fslog.gz" >/dev/null
+cargo run -q --release -p failctl -- report "$gz_dir/smoke.fslog" \
+    > "$gz_dir/plain.txt"
+cargo run -q --release -p failctl -- report "$gz_dir/smoke.fslog.gz" \
+    > "$gz_dir/packed.txt"
+cmp -s "$gz_dir/plain.txt" "$gz_dir/packed.txt" || {
+    echo "verify: gzip report differs from the plain-text report" >&2
+    exit 1
+}
+rm -rf "$gz_dir"
+
 watch_trace=$(mktemp)
 smoke=$(cargo run -q --release -p failctl -- \
     watch sim:tsubame2 --accel max --inject-mttr 5 --trace "$watch_trace")
@@ -96,4 +131,4 @@ fi
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "verify: build + tests + clippy + streaming gate + json gate + trace gate + docs all green"
+echo "verify: build + tests + clippy + streaming gate + parse gate + gzip smoke + json gate + trace gate + docs all green"

@@ -1,0 +1,175 @@
+//! Cross-crate guarantees for the chunked ingest pipeline: the parallel
+//! parser is byte-identical to the serial one at any thread count and
+//! chunk size (including chunks smaller than a single line), parse
+//! errors carry global line numbers regardless of where chunk
+//! boundaries fall, and gzip round trips preserve the canonical seed
+//! logs exactly.
+
+use proptest::prelude::*;
+
+use failsim::{ScenarioBuilder, Simulator, SystemModel};
+use failtypes::FailureLog;
+use faillog::ParseOptions;
+
+/// A small-but-real corpus: the canonical Tsubame-2 log (897 records)
+/// serialized to `failscope-log v1` text.
+fn t2_text() -> String {
+    let log = Simulator::new(SystemModel::tsubame2(), 5)
+        .generate()
+        .expect("calibrated model simulates");
+    faillog::to_string(&log).expect("serializes")
+}
+
+fn t3_log() -> FailureLog {
+    Simulator::new(SystemModel::tsubame3(), 43)
+        .generate()
+        .expect("calibrated model simulates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    // Serial and parallel parses of the same text are equal for
+    // arbitrary thread counts and chunk sizes — including chunk sizes
+    // of a single byte, far smaller than any one line.
+    #[test]
+    fn parallel_parse_is_byte_identical_to_serial(
+        threads in 1usize..=4,
+        chunk_bytes in (0usize..5, 1usize..8192).prop_map(|(pick, random)| match pick {
+            0 => 1,
+            1 => 7,
+            2 => random,
+            3 => faillog::DEFAULT_CHUNK_BYTES,
+            _ => usize::MAX,
+        }),
+        // Vary the corpus itself too: a sub-slice of the fleet keeps
+        // the simulation cheap while changing record mix and length.
+        nodes in 8u32..64,
+        seed in 0u64..32,
+    ) {
+        let model = ScenarioBuilder::new("prop-ingest")
+            .nodes(nodes)
+            .gpus_per_node(4)
+            .system_mtbf_hours(40.0)
+            .window_days(90)
+            .build()
+            .expect("scenario parameters are valid");
+        let log = Simulator::new(model, seed).generate().expect("simulates");
+        let text = faillog::to_string(&log).expect("serializes");
+
+        let serial = faillog::from_str_with(&text, &ParseOptions::serial())
+            .expect("serial parse succeeds");
+        let opts = ParseOptions::new().threads(threads).chunk_bytes(chunk_bytes);
+        let parallel = faillog::from_str_with(&text, &opts).expect("parallel parse succeeds");
+
+        prop_assert_eq!(serial.len(), log.len());
+        prop_assert_eq!(&parallel, &serial);
+        // Byte-identical end to end: re-serialization agrees too.
+        prop_assert_eq!(
+            faillog::to_string(&parallel).expect("serializes"),
+            text
+        );
+    }
+
+    // A corrupted row reports the same global 1-based line number at
+    // every chunk size, even when the boundary splits the bad line.
+    #[test]
+    fn error_lines_are_chunk_invariant(
+        chunk_bytes in (0usize..3, 1usize..4096).prop_map(|(pick, random)| match pick {
+            0 => 1,
+            1 => random,
+            _ => usize::MAX,
+        }),
+        threads in 1usize..=4,
+    ) {
+        let mut text = t2_text();
+        // Corrupt a row mid-file: drop a field from the 300th body row.
+        let body_start = text.find("\n1,").expect("first body row") + 1;
+        let mut rows: Vec<&str> = text[body_start..].lines().collect();
+        let expected_line = text[..body_start].lines().count() + 300;
+        rows[299] = "300,bad-row";
+        let header = text[..body_start].to_string();
+        text = header + &rows.join("\n") + "\n";
+
+        let opts = ParseOptions::new().threads(threads).chunk_bytes(chunk_bytes);
+        let err = faillog::from_str_with(&text, &opts).expect_err("corrupt row must fail");
+        match err {
+            failtypes::Error::Row { line, .. } => prop_assert_eq!(line, expected_line),
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+}
+
+/// When several rows are bad, the first one in declaration order wins —
+/// not whichever chunk's worker finishes first.
+#[test]
+fn first_error_in_declaration_order_wins_across_chunks() {
+    let mut text = t2_text();
+    let body_start = text.find("\n1,").expect("first body row") + 1;
+    let mut rows: Vec<&str> = text[body_start..].lines().collect();
+    let first_bad = text[..body_start].lines().count() + 100;
+    rows[99] = "100,bad";
+    rows[700] = "701,also-bad";
+    let header = text[..body_start].to_string();
+    text = header + &rows.join("\n") + "\n";
+
+    for chunk_bytes in [1, 64, 4096, faillog::DEFAULT_CHUNK_BYTES] {
+        for threads in [1, 4] {
+            let opts = ParseOptions::new().threads(threads).chunk_bytes(chunk_bytes);
+            let err = faillog::from_str_with(&text, &opts).expect_err("corrupt rows must fail");
+            match err {
+                failtypes::Error::Row { line, .. } => assert_eq!(
+                    line, first_bad,
+                    "chunk_bytes={chunk_bytes} threads={threads}"
+                ),
+                other => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+}
+
+/// Gzip round trip on both canonical seed logs: compress, decompress,
+/// reparse, and compare against the original log — plus an on-disk
+/// `.fslog.gz` save/load cycle with no external tooling.
+#[test]
+fn gzip_round_trips_the_canonical_seed_logs() {
+    let t2 = Simulator::new(SystemModel::tsubame2(), 42)
+        .generate()
+        .expect("simulates");
+    for (name, log) in [("t2", &t2), ("t3", &t3_log())] {
+        let text = faillog::to_string(log).expect("serializes");
+        let packed = faillog::gzip_compress(text.as_bytes());
+        assert!(packed.len() < text.len(), "{name}: gzip must shrink the log");
+        let unpacked = faillog::gzip_decompress(&packed).expect("inflates");
+        assert_eq!(unpacked, text.as_bytes(), "{name}: gzip round trip");
+
+        let reparsed = faillog::from_str(&text).expect("parses");
+        let via_gzip =
+            faillog::from_str(std::str::from_utf8(&unpacked).expect("utf8")).expect("parses");
+        assert_eq!(via_gzip, reparsed, "{name}: parse equality through gzip");
+
+        let dir = std::env::temp_dir().join(format!("failsuite-gz-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("log.fslog.gz");
+        faillog::save(&path, log).expect("saves gzip");
+        let magic = &std::fs::read(&path).expect("read")[..2];
+        assert_eq!(magic, [0x1F, 0x8B], "{name}: .gz extension writes gzip");
+        let loaded = faillog::load(&path).expect("loads gzip transparently");
+        assert_eq!(&loaded, log, "{name}: save/load through .fslog.gz");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// The parallel default path and an explicit serial parse agree on the
+/// canonical golden logs used elsewhere in the suite.
+#[test]
+fn canonical_logs_parse_identically_on_every_path() {
+    for text in [t2_text(), faillog::to_string(&t3_log()).expect("serializes")] {
+        let serial = faillog::from_str_with(&text, &ParseOptions::serial()).expect("parses");
+        let default = faillog::from_str(&text).expect("parses");
+        let tiny = faillog::from_str_with(&text, &ParseOptions::new().threads(3).chunk_bytes(1))
+            .expect("parses");
+        assert_eq!(default, serial);
+        assert_eq!(tiny, serial);
+    }
+}
