@@ -263,6 +263,95 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("identical_output", parse_identical)
         .build();
 
+    // Snapshot-path bench: persist the same scaled year's index as a
+    // `.fsidx` snapshot, then time the cold path (parse + build the
+    // index) against the warm path (validate + decode the snapshot),
+    // and the same comparison end-to-end through the nine analysis
+    // sections. Warm output is verified byte-identical to cold before
+    // any speedup is reported; the render stage is shared by both
+    // sides, so the load-stage speedup is what `.fsidx` actually buys
+    // (and what scripts/verify.sh gates on).
+    const ANALYSIS_SECTIONS: &str =
+        "header,categories,spatial,involvement,tbf,ttr,availability,survival,seasonal";
+    let idx_dir = std::env::temp_dir().join("failbench-index-bench");
+    std::fs::create_dir_all(&idx_dir).expect("temp dir");
+    let idx_path = idx_dir.join("year.fslog");
+    std::fs::write(&idx_path, &parse_text).expect("writes bench log");
+    let snapshot_bytes = failindex::save(
+        failindex::snapshot_path(&idx_path),
+        &LogView::new(&parse_log),
+        failindex::SourceInfo::of_bytes(parse_text.as_bytes()),
+    )
+    .expect("saves snapshot");
+    let idx_sections = failscope::select_sections(ANALYSIS_SECTIONS).expect("valid sections");
+    let open_warm = || match failindex::open_indexed(&idx_path, None).expect("opens") {
+        failindex::IndexedLoad::Exact(snap) => snap,
+        other => panic!("bench snapshot must hit exactly, got {other:?}"),
+    };
+    let cold_render = {
+        let view = LogView::new(&parse_log);
+        failscope::render_text_sections(&idx_sections, &SectionCtx::new(&view), threads)
+    };
+    let warm_render = {
+        let snap = open_warm();
+        failscope::render_text_sections(&idx_sections, &SectionCtx::new(&snap), threads)
+    };
+    let index_identical = warm_render == cold_render;
+    let cold_load_seconds = best_of(PARSE_REPS, || {
+        let log = faillog::load(&idx_path).expect("parses");
+        std::hint::black_box(LogView::new(&log));
+    });
+    let warm_load_seconds = best_of(PARSE_REPS, || {
+        std::hint::black_box(open_warm());
+    });
+    let cold_report_seconds = best_of(PARSE_REPS, || {
+        let log = faillog::load(&idx_path).expect("parses");
+        let view = LogView::new(&log);
+        std::hint::black_box(failscope::render_text_sections(
+            &idx_sections,
+            &SectionCtx::new(&view),
+            threads,
+        ));
+    });
+    let warm_report_seconds = best_of(PARSE_REPS, || {
+        let snap = open_warm();
+        std::hint::black_box(failscope::render_text_sections(
+            &idx_sections,
+            &SectionCtx::new(&snap),
+            threads,
+        ));
+    });
+    std::fs::remove_dir_all(&idx_dir).ok();
+    let index_load_speedup = cold_load_seconds / warm_load_seconds.max(f64::MIN_POSITIVE);
+    let index_report_speedup = cold_report_seconds / warm_report_seconds.max(f64::MIN_POSITIVE);
+    println!(
+        "  index bench: {parse_records} records ({} bytes log, {snapshot_bytes} bytes .fsidx)",
+        parse_text.len()
+    );
+    println!(
+        "    load   cold {:.1} ms | warm {:.1} ms | speedup {index_load_speedup:.2}x",
+        cold_load_seconds * 1e3,
+        warm_load_seconds * 1e3
+    );
+    println!(
+        "    report cold {:.1} ms | warm {:.1} ms | speedup {index_report_speedup:.2}x | identical: {index_identical}",
+        cold_report_seconds * 1e3,
+        warm_report_seconds * 1e3
+    );
+    let index_json = JsonValue::object()
+        .field("records", parse_records)
+        .field("log_bytes", parse_text.len())
+        .field("snapshot_bytes", snapshot_bytes)
+        .field("threads", threads)
+        .field("cold_load_seconds", cold_load_seconds)
+        .field("warm_load_seconds", warm_load_seconds)
+        .field("load_speedup", index_load_speedup)
+        .field("cold_report_seconds", cold_report_seconds)
+        .field("warm_report_seconds", warm_report_seconds)
+        .field("report_speedup", index_report_speedup)
+        .field("identical_output", index_identical)
+        .build();
+
     let mut json = JsonValue::object()
         .field("experiments", catalog.len())
         // The serial pass always runs on 1 thread and the parallel pass
@@ -279,6 +368,9 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("identical_output", identical)
         .field("parse", parse_json)
         .field("parse_records_per_second", parse_parallel_rate as u64)
+        .field("index", index_json)
+        .field("index_load_speedup_x100", (index_load_speedup * 100.0) as u64)
+        .field("index_report_speedup_x100", (index_report_speedup * 100.0) as u64)
         .field("sections", JsonValue::Array(section_rows))
         .field("trace", collector.to_json(true))
         .build()
@@ -297,6 +389,10 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     }
     if !parse_identical {
         eprintln!("parallel parse diverged from serial");
+        std::process::exit(1);
+    }
+    if !index_identical {
+        eprintln!("warm snapshot report diverged from the cold parse");
         std::process::exit(1);
     }
 }

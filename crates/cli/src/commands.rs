@@ -5,6 +5,7 @@ use std::fmt::Write as _;
 use std::io;
 
 use faillog::{ParseOptions, TimeRange};
+use failindex::{Freshness, IndexMode, IndexedLoad};
 use failmitigate::{
     required_crews, simulate_staffing, CheckpointPlan, OperationsPlan, PlanConfig, SparePolicy,
 };
@@ -37,6 +38,7 @@ COMMANDS
   report <FILE | --model tsubame2|tsubame3 [--seed N]> [--threads N]
          [--parse-chunk BYTES] [--since T] [--until T]
          [--format text|json] [--sections IDS] [--trace FILE]
+         [--index auto|off|require]
       Full five-RQ reliability report (parsing and sections computed in
       parallel; output is identical at any thread count). The input is
       a log file — gzip-compressed .fslog.gz is decoded transparently —
@@ -48,16 +50,30 @@ COMMANDS
       section; --sections picks from: header, categories, spatial,
       involvement, tbf, ttr, availability, survival, seasonal, metrics
       (the pipeline's own runtime counters). --trace writes the
-      deterministic NDJSON trace export.
+      deterministic NDJSON trace export. --index auto serves the
+      report from a validated FILE.fsidx snapshot when one exists
+      (skipping parsing entirely on an unchanged log, parsing only
+      the appended tail on a grown one) and refreshes it after cold
+      parses; require insists on a warm snapshot; off (the default)
+      ignores snapshots.
   compare <OLD> <NEW> [--threads N] [--parse-chunk BYTES] [--since T]
           [--until T] [--format text|json] [--trace FILE]
+          [--index auto|off|require]
       Cross-generation comparison (MTBF/MTTR/PEP factors); inputs may
       be gzip-compressed. --format json emits one JSON document.
+      --index works as for report, for both inputs.
+  index build|verify|stat <FILE> [--threads N] [--parse-chunk BYTES]
+      Manage FILE.fsidx snapshots: build parses FILE and writes the
+      checksummed snapshot next to it; verify checks the snapshot
+      against the log's current bytes (exact or prefix coverage
+      passes, stale or missing is an error); stat prints a
+      snapshot's metadata without reading the log (FILE may also be
+      the .fsidx itself).
   watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
         [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
         [--chunk N] [--max-records N] [--max-idle N] [--inject-mttr F]
         [--threads N] [--parse-chunk BYTES] [--format text|json]
-        [--sections IDS] [--trace FILE]
+        [--sections IDS] [--trace FILE] [--index auto|off]
       Stream a log (or an accelerated simulated replay) through the
       online monitor: NDJSON drift alerts against a calibrated
       baseline, plus periodic summaries. A gzip-compressed replay file
@@ -69,7 +85,10 @@ COMMANDS
       the file read-buffer size in bytes. --format json makes the
       whole stream NDJSON (one line per summary section); --sections
       picks from: overview, categories, slots, months. --trace writes
-      the loop's ingestion/alert counters as NDJSON.
+      the loop's ingestion/alert counters as NDJSON. --index auto
+      persists the accumulated index as FILE.fsidx on clean shutdown
+      (plain-text file sources only), so a later `report --index
+      auto` starts warm.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -253,6 +272,77 @@ fn format_flag(args: &ParsedArgs) -> Result<OutputFormat> {
     }
 }
 
+/// Resolves the `--index` flag. Snapshots are opt-in (`off` when the
+/// flag is absent): the default report's metrics section truthfully
+/// shows where the data came from, so a silently warm default would
+/// change output between otherwise-identical invocations.
+fn index_mode(args: &ParsedArgs) -> Result<IndexMode> {
+    match args.flag("index") {
+        None => Ok(IndexMode::Off),
+        Some(raw) => raw.parse::<IndexMode>().map_err(Error::args),
+    }
+}
+
+fn require_warm_err(path: &str) -> Error {
+    Error::run(format!(
+        "{path}: no warm .fsidx snapshot for --index require (build one with `failctl index build {path}`)"
+    ))
+}
+
+/// A report's resolved input: a warm snapshot index, or a cold-parsed
+/// (possibly clipped) log to be indexed in-process.
+enum ReportInput {
+    Warm(Box<failscope::StreamView>),
+    Cold(FailureLog),
+}
+
+/// Loads a report's file input honouring `--index`: a warm snapshot is
+/// served without parsing the log (exact hit) or by parsing only its
+/// appended tail (prefix hit); otherwise the log is parsed cold and, in
+/// auto mode, a fresh snapshot is written best-effort.
+fn open_report_input(
+    args: &ParsedArgs,
+    path: &str,
+    trace: &Collector,
+    parse_opts: &ParseOptions,
+) -> Result<ReportInput> {
+    let mode = index_mode(args)?;
+    if mode == IndexMode::Off {
+        let log = load_traced(path, Some(trace), parse_opts)?;
+        let range = time_range(args, &log)?;
+        return Ok(ReportInput::Cold(faillog::clip(&log, range)));
+    }
+    let warm = |view: failscope::StreamView| -> Result<ReportInput> {
+        if args.flag("since").is_none() && args.flag("until").is_none() {
+            return Ok(ReportInput::Warm(Box::new(view)));
+        }
+        // Clipping works on logs; rebuild one from the snapshot (still
+        // zero parsing) and render through the usual cold path.
+        let log = view.to_log();
+        let range = time_range(args, &log)?;
+        Ok(ReportInput::Cold(faillog::clip(&log, range)))
+    };
+    match failindex::open_indexed(path, Some(trace))? {
+        IndexedLoad::Exact(snap) => warm(snap.into_view()),
+        IndexedLoad::Extended { snapshot, .. } => warm(snapshot.into_view()),
+        IndexedLoad::Cold { source } => {
+            if mode == IndexMode::Require {
+                return Err(require_warm_err(path));
+            }
+            let log = load_traced(path, Some(trace), parse_opts)?;
+            failindex::save_traced(
+                failindex::snapshot_path(path),
+                &failscope::LogView::new(&log),
+                source,
+                Some(trace),
+            )
+            .ok();
+            let range = time_range(args, &log)?;
+            Ok(ReportInput::Cold(faillog::clip(&log, range)))
+        }
+    }
+}
+
 /// `failctl report`.
 ///
 /// The input is either a log file (positional) or `--model NAME
@@ -264,7 +354,7 @@ fn format_flag(args: &ParsedArgs) -> Result<OutputFormat> {
 pub fn report(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[
         "threads", "since", "until", "format", "sections", "model", "seed", "trace",
-        "parse-chunk",
+        "parse-chunk", "index",
     ])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
@@ -274,59 +364,170 @@ pub fn report(args: &ParsedArgs) -> Result<String> {
         None => failscope::SECTIONS.iter().collect(),
     };
     let trace = Collector::new();
-    let log = match args.flag("model") {
+    let input = match args.flag("model") {
         Some(name) => {
             if !args.positional.is_empty() {
                 return Err(Error::args(
                     "pass either a log file or --model, not both",
                 ));
             }
+            if args.flag("index").is_some() {
+                return Err(Error::args("--index only applies to file input"));
+            }
             let seed: u64 = args.flag_or("seed", 42)?;
-            Simulator::new(model_by_name(name)?, seed).generate_traced(Some(&trace))?
+            ReportInput::Cold(Simulator::new(model_by_name(name)?, seed).generate_traced(Some(&trace))?)
         }
         None => {
             if args.flag("seed").is_some() {
                 return Err(Error::args("--seed only applies with --model"));
             }
             let path = args.positional(0, "file")?;
-            let log = load_traced(path, Some(&trace), &parse_opts)?;
-            let range = time_range(args, &log)?;
-            faillog::clip(&log, range)
+            open_report_input(args, path, &trace, &parse_opts)?
         }
     };
-    let view = failscope::LogView::new_traced(&log, Some(&trace));
-    let ctx = SectionCtx::with_trace(&view, &trace);
-    let out = match format {
-        OutputFormat::Text => failscope::render_text_sections(&sections, &ctx, threads),
-        OutputFormat::Json => failscope::render_json_sections(&sections, &ctx, threads),
+    let render = |ctx: &SectionCtx<'_>| match format {
+        OutputFormat::Text => failscope::render_text_sections(&sections, ctx, threads),
+        OutputFormat::Json => failscope::render_json_sections(&sections, ctx, threads),
+    };
+    let out = match &input {
+        ReportInput::Warm(view) => render(&SectionCtx::with_trace(view.as_ref(), &trace)),
+        ReportInput::Cold(log) => {
+            let view = failscope::LogView::new_traced(log, Some(&trace));
+            render(&SectionCtx::with_trace(&view, &trace))
+        }
     };
     write_trace(args, &trace)?;
     Ok(out)
 }
 
+/// Loads one `compare` input honouring `--index`: warm snapshots are
+/// converted back to a log without parsing (the comparison renderer
+/// works on logs); cold parses refresh the snapshot in auto mode.
+fn load_compare_input(
+    args: &ParsedArgs,
+    path: &str,
+    trace: &Collector,
+    parse_opts: &ParseOptions,
+    mode: IndexMode,
+) -> Result<FailureLog> {
+    let log = if mode == IndexMode::Off {
+        load_traced(path, Some(trace), parse_opts)?
+    } else {
+        match failindex::open_indexed(path, Some(trace))? {
+            IndexedLoad::Exact(snap) => snap.into_view().to_log(),
+            IndexedLoad::Extended { snapshot, .. } => snapshot.into_view().to_log(),
+            IndexedLoad::Cold { source } => {
+                if mode == IndexMode::Require {
+                    return Err(require_warm_err(path));
+                }
+                let log = load_traced(path, Some(trace), parse_opts)?;
+                failindex::save_traced(
+                    failindex::snapshot_path(path),
+                    &failscope::LogView::new(&log),
+                    source,
+                    Some(trace),
+                )
+                .ok();
+                log
+            }
+        }
+    };
+    let range = time_range(args, &log)?;
+    Ok(faillog::clip(&log, range))
+}
+
 /// `failctl compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String> {
-    args.reject_unknown_flags(&["threads", "since", "until", "format", "trace", "parse-chunk"])?;
+    args.reject_unknown_flags(&[
+        "threads", "since", "until", "format", "trace", "parse-chunk", "index",
+    ])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
     let parse_opts = parse_options(args)?;
+    let mode = index_mode(args)?;
     let trace = Collector::new();
-    let older = {
-        let path = args.positional(0, "old")?;
-        let log = load_traced(path, Some(&trace), &parse_opts)?;
-        faillog::clip(&log, time_range(args, &log)?)
-    };
-    let newer = {
-        let path = args.positional(1, "new")?;
-        let log = load_traced(path, Some(&trace), &parse_opts)?;
-        faillog::clip(&log, time_range(args, &log)?)
-    };
+    let older = load_compare_input(args, args.positional(0, "old")?, &trace, &parse_opts, mode)?;
+    let newer = load_compare_input(args, args.positional(1, "new")?, &trace, &parse_opts, mode)?;
     let out = trace.time("compare.render", || match format {
         OutputFormat::Text => failscope::render_comparison_threaded(&older, &newer, threads),
         OutputFormat::Json => failscope::render_comparison_json(&older, &newer, threads),
     });
     write_trace(args, &trace)?;
     Ok(out)
+}
+
+/// `failctl index`: explicit `.fsidx` snapshot management.
+///
+/// `build` parses the log and writes a fresh snapshot; `verify` is a
+/// read-only freshness check (exit status reflects usability); `stat`
+/// prints a snapshot's own metadata without touching the source log.
+pub fn index_cmd(args: &ParsedArgs) -> Result<String> {
+    args.reject_unknown_flags(&["threads", "parse-chunk"])?;
+    let action = args.positional(0, "build|verify|stat")?;
+    let path = args.positional(1, "file")?;
+    match action {
+        "build" => {
+            let parse_opts = parse_options(args)?;
+            let raw = std::fs::read(path).map_err(|e| Error::run(format!("{path}: {e}")))?;
+            let source = failindex::SourceInfo::of_bytes(&raw);
+            let log = load_traced(path, None, &parse_opts)?;
+            let spath = failindex::snapshot_path(path);
+            let bytes = failindex::save(&spath, &failscope::LogView::new(&log), source)?;
+            Ok(format!(
+                "indexed {} records -> {} ({bytes} bytes)\n",
+                log.len(),
+                spath.display()
+            ))
+        }
+        "verify" => {
+            let spath = failindex::snapshot_path(path);
+            match failindex::probe(path)? {
+                Freshness::Exact => Ok(format!("{}: exact match\n", spath.display())),
+                Freshness::Prefix { tail_bytes } => Ok(format!(
+                    "{}: prefix match ({tail_bytes} bytes appended since the snapshot)\n",
+                    spath.display()
+                )),
+                Freshness::Stale { reason } => Err(Error::run(format!(
+                    "{}: stale snapshot: {reason}",
+                    spath.display()
+                ))),
+                Freshness::Missing => Err(Error::run(format!(
+                    "{path}: no .fsidx snapshot (run `failctl index build {path}`)"
+                ))),
+            }
+        }
+        "stat" => {
+            let spath = if path.ends_with(".fsidx") {
+                std::path::PathBuf::from(path)
+            } else {
+                failindex::snapshot_path(path)
+            };
+            let snap = failindex::load(&spath)?;
+            let source = snap.source();
+            let spec = failscope::FleetIndex::spec(&snap);
+            let mut out = String::new();
+            let _ = writeln!(out, "snapshot: {}", spath.display());
+            let _ = writeln!(out, "format:   fsidx v{}", failindex::FORMAT_VERSION);
+            let _ = writeln!(
+                out,
+                "system:   {} ({} nodes x {} GPUs)",
+                spec.name(),
+                spec.nodes(),
+                spec.gpus_per_node()
+            );
+            let _ = writeln!(out, "window:   {}", failscope::FleetIndex::window(&snap));
+            let _ = writeln!(out, "records:  {}", failscope::FleetIndex::len(&snap));
+            let _ = writeln!(
+                out,
+                "source:   {} bytes, {} lines, crc32 {:08x}",
+                source.bytes, source.lines, source.crc32
+            );
+            Ok(out)
+        }
+        other => Err(Error::args(format!(
+            "unknown index action `{other}` (use build, verify, or stat)"
+        ))),
+    }
 }
 
 /// `failctl anonymize`.
@@ -560,8 +761,18 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         "sections",
         "trace",
         "parse-chunk",
+        "index",
     ])?;
     let source_arg = args.positional(0, "path|sim:MODEL")?;
+    let persist_index = match index_mode(args)? {
+        IndexMode::Off => false,
+        IndexMode::Auto => true,
+        IndexMode::Require => {
+            return Err(Error::args(
+                "watch supports --index auto or off (snapshots are written, never read)",
+            ))
+        }
+    };
 
     let mut source: Box<dyn EventSource> = if let Some(name) = source_arg.strip_prefix("sim:") {
         let clock = match args.flag("accel").unwrap_or("max") {
@@ -577,6 +788,9 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         };
         if args.flag("parse-chunk").is_some() {
             return Err(Error::args("--parse-chunk only applies to file sources"));
+        }
+        if args.flag("index").is_some() {
+            return Err(Error::args("--index only applies to file sources"));
         }
         let seed: u64 = args.flag_or("seed", 42)?;
         let mut src = SimSource::new(model_by_name(name)?, seed, clock)?;
@@ -650,7 +864,28 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         builder = builder.summary_sections(failwatch::select_watch_sections(spec)?);
     }
     let config = builder.build()?;
-    failwatch::run(source.as_mut(), detector, &config, out)?;
+    let outcome = failwatch::run(source.as_mut(), detector, &config, out)?;
+    // Clean shutdown: persist the accumulated index so a later
+    // `report --index auto` on the same log starts warm. The source's
+    // progress fingerprint covers exactly the bytes whose records the
+    // state ingested, so a bounded run (--max-records) snapshots a
+    // valid prefix of the file.
+    if persist_index {
+        if let Some((log_path, progress)) = source.snapshot_target() {
+            let source_info = failindex::SourceInfo {
+                bytes: progress.bytes,
+                crc32: progress.crc32,
+                lines: progress.lines,
+            };
+            failindex::save_traced(
+                failindex::snapshot_path(&log_path),
+                outcome.state.view(),
+                source_info,
+                Some(&trace),
+            )
+            .ok();
+        }
+    }
     write_trace(args, &trace)?;
     Ok(())
 }
@@ -671,6 +906,7 @@ pub fn dispatch(args: &ParsedArgs) -> Result<String> {
         "summary" => summary(args),
         "report" => report(args),
         "compare" => compare(args),
+        "index" => index_cmd(args),
         "anonymize" => anonymize(args),
         "checkpoint" => checkpoint(args),
         "spares" => spares(args),
@@ -988,6 +1224,177 @@ mod tests {
         assert!(picked.contains("# summary @"));
         assert!(!picked.contains("#   categories:"));
         assert!(watch(&parse(&["watch", "sim:tsubame3", "--sections", "nope"])).is_err());
+    }
+
+    /// The analysis sections (everything except `metrics`, whose
+    /// counters truthfully differ between a parse and a snapshot hit).
+    const ANALYSIS: &str =
+        "header,categories,spatial,involvement,tbf,ttr,availability,survival,seasonal";
+
+    #[test]
+    fn index_lifecycle_and_warm_reports_match_cold_byte_for_byte() {
+        let path = temp_path("idx.fslog");
+        let p = path.to_str().unwrap();
+        let spath = format!("{p}.fsidx");
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", p])).expect("generates");
+
+        // No snapshot yet: require refuses, verify reports it missing.
+        let err = report(&parse(&["report", p, "--index", "require"])).unwrap_err();
+        assert!(err.to_string().contains("no warm .fsidx snapshot"), "{err}");
+        let err = index_cmd(&parse(&["index", "verify", p])).unwrap_err();
+        assert!(err.to_string().contains("no .fsidx snapshot"), "{err}");
+        assert!(report(&parse(&["report", p, "--index", "sometimes"])).is_err());
+
+        // Build, then inspect.
+        let built = index_cmd(&parse(&["index", "build", p])).expect("builds");
+        assert!(built.contains("indexed 897 records"), "{built}");
+        let v = index_cmd(&parse(&["index", "verify", p])).expect("verifies");
+        assert!(v.contains("exact match"), "{v}");
+        let st = index_cmd(&parse(&["index", "stat", p])).expect("stats");
+        assert!(st.contains("records:  897"), "{st}");
+        assert!(st.contains("Tsubame-2"), "{st}");
+        let st2 = index_cmd(&parse(&["index", "stat", &spath])).expect("stats");
+        assert_eq!(st, st2, "stat accepts the .fsidx path directly");
+        assert!(index_cmd(&parse(&["index", "rebuild", p])).is_err());
+
+        // Warm report output is byte-identical to cold, at 1 and 4
+        // threads, for text and JSON.
+        let cold = report(&parse(&["report", p, "--sections", ANALYSIS, "--index", "off"]))
+            .expect("reports");
+        for threads in ["1", "4"] {
+            let warm = report(&parse(&[
+                "report", p, "--sections", ANALYSIS, "--index", "require", "--threads", threads,
+            ]))
+            .expect("reports");
+            assert_eq!(warm, cold, "--threads {threads}");
+        }
+        let cold_json = report(&parse(&[
+            "report", p, "--sections", ANALYSIS, "--format", "json",
+        ]))
+        .expect("reports");
+        let warm_json = report(&parse(&[
+            "report", p, "--sections", ANALYSIS, "--format", "json", "--index", "require",
+        ]))
+        .expect("reports");
+        assert_eq!(warm_json, cold_json);
+
+        // The warm run parsed zero records: its trace has the snapshot
+        // hit and no parse counters at all.
+        let tp = temp_path("idx-warm.ndjson");
+        report(&parse(&[
+            "report", p, "--index", "require", "--trace", tp.to_str().unwrap(),
+        ]))
+        .expect("reports");
+        let trace = std::fs::read_to_string(&tp).expect("trace written");
+        assert!(
+            trace.contains(r#""stage":"index.snapshot_hit","value":1"#),
+            "{trace}"
+        );
+        assert!(!trace.contains("parse.records"), "{trace}");
+
+        // Clipping composes with a warm snapshot (zero parsing there too).
+        let cold_clip = report(&parse(&[
+            "report", p, "--until", "1000", "--sections", ANALYSIS,
+        ]))
+        .expect("reports");
+        let warm_clip = report(&parse(&[
+            "report", p, "--until", "1000", "--sections", ANALYSIS, "--index", "require",
+        ]))
+        .expect("reports");
+        assert_eq!(warm_clip, cold_clip);
+
+        // compare accepts --index and matches the cold comparison.
+        let c_cold = compare(&parse(&["compare", p, p])).expect("compares");
+        let c_warm = compare(&parse(&["compare", p, p, "--index", "require"])).expect("compares");
+        assert_eq!(c_warm, c_cold);
+
+        // --index is rejected where it cannot apply.
+        assert!(report(&parse(&["report", "--model", "tsubame2", "--index", "auto"])).is_err());
+
+        std::fs::remove_file(&path).expect("cleanup");
+        std::fs::remove_file(&spath).expect("cleanup");
+    }
+
+    #[test]
+    fn index_auto_cold_builds_then_extends_over_growth() {
+        let path = temp_path("idx-grow.fslog");
+        let p = path.to_str().unwrap();
+        let spath = format!("{p}.fsidx");
+        let log = Simulator::new(SystemModel::tsubame2(), 42).generate().expect("simulates");
+        let text = faillog::to_string(&log).expect("serializes");
+        let cut = text[..text.len() / 2].rfind('\n').expect("has lines") + 1;
+        std::fs::write(&path, &text[..cut]).expect("write prefix");
+
+        // First auto run parses cold and leaves a snapshot behind.
+        let first = report(&parse(&["report", p, "--sections", ANALYSIS, "--index", "auto"]))
+            .expect("reports");
+        let v = index_cmd(&parse(&["index", "verify", p])).expect("verifies");
+        assert!(v.contains("exact match"), "{v}");
+
+        // The log grows; verify sees a usable prefix, and the next auto
+        // run extends instead of re-parsing, matching a cold rebuild.
+        std::fs::write(&path, &text).expect("write full");
+        let v = index_cmd(&parse(&["index", "verify", p])).expect("verifies");
+        assert!(v.contains("prefix match"), "{v}");
+        let tp = temp_path("idx-grow.ndjson");
+        let warm = report(&parse(&[
+            "report", p, "--sections", ANALYSIS, "--index", "auto",
+            "--trace", tp.to_str().unwrap(),
+        ]))
+        .expect("reports");
+        let cold = report(&parse(&["report", p, "--sections", ANALYSIS, "--index", "off"]))
+            .expect("reports");
+        assert_eq!(warm, cold);
+        assert_ne!(warm, first, "growth must change the report");
+        let trace = std::fs::read_to_string(&tp).expect("trace written");
+        assert!(
+            trace.contains(r#""stage":"index.snapshot_extend","value":1"#),
+            "{trace}"
+        );
+        assert!(!trace.contains("parse.records"), "{trace}");
+        // ... and the rewritten snapshot now covers the whole log.
+        let v = index_cmd(&parse(&["index", "verify", p])).expect("verifies");
+        assert!(v.contains("exact match"), "{v}");
+
+        std::fs::remove_file(&path).expect("cleanup");
+        std::fs::remove_file(&spath).expect("cleanup");
+    }
+
+    #[test]
+    fn watch_index_auto_persists_a_snapshot_on_clean_shutdown() {
+        let path = temp_path("watch-idx.fslog");
+        let p = path.to_str().unwrap();
+        let spath = format!("{p}.fsidx");
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", p])).expect("generates");
+
+        let out = watch(&parse(&[
+            "watch", p, "--baseline", "tsubame2", "--index", "auto",
+        ]))
+        .expect("watches");
+        assert!(out.contains("897 records"), "{out}");
+        let v = index_cmd(&parse(&["index", "verify", p])).expect("verifies");
+        assert!(v.contains("exact match"), "{v}");
+
+        // The watch-built snapshot serves a warm report identical to cold.
+        let warm = report(&parse(&["report", p, "--sections", ANALYSIS, "--index", "require"]))
+            .expect("reports");
+        let cold = report(&parse(&["report", p, "--sections", ANALYSIS])).expect("reports");
+        assert_eq!(warm, cold);
+
+        // Sim sources and require mode are rejected; gzip input writes
+        // no snapshot (progress counts decoded bytes, not raw ones).
+        assert!(watch(&parse(&["watch", "sim:tsubame3", "--index", "auto"])).is_err());
+        assert!(watch(&parse(&["watch", p, "--index", "require"])).is_err());
+        let packed = temp_path("watch-idx.fslog.gz");
+        let g = packed.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", g])).expect("generates");
+        watch(&parse(&["watch", g, "--baseline", "tsubame2", "--index", "auto"]))
+            .expect("watches");
+        assert!(!std::path::Path::new(&format!("{g}.fsidx")).exists());
+
+        std::fs::remove_file(&path).expect("cleanup");
+        std::fs::remove_file(&spath).expect("cleanup");
+        std::fs::remove_file(&packed).expect("cleanup");
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub use report::{
 };
 pub use seasonal::{MonthBucket, SeasonalAnalysis};
 pub use spatial::{NodeDistribution, RackDistribution, RackShare, SlotDistribution, SlotShare};
-pub use streamview::{StreamView, StreamViewError};
+pub use streamview::{StreamView, StreamViewError, ViewParts};
 pub use tbf::{
     class_mtbf_hours, class_mtbf_hours_index, class_mtbf_hours_view, gpu_involvement_mtbf_hours,
     gpu_involvement_mtbf_hours_index, gpu_involvement_mtbf_hours_view, per_category_tbf,

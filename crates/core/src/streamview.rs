@@ -132,6 +132,18 @@ impl PartialEq for SortedRun {
 }
 
 impl SortedRun {
+    /// Wraps an already-sorted vector as the main run (no tail, no
+    /// cache) — the zero-copy path for loading persisted order
+    /// statistics. The caller guarantees ascending order.
+    fn from_sorted(run: Vec<f64>) -> Self {
+        debug_assert!(run.windows(2).all(|w| w[0] <= w[1]));
+        SortedRun {
+            run,
+            tail: Vec::new(),
+            merged: OnceLock::new(),
+        }
+    }
+
     /// Appends one value — O(1) amortized. Eagerly merges once the tail
     /// passes the adaptive threshold, keeping reads bounded.
     fn push(&mut self, x: f64) {
@@ -259,6 +271,47 @@ pub struct StreamView {
     month_ttrs: Vec<Vec<f64>>,
 }
 
+/// The persisted payload of a [`StreamView`] — exactly the state a
+/// `failindex` snapshot stores on disk, with the cheaply re-derivable
+/// arrays left out.
+///
+/// `times` and `recoveries` are reconstructed from the records in one
+/// pass, and the month buckets from `month_counts`: records arrive in
+/// time order, so each month's repair durations are a contiguous run of
+/// the record sequence and per-month *counts* fully determine the
+/// bucketing. [`StreamView::from_parts`] performs the reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewParts {
+    /// The system generation.
+    pub generation: Generation,
+    /// The system spec.
+    pub spec: SystemSpec,
+    /// The observation window.
+    pub window: ObservationWindow,
+    /// Records in time order.
+    pub records: Vec<FailureRecord>,
+    /// Repair durations sorted ascending (one per record).
+    pub ttrs_sorted: Vec<f64>,
+    /// Window-clamped recovery times sorted ascending (one per record).
+    pub recoveries_sorted: Vec<f64>,
+    /// Record indices partitioned by category.
+    pub category_indices: BTreeMap<Category, Vec<u32>>,
+    /// Software root-locus counts.
+    pub locus_counts: BTreeMap<SoftwareLocus, usize>,
+    /// Failure counts per node.
+    pub node_counts: BTreeMap<NodeId, u64>,
+    /// GPU-failure involvements per slot.
+    pub slot_counts: Vec<usize>,
+    /// Failure counts per rack.
+    pub rack_counts: Vec<usize>,
+    /// Total per-GPU involvements.
+    pub gpu_involvements: usize,
+    /// Arrival times of multi-GPU failures.
+    pub multi_gpu_times: Vec<f64>,
+    /// Records per `window.months()` bucket, in month order.
+    pub month_counts: Vec<usize>,
+}
+
 impl StreamView {
     /// An empty view for a system described by `spec` over `window`.
     pub fn new(generation: Generation, spec: SystemSpec, window: ObservationWindow) -> Self {
@@ -290,6 +343,147 @@ impl StreamView {
     /// An empty view shaped like `log` (same generation, spec, window).
     pub fn for_log(log: &FailureLog) -> Self {
         StreamView::new(log.generation(), log.spec().clone(), log.window())
+    }
+
+    /// Decomposes the view into the persistable [`ViewParts`] payload,
+    /// materializing the sorted arrays. The inverse of
+    /// [`StreamView::from_parts`].
+    pub fn into_parts(mut self) -> ViewParts {
+        self.materialize();
+        ViewParts {
+            generation: self.generation,
+            spec: self.spec,
+            window: self.window,
+            records: self.records,
+            ttrs_sorted: self.ttrs_sorted.run,
+            recoveries_sorted: self.recoveries_sorted.run,
+            category_indices: self.category_indices,
+            locus_counts: self.locus_counts,
+            node_counts: self.node_counts,
+            slot_counts: self.slot_counts,
+            rack_counts: self.rack_counts,
+            gpu_involvements: self.gpu_involvements,
+            multi_gpu_times: self.multi_gpu_times,
+            month_counts: self.month_ttrs.iter().map(Vec::len).collect(),
+        }
+    }
+
+    /// Reassembles a view from persisted [`ViewParts`], re-deriving the
+    /// arrays the payload omits (`times`, `recoveries`, the per-month
+    /// buckets) in O(n) — no sorting, no re-validation of individual
+    /// records (the caller vouches for the payload, e.g. via a
+    /// checksum). In debug builds the result is additionally asserted
+    /// equal to a full per-record rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`failtypes::Error::Run`] when the payload's shapes are
+    /// inconsistent (array lengths not matching the record count, month
+    /// buckets not matching the window, tallies not matching the spec)
+    /// — the signal for a snapshot loader to fall back to a cold parse.
+    pub fn from_parts(parts: ViewParts) -> Result<Self, failtypes::Error> {
+        let ViewParts {
+            generation,
+            spec,
+            window,
+            records,
+            ttrs_sorted,
+            recoveries_sorted,
+            category_indices,
+            locus_counts,
+            node_counts,
+            slot_counts,
+            rack_counts,
+            gpu_involvements,
+            multi_gpu_times,
+            month_counts,
+        } = parts;
+        let n = records.len();
+        let months = window.months();
+        let shape_err = |what: &str| {
+            failtypes::Error::run(format!("inconsistent snapshot payload: {what}"))
+        };
+        if ttrs_sorted.len() != n || recoveries_sorted.len() != n {
+            return Err(shape_err("sorted arrays do not match the record count"));
+        }
+        if month_counts.len() != months.len() {
+            return Err(shape_err("month buckets do not match the window"));
+        }
+        if month_counts.iter().sum::<usize>() != n {
+            return Err(shape_err("month bucket totals do not match the record count"));
+        }
+        if slot_counts.len() != spec.gpus_per_node() as usize
+            || rack_counts.len() != spec.racks() as usize
+        {
+            return Err(shape_err("per-slot/per-rack tallies do not match the spec"));
+        }
+        if category_indices.values().map(Vec::len).sum::<usize>() != n {
+            return Err(shape_err("category partitions do not match the record count"));
+        }
+        let ascending = |xs: &[f64]| xs.windows(2).all(|w| w[0] <= w[1]);
+        if !ascending(&ttrs_sorted) || !ascending(&recoveries_sorted) {
+            return Err(shape_err("sorted arrays are not in ascending order"));
+        }
+
+        let window_hours = window.duration().get();
+        let times: Vec<f64> = records.iter().map(|r| r.time().get()).collect();
+        let recoveries: Vec<f64> = records
+            .iter()
+            .map(|r| r.recovery_time().get().min(window_hours))
+            .collect();
+        // Time order makes each month bucket a contiguous run of the
+        // record sequence, so the stored counts slice it back apart.
+        let mut month_ttrs: Vec<Vec<f64>> = Vec::with_capacity(months.len());
+        let mut offset = 0usize;
+        for &count in &month_counts {
+            month_ttrs.push(
+                records[offset..offset + count]
+                    .iter()
+                    .map(|r| r.ttr().get())
+                    .collect(),
+            );
+            offset += count;
+        }
+        let month_cursor = month_counts
+            .iter()
+            .rposition(|&c| c > 0)
+            .unwrap_or(0);
+
+        let view = StreamView {
+            generation,
+            spec,
+            window,
+            months,
+            month_cursor,
+            times,
+            ttrs_sorted: SortedRun::from_sorted(ttrs_sorted),
+            recoveries,
+            recoveries_sorted: SortedRun::from_sorted(recoveries_sorted),
+            category_indices,
+            locus_counts,
+            node_counts,
+            slot_counts,
+            rack_counts,
+            gpu_involvements,
+            multi_gpu_times,
+            month_ttrs,
+            records,
+        };
+        #[cfg(debug_assertions)]
+        {
+            let mut rebuilt =
+                StreamView::new(view.generation, view.spec.clone(), view.window);
+            for rec in view.records.iter().cloned() {
+                rebuilt
+                    .push(rec)
+                    .map_err(|e| shape_err(&format!("records do not revalidate: {e}")))?;
+            }
+            debug_assert!(
+                rebuilt == view,
+                "from_parts diverged from a per-record rebuild"
+            );
+        }
+        Ok(view)
     }
 
     /// Validates and incorporates one record, updating every index.
@@ -655,6 +849,68 @@ mod tests {
         assert!(matches!(err, StreamViewError::Invalid(_)), "{err}");
         assert!(err.source().is_some());
         assert_eq!(sv.len(), 1);
+    }
+
+    #[test]
+    fn parts_roundtrip_preserves_every_index_and_extends() {
+        for (model, seed) in [
+            (SystemModel::tsubame2(), 42),
+            (SystemModel::tsubame3(), 43),
+        ] {
+            let log = Simulator::new(model, seed).generate().unwrap();
+            let sv = feed(&log);
+            let parts = sv.clone().into_parts();
+            assert_eq!(parts.records.len(), log.len());
+            assert_eq!(parts.month_counts.iter().sum::<usize>(), log.len());
+            let restored = StreamView::from_parts(parts).unwrap();
+            assert_eq!(restored, sv);
+            assert_matches_batch(&restored, &LogView::new(&log));
+        }
+    }
+
+    #[test]
+    fn from_parts_extends_like_a_live_view() {
+        // Restore from a prefix, extend with the rest: identical to one
+        // continuous stream (the snapshot prefix-extension invariant).
+        let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        let cut = log.len() / 2;
+        let mut prefix = StreamView::for_log(&log);
+        prefix.extend(log.records()[..cut].to_vec()).unwrap();
+        let mut restored = StreamView::from_parts(prefix.into_parts()).unwrap();
+        restored.extend(log.records()[cut..].to_vec()).unwrap();
+        assert_eq!(restored, feed(&log));
+    }
+
+    #[test]
+    fn from_parts_rejects_inconsistent_shapes() {
+        let log = Simulator::new(SystemModel::tsubame3(), 43).generate().unwrap();
+        let good = feed(&log).into_parts();
+        let mut dropped_ttr = good.clone();
+        dropped_ttr.ttrs_sorted.pop();
+        let mut bad_months = good.clone();
+        bad_months.month_counts.pop();
+        let mut bad_month_total = good.clone();
+        if let Some(first) = bad_month_total.month_counts.first_mut() {
+            *first += 1;
+        }
+        let mut bad_slots = good.clone();
+        bad_slots.slot_counts.push(0);
+        let mut unsorted = good.clone();
+        unsorted.ttrs_sorted.reverse();
+        let mut bad_partition = good.clone();
+        bad_partition.category_indices.values_mut().next().unwrap().pop();
+        for parts in [
+            dropped_ttr,
+            bad_months,
+            bad_month_total,
+            bad_slots,
+            unsorted,
+            bad_partition,
+        ] {
+            let err = StreamView::from_parts(parts).unwrap_err();
+            assert!(err.to_string().contains("snapshot payload"), "{err}");
+        }
+        assert!(StreamView::from_parts(good).is_ok());
     }
 
     #[test]

@@ -27,6 +27,14 @@ use crate::inflate;
 /// yet decoded.
 const ZSTD_MAGIC: [u8; 4] = [0x28, 0xB5, 0x2F, 0xFD];
 
+/// The `failindex` snapshot magic (`.fsidx` files): a leading byte that
+/// is never valid UTF-8 text (so no log can start with it) followed by
+/// the format name. Shared with the `failindex` crate, which writes and
+/// validates it — recognised here so a snapshot mistakenly passed as a
+/// log is rejected with a precise error instead of a header-parse
+/// failure, whatever the file's extension claims.
+pub const FSIDX_MAGIC: [u8; 6] = [0x8F, b'F', b'S', b'I', b'D', b'X'];
+
 /// Compression detected on an input file, by magic bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Compression {
@@ -37,6 +45,9 @@ pub enum Compression {
     /// Zstandard frame (`28 b5 2f fd`): recognised so the error can say
     /// so, but not yet decodable.
     Zstd,
+    /// A `failindex` `.fsidx` snapshot ([`FSIDX_MAGIC`]): binary
+    /// derived data, never valid log input.
+    Snapshot,
 }
 
 impl Compression {
@@ -46,6 +57,8 @@ impl Compression {
             Compression::Gzip
         } else if prefix.starts_with(&ZSTD_MAGIC) {
             Compression::Zstd
+        } else if prefix.starts_with(&FSIDX_MAGIC) {
+            Compression::Snapshot
         } else {
             Compression::Plain
         }
@@ -57,6 +70,7 @@ impl Compression {
             Compression::Plain => "plain",
             Compression::Gzip => "gzip",
             Compression::Zstd => "zstd",
+            Compression::Snapshot => "fsidx snapshot",
         }
     }
 }
@@ -137,7 +151,8 @@ impl InputReader {
                     compression,
                 })
             }
-            Compression::Zstd => Err(zstd_unsupported()),
+            Compression::Zstd => Err(zstd_unsupported(path.as_ref())),
+            Compression::Snapshot => Err(snapshot_not_a_log(path.as_ref())),
         }
     }
 
@@ -186,7 +201,8 @@ pub fn read_input(path: impl AsRef<Path>) -> Result<(String, Compression)> {
     let bytes = match compression {
         Compression::Plain => raw,
         Compression::Gzip => inflate::gzip_decompress(&raw).map_err(gzip_error)?,
-        Compression::Zstd => return Err(zstd_unsupported()),
+        Compression::Zstd => return Err(zstd_unsupported(path.as_ref())),
+        Compression::Snapshot => return Err(snapshot_not_a_log(path.as_ref())),
     };
     let text = String::from_utf8(bytes).map_err(|_| {
         Error::io(
@@ -207,12 +223,31 @@ fn gzip_error(msg: String) -> Error {
     )
 }
 
-fn zstd_unsupported() -> Error {
+fn zstd_unsupported(path: &Path) -> Error {
+    let display = path.display();
     Error::io(
         "decoding log input",
         io::Error::new(
             io::ErrorKind::Unsupported,
-            "zstd-compressed input is not yet supported; recompress with gzip",
+            format!(
+                "`{display}` is zstd-compressed, which is not yet supported; \
+                 decompress it first (`zstd -d '{display}'`) or recompress with gzip"
+            ),
+        ),
+    )
+}
+
+fn snapshot_not_a_log(path: &Path) -> Error {
+    let display = path.display();
+    Error::io(
+        "decoding log input",
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "`{display}` is a failindex `.fsidx` snapshot, not a failscope log; \
+                 point the command at the source log (snapshots load automatically \
+                 via `--index`, see `failctl index`)"
+            ),
         ),
     )
 }
@@ -239,8 +274,39 @@ mod tests {
             Compression::sniff(&[0x28, 0xB5, 0x2F, 0xFD, 0]),
             Compression::Zstd
         );
+        assert_eq!(
+            Compression::sniff(&[0x8F, b'F', b'S', b'I', b'D', b'X', 1, 0]),
+            Compression::Snapshot
+        );
         assert_eq!(Compression::sniff(b""), Compression::Plain);
         assert_eq!(Compression::sniff(&[0x1F]), Compression::Plain);
+        assert_eq!(Compression::sniff(&[0x8F, b'F', b'S']), Compression::Plain);
+    }
+
+    #[test]
+    fn sniffing_beats_misleading_extensions() {
+        // Content decides, never the file name: gzip bytes under a
+        // plain `.fslog` name still inflate, plain text under `.gz`
+        // still reads from byte zero, and `.fsidx` snapshot bytes are
+        // rejected as snapshots whatever the extension claims.
+        let body = b"# failscope-log v1\npayload\n";
+        let gz_as_plain = tmp("mislabeled.fslog", &inflate::gzip_compress(body));
+        let r = InputReader::open(&gz_as_plain).unwrap();
+        assert_eq!(r.compression(), Compression::Gzip);
+        let plain_as_gz = tmp("mislabeled.fslog.gz", body);
+        let r = InputReader::open(&plain_as_gz).unwrap();
+        assert_eq!(r.compression(), Compression::Plain);
+
+        let mut snapshot = FSIDX_MAGIC.to_vec();
+        snapshot.extend_from_slice(&[1, 0, 0xAB, 0xCD]);
+        for name in ["snap.fsidx", "snap.fslog", "snap.fslog.gz"] {
+            let path = tmp(name, &snapshot);
+            let err = InputReader::open(&path).unwrap_err();
+            assert!(err.to_string().contains(".fsidx"), "{name}: {err}");
+            assert!(err.to_string().contains(name), "{name}: {err}");
+            let err = read_input(&path).unwrap_err();
+            assert!(err.to_string().contains("snapshot"), "{name}: {err}");
+        }
     }
 
     #[test]
@@ -283,8 +349,11 @@ mod tests {
         let path = tmp("future.fslog.zst", &[0x28, 0xB5, 0x2F, 0xFD, 0, 0, 0]);
         let err = InputReader::open(&path).unwrap_err();
         assert!(err.to_string().contains("zstd"), "{err}");
+        // The error names the offending file and the way out.
+        assert!(err.to_string().contains("future.fslog.zst"), "{err}");
+        assert!(err.to_string().contains("zstd -d"), "{err}");
         let err = read_input(&path).unwrap_err();
-        assert!(err.to_string().contains("zstd"), "{err}");
+        assert!(err.to_string().contains("zstd -d"), "{err}");
     }
 
     #[test]

@@ -39,14 +39,14 @@ mod parallel;
 mod stream;
 
 pub use csv::{from_str, read_log, to_string, write_log};
-pub use inflate::{gzip_compress, gzip_decompress};
-pub use input::{read_input, Compression, InputReader};
+pub use inflate::{crc32, gzip_compress, gzip_decompress, Crc32};
+pub use input::{read_input, Compression, InputReader, FSIDX_MAGIC};
 pub use ops::{
     anonymize_nodes, clip, load, load_traced, load_traced_with, load_with, parse_time_bound,
     save, summarize, LogSummary, TimeRange,
 };
 pub use parallel::{from_str_with, ParseOptions, DEFAULT_CHUNK_BYTES};
-pub use stream::{parse_ndjson_row, record_to_ndjson, LogTailer};
+pub use stream::{parse_body_rows, parse_ndjson_row, record_to_ndjson, LogTailer, TailProgress};
 
 #[cfg(test)]
 mod tests {

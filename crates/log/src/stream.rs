@@ -30,7 +30,61 @@ use failtypes::{
 };
 
 use crate::csv::{parse_category, parse_row, HeaderParser};
+use crate::inflate::Crc32;
 use failtypes::{Error, Result};
+
+/// How far a [`LogTailer`] has consumed its underlying stream — the
+/// provenance a `failindex` snapshot needs to fingerprint the byte
+/// range its records came from.
+///
+/// Only *consumed* input counts: a buffered partial line (no newline
+/// yet) is excluded until it completes or is force-flushed, so `bytes`
+/// always delimits a prefix of the file whose re-parse would yield
+/// exactly the records handed out so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailProgress {
+    /// Bytes fully consumed (header included).
+    pub bytes: u64,
+    /// CRC-32 of those bytes (see [`crate::crc32`]).
+    pub crc32: u32,
+    /// 1-based count of lines fully consumed.
+    pub lines: u64,
+}
+
+/// Parses a run of body rows (CSV or NDJSON per line, auto-detected;
+/// blank lines skipped) with line numbers rebased by `lineno_offset` —
+/// the tail parser `failindex` uses to extend a snapshot over the bytes
+/// appended since it was written.
+///
+/// Rows are *parsed* but not validated against a spec/window — callers
+/// feed them through `StreamView::extend`, which enforces the same
+/// invariants batch loading does.
+///
+/// # Errors
+///
+/// Returns [`Error::Row`] (with the rebased 1-based global line number)
+/// for malformed rows.
+pub fn parse_body_rows(
+    text: &str,
+    generation: Generation,
+    lineno_offset: usize,
+) -> Result<Vec<FailureRecord>> {
+    let mut records = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno_offset + i + 1;
+        let rec = if line.starts_with('{') {
+            parse_ndjson_row(lineno, line, generation)?
+        } else {
+            parse_row(lineno, line, generation)?
+        };
+        records.push(rec);
+    }
+    Ok(records)
+}
 
 /// Serializes one record as a one-line JSON object (no trailing
 /// newline), the inverse of the tailer's NDJSON row parser.
@@ -309,6 +363,10 @@ pub struct LogTailer<R> {
     reader: R,
     partial: String,
     lines_consumed: usize,
+    /// Bytes fully consumed so far (header included, partials excluded).
+    committed_bytes: u64,
+    /// Streaming CRC-32 over the committed bytes.
+    committed_crc: Crc32,
     generation: Generation,
     spec: SystemSpec,
     window: ObservationWindow,
@@ -362,6 +420,8 @@ impl<R: BufRead> LogTailer<R> {
     pub fn new(mut reader: R) -> Result<Self> {
         let mut header = HeaderParser::new();
         let mut lines_consumed = 0;
+        let mut committed_bytes = 0u64;
+        let mut committed_crc = Crc32::new();
         let mut buf = String::new();
         loop {
             buf.clear();
@@ -370,6 +430,8 @@ impl<R: BufRead> LogTailer<R> {
             }
             let done = header.feed(lines_consumed, &buf)?;
             lines_consumed += 1;
+            committed_bytes += buf.len() as u64;
+            committed_crc.update(buf.as_bytes());
             if done {
                 break;
             }
@@ -379,6 +441,8 @@ impl<R: BufRead> LogTailer<R> {
             reader,
             partial: String::new(),
             lines_consumed,
+            committed_bytes,
+            committed_crc,
             generation,
             spec,
             window,
@@ -405,6 +469,24 @@ impl<R: BufRead> LogTailer<R> {
         self.lines_consumed
     }
 
+    /// The committed byte count, checksum, and line count so far (see
+    /// [`TailProgress`]).
+    pub fn progress(&self) -> TailProgress {
+        TailProgress {
+            bytes: self.committed_bytes,
+            crc32: self.committed_crc.finish(),
+            lines: self.lines_consumed as u64,
+        }
+    }
+
+    /// Marks the current partial/complete line buffer as consumed,
+    /// folding it into the committed byte count and checksum.
+    fn commit_partial(&mut self) {
+        self.lines_consumed += 1;
+        self.committed_bytes += self.partial.len() as u64;
+        self.committed_crc.update(self.partial.as_bytes());
+    }
+
     /// Pulls the next complete, validated record.
     ///
     /// Returns `Ok(None)` when no newline-terminated line is currently
@@ -423,7 +505,7 @@ impl<R: BufRead> LogTailer<R> {
                 }
                 continue;
             }
-            self.lines_consumed += 1;
+            self.commit_partial();
             // Parse straight from the line buffer — no per-line copy.
             // The buffer is cleared after the parse either way, so the
             // next poll starts clean even on a row error.
@@ -446,10 +528,14 @@ impl<R: BufRead> LogTailer<R> {
     /// Same as [`next_record`](LogTailer::next_record).
     pub fn flush_partial(&mut self) -> Result<Option<FailureRecord>> {
         if self.partial.trim().is_empty() {
+            // Still committed: trailing whitespace is consumed input,
+            // just not a line worth numbering.
+            self.committed_bytes += self.partial.len() as u64;
+            self.committed_crc.update(self.partial.as_bytes());
             self.partial.clear();
             return Ok(None);
         }
-        self.lines_consumed += 1;
+        self.commit_partial();
         let parsed = self.parse_and_validate(self.partial.trim()).map(Some);
         self.partial.clear();
         parsed
@@ -628,6 +714,78 @@ mod tests {
                 assert_eq!(res.unwrap_err().line(), Some(3));
             }
         }
+    }
+
+    #[test]
+    fn progress_tracks_committed_bytes_and_checksum() {
+        let log = t3_log();
+        let text = crate::to_string(&log).unwrap();
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        // The header alone is committed after construction.
+        let header = tailer.progress();
+        assert!(header.bytes > 0 && (header.bytes as usize) < text.len());
+        assert_eq!(
+            header.crc32,
+            crate::crc32(&text.as_bytes()[..header.bytes as usize])
+        );
+        while tailer.next_record().unwrap().is_some() {}
+        assert!(tailer.flush_partial().unwrap().is_none());
+        let done = tailer.progress();
+        assert_eq!(done.bytes as usize, text.len());
+        assert_eq!(done.crc32, crate::crc32(text.as_bytes()));
+        assert_eq!(done.lines as usize, text.lines().count());
+        // The committed prefix always ends on a line boundary, so its
+        // line count matches the newline-counting formula snapshots use.
+        let prefix = &text.as_bytes()[..done.bytes as usize];
+        let newline_lines = prefix.iter().filter(|&&b| b == b'\n').count()
+            + usize::from(prefix.last() != Some(&b'\n'));
+        assert_eq!(done.lines as usize, newline_lines);
+    }
+
+    #[test]
+    fn progress_excludes_buffered_partial_lines() {
+        let log = t3_log();
+        let text = crate::to_string(&log).unwrap();
+        // Drop the final newline: the last row stays a buffered partial
+        // and must not count as committed until it is flushed.
+        let cut = text.len() - 1;
+        let mut tailer = LogTailer::new(&text.as_bytes()[..cut]).unwrap();
+        while tailer.next_record().unwrap().is_some() {}
+        let before = tailer.progress();
+        assert!((before.bytes as usize) < cut);
+        assert_eq!(
+            before.crc32,
+            crate::crc32(&text.as_bytes()[..before.bytes as usize])
+        );
+        assert!(tailer.flush_partial().unwrap().is_some());
+        let after = tailer.progress();
+        assert_eq!(after.bytes as usize, cut);
+        assert_eq!(after.crc32, crate::crc32(&text.as_bytes()[..cut]));
+        assert_eq!(after.lines, before.lines + 1);
+    }
+
+    #[test]
+    fn parse_body_rows_matches_the_tailer_and_rebases_linenos() {
+        let log = t3_log();
+        let text = crate::to_string(&log).unwrap();
+        let mut tailer = LogTailer::new(text.as_bytes()).unwrap();
+        let header_lines = tailer.line();
+        let mut streamed = Vec::new();
+        while let Some(rec) = tailer.next_record().unwrap() {
+            streamed.push(rec);
+        }
+        let body_start = text
+            .match_indices('\n')
+            .nth(header_lines - 1)
+            .map(|(i, _)| i + 1)
+            .unwrap();
+        let rows =
+            parse_body_rows(&text[body_start..], log.generation(), header_lines).unwrap();
+        assert_eq!(rows, streamed);
+        // A malformed row reports its rebased global line number.
+        let err = parse_body_rows("\n1,nope,1.0,GPU,0,,\n", Generation::Tsubame3, 7)
+            .unwrap_err();
+        assert_eq!(err.line(), Some(9));
     }
 
     #[test]

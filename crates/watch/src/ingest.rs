@@ -14,9 +14,9 @@
 //!   scenario the acceptance tests alert on.
 
 use std::collections::VecDeque;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
-use faillog::{Compression, InputReader, LogTailer};
+use faillog::{Compression, InputReader, LogTailer, TailProgress};
 use failsim::{ReplayClock, Simulator, SystemModel};
 use failtypes::{
     FailureRecord, Generation, Hours, ObservationWindow, Result, StreamEvent, SystemSpec,
@@ -69,6 +69,15 @@ pub trait EventSource {
     }
     /// Human-readable description of the source for the watch banner.
     fn describe(&self) -> String;
+    /// Support for persisting the accumulated index as a `.fsidx`
+    /// snapshot on clean shutdown: the source log's path plus the
+    /// progress fingerprint (bytes/CRC/lines) of exactly the raw input
+    /// consumed so far. `None` (the default) when the stream cannot be
+    /// fingerprinted against on-disk bytes — simulated replays, and
+    /// compressed files (whose progress counts *decoded* bytes).
+    fn snapshot_target(&self) -> Option<(PathBuf, TailProgress)> {
+        None
+    }
 }
 
 /// Tails a `failscope-log v1` file (see the module docs).
@@ -164,6 +173,13 @@ impl EventSource for TailSource {
         } else {
             self.path.clone()
         }
+    }
+
+    fn snapshot_target(&self) -> Option<(PathBuf, TailProgress)> {
+        if self.tailer.compression() != Compression::Plain {
+            return None;
+        }
+        Some((PathBuf::from(&self.path), self.tailer.progress()))
     }
 }
 

@@ -47,6 +47,45 @@ if [ "$parse_rate" -lt "$parse_floor" ]; then
     exit 1
 fi
 
+# Snapshot gate, part 1: `repro bench`'s index block times the warm
+# `.fsidx` load path (validate + decode) against a cold parse on the
+# same ~110k-record year; measured ~5x on one container core, tripwire
+# at 3x — an accidental return to re-parsing would land at 1x. The
+# bench itself already exits non-zero if the warm report bytes diverge
+# from cold.
+index_floor=300
+index_speedup=$(sed -n 's/.*"index_load_speedup_x100":\([0-9]*\).*/\1/p' \
+    BENCH_pipeline.json)
+if [ -z "$index_speedup" ]; then
+    echo "verify: index_load_speedup_x100 missing from BENCH_pipeline.json" >&2
+    exit 1
+fi
+if [ "$index_speedup" -lt "$index_floor" ]; then
+    echo "verify: warm snapshot load speedup regressed: ${index_speedup}/100x < floor ${index_floor}/100x" >&2
+    exit 1
+fi
+
+# Snapshot gate, part 2: through the CLI, `index build` then a warm
+# `--index require` report must be byte-identical to the cold report
+# over the analysis sections, at more than one thread count.
+idx_dir=$(mktemp -d)
+idx_sections="header,categories,spatial,involvement,tbf,ttr,availability,survival,seasonal"
+cargo run -q --release -p failctl -- \
+    generate --system tsubame3 --out "$idx_dir/idx.fslog" >/dev/null
+cargo run -q --release -p failctl -- report "$idx_dir/idx.fslog" \
+    --sections "$idx_sections" > "$idx_dir/cold.txt"
+cargo run -q --release -p failctl -- index build "$idx_dir/idx.fslog" >/dev/null
+for t in 1 4; do
+    cargo run -q --release -p failctl -- report "$idx_dir/idx.fslog" \
+        --sections "$idx_sections" --index require --threads "$t" \
+        > "$idx_dir/warm$t.txt"
+    cmp -s "$idx_dir/cold.txt" "$idx_dir/warm$t.txt" || {
+        echo "verify: warm --index require report differs from cold at --threads $t" >&2
+        exit 1
+    }
+done
+rm -rf "$idx_dir"
+
 # Gzip ingest smoke: the same log written plain and as .fslog.gz must
 # produce byte-identical reports (input is sniffed by magic bytes and
 # inflated in memory — no temp files, no external tooling).
@@ -131,4 +170,4 @@ fi
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "verify: build + tests + clippy + streaming gate + parse gate + gzip smoke + json gate + trace gate + docs all green"
+echo "verify: build + tests + clippy + streaming gate + parse gate + index gate + gzip smoke + json gate + trace gate + docs all green"
