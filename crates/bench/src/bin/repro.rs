@@ -263,6 +263,51 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("identical_output", parse_identical)
         .build();
 
+    // Filter-pushdown bench: the same scaled year parsed with a
+    // representative predicate pushed into the chunked parser. The
+    // filtered parse is verified identical to the post-hoc filter of an
+    // unfiltered parse before any rate is reported;
+    // `filter_records_per_second` (input records the filtered parser
+    // consumes per second) is the figure scripts/verify.sh gates on —
+    // the pushdown must stay within 15% of plain parse throughput.
+    const FILTER_EXPR: &str = "category == gpu && ttr > 24";
+    let filter_pred = failfilter::compile(FILTER_EXPR).expect("bench predicate compiles");
+    let filter_opts = faillog::ParseOptions::default().filter(filter_pred.clone());
+    let filtered_parse = faillog::from_str_with(&parse_text, &filter_opts).expect("parses");
+    let filter_kept = filtered_parse.len();
+    let filter_identical = {
+        let full = faillog::from_str_with(&parse_text, &parallel_opts).expect("parses");
+        let (spec, window) = (full.spec().clone(), full.window());
+        filtered_parse == full.filtered(|r| filter_pred.matches(r, &spec, window))
+    };
+    drop(filtered_parse);
+    let filter_seconds = best_of(PARSE_REPS, || {
+        std::hint::black_box(faillog::from_str_with(&parse_text, &filter_opts).expect("parses"));
+    });
+    let filter_rate = parse_records as f64 / filter_seconds.max(f64::MIN_POSITIVE);
+    let filter_overhead = filter_seconds / parse_parallel_seconds.max(f64::MIN_POSITIVE);
+    println!(
+        "  filter bench: `{FILTER_EXPR}` kept {filter_kept} of {parse_records} records"
+    );
+    println!(
+        "    filtered ({} threads): {:.1} ms | {:.0} rec/s | {:.2}x unfiltered | identical: {filter_identical}",
+        parallel_opts.threads,
+        filter_seconds * 1e3,
+        filter_rate,
+        filter_overhead
+    );
+    let filter_json = JsonValue::object()
+        .field("expression", FILTER_EXPR)
+        .field("records_in", parse_records)
+        .field("records_kept", filter_kept)
+        .field("threads", parallel_opts.threads)
+        .field("filtered_seconds", filter_seconds)
+        .field("unfiltered_seconds", parse_parallel_seconds)
+        .field("filtered_records_per_second", filter_rate as u64)
+        .field("overhead", filter_overhead)
+        .field("identical_output", filter_identical)
+        .build();
+
     // Snapshot-path bench: persist the same scaled year's index as a
     // `.fsidx` snapshot, then time the cold path (parse + build the
     // index) against the warm path (validate + decode the snapshot),
@@ -368,6 +413,8 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("identical_output", identical)
         .field("parse", parse_json)
         .field("parse_records_per_second", parse_parallel_rate as u64)
+        .field("filter", filter_json)
+        .field("filter_records_per_second", filter_rate as u64)
         .field("index", index_json)
         .field("index_load_speedup_x100", (index_load_speedup * 100.0) as u64)
         .field("index_report_speedup_x100", (index_report_speedup * 100.0) as u64)
@@ -389,6 +436,10 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     }
     if !parse_identical {
         eprintln!("parallel parse diverged from serial");
+        std::process::exit(1);
+    }
+    if !filter_identical {
+        eprintln!("filtered parse diverged from the post-hoc filter");
         std::process::exit(1);
     }
     if !index_identical {

@@ -4,7 +4,8 @@
 use std::fmt::Write as _;
 use std::io;
 
-use faillog::{ParseOptions, TimeRange};
+use failfilter::CompiledPredicate;
+use faillog::ParseOptions;
 use failindex::{Freshness, IndexMode, IndexedLoad};
 use failmitigate::{
     required_crews, simulate_staffing, CheckpointPlan, OperationsPlan, PlanConfig, SparePolicy,
@@ -36,7 +37,7 @@ COMMANDS
   summary <FILE>
       One-paragraph structural summary of a log.
   report <FILE | --model tsubame2|tsubame3 [--seed N]> [--threads N]
-         [--parse-chunk BYTES] [--since T] [--until T]
+         [--parse-chunk BYTES] [--where EXPR] [--since T] [--until T]
          [--format text|json] [--sections IDS] [--trace FILE]
          [--index auto|off|require]
       Full five-RQ reliability report (parsing and sections computed in
@@ -45,8 +46,16 @@ COMMANDS
       or a calibrated model generated in-process. --threads also sets
       the parse worker count and --parse-chunk the byte-range chunk
       size the input is split at (default 1 MiB; any value gives
-      byte-identical output). T is hours from the window start or a
-      YYYY-MM-DD date. --format json emits one NDJSON line per
+      byte-identical output). --where EXPR keeps only records matching
+      a filter expression — e.g. 'category == gpu && ttr > 24' — over
+      the fields category, ttr, recovery, time, node, slot, rack,
+      gpus, month, with ==, !=, <, <=, >, >=, ~ (substring),
+      `in (a, b)`, combined with &&, ||, ! and parentheses; the
+      predicate is evaluated during parsing (or against a warm
+      snapshot's decoded records), never as a post-pass. --since T and
+      --until T are sugar for `time >= T` / `time < T` (until is
+      exclusive) and conjoin with --where; T is hours from the window
+      start or a YYYY-MM-DD date. --format json emits one NDJSON line per
       section; --sections picks from: header, categories, spatial,
       involvement, tbf, ttr, availability, survival, seasonal, metrics
       (the pipeline's own runtime counters). --trace writes the
@@ -56,11 +65,12 @@ COMMANDS
       the appended tail on a grown one) and refreshes it after cold
       parses; require insists on a warm snapshot; off (the default)
       ignores snapshots.
-  compare <OLD> <NEW> [--threads N] [--parse-chunk BYTES] [--since T]
-          [--until T] [--format text|json] [--trace FILE]
+  compare <OLD> <NEW> [--threads N] [--parse-chunk BYTES] [--where EXPR]
+          [--since T] [--until T] [--format text|json] [--trace FILE]
           [--index auto|off|require]
       Cross-generation comparison (MTBF/MTTR/PEP factors); inputs may
       be gzip-compressed. --format json emits one JSON document.
+      --where/--since/--until filter both inputs as for report;
       --index works as for report, for both inputs.
   index build|verify|stat <FILE> [--threads N] [--parse-chunk BYTES]
       Manage FILE.fsidx snapshots: build parses FILE and writes the
@@ -72,8 +82,9 @@ COMMANDS
   watch <FILE|sim:MODEL> [--follow] [--accel RATE|max] [--seed N]
         [--baseline tsubame2|tsubame3|none] [--window N] [--refresh N]
         [--chunk N] [--max-records N] [--max-idle N] [--inject-mttr F]
-        [--threads N] [--parse-chunk BYTES] [--format text|json]
-        [--sections IDS] [--trace FILE] [--index auto|off]
+        [--threads N] [--parse-chunk BYTES] [--where EXPR]
+        [--format text|json] [--sections IDS] [--trace FILE]
+        [--index auto|off]
       Stream a log (or an accelerated simulated replay) through the
       online monitor: NDJSON drift alerts against a calibrated
       baseline, plus periodic summaries. A gzip-compressed replay file
@@ -82,13 +93,17 @@ COMMANDS
       compressed member). Records are ingested in chunks of up to
       --chunk (default 256; drift checks run per chunk, partial chunks
       flush on idle/EOF so follow mode never lags); --parse-chunk sets
-      the file read-buffer size in bytes. --format json makes the
+      the file read-buffer size in bytes. --where EXPR scopes the
+      monitor to matching records (report syntax): the detector and
+      summaries see only the filtered stream, and every alert line
+      carries the expression in a `filter` field. --format json makes the
       whole stream NDJSON (one line per summary section); --sections
       picks from: overview, categories, slots, months. --trace writes
       the loop's ingestion/alert counters as NDJSON. --index auto
       persists the accumulated index as FILE.fsidx on clean shutdown
-      (plain-text file sources only), so a later `report --index
-      auto` starts warm.
+      (plain-text file sources only, and never combined with --where:
+      snapshots always hold unfiltered state), so a later `report
+      --index auto` starts warm.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]
@@ -143,23 +158,59 @@ fn write_trace(args: &ParsedArgs, trace: &Collector) -> Result<()> {
     Ok(())
 }
 
-/// Resolves `--since`/`--until` (hours or `YYYY-MM-DD`) against a log's
-/// observation window.
-fn time_range(args: &ParsedArgs, log: &FailureLog) -> Result<TimeRange> {
-    let mut range = TimeRange::default();
-    if let Some(raw) = args.flag("since") {
-        range.since = Some(
-            faillog::parse_time_bound(raw, log.window())
-                .map_err(|e| Error::args(format!("--since: {e}")))?,
-        );
+/// Compiles the record filter for a command: the `--where` expression,
+/// conjoined with the `--since`/`--until` sugar, which desugars into
+/// the same predicate IR (`time >= SINCE && time < UNTIL`; `--until` is
+/// exclusive, matching the half-open observation window). Returns
+/// `None` when no filtering flag is present.
+///
+/// Compilation is window-free (date literals resolve at evaluation
+/// time), so the filter exists before any input is opened and pushes
+/// down into the parser itself.
+fn build_filter(args: &ParsedArgs) -> Result<Option<CompiledPredicate>> {
+    let mut pred: Option<CompiledPredicate> = None;
+    let mut conjoin = |p: CompiledPredicate| {
+        pred = Some(match pred.take() {
+            Some(q) => q.and(p),
+            None => p,
+        });
+    };
+    if let Some(src) = args.flag("where") {
+        conjoin(failfilter::compile(src).map_err(|e| Error::args(format!("--where: {e}")))?);
     }
-    if let Some(raw) = args.flag("until") {
-        range.until = Some(
-            faillog::parse_time_bound(raw, log.window())
-                .map_err(|e| Error::args(format!("--until: {e}")))?,
-        );
+    for (flag, op) in [("since", ">="), ("until", "<")] {
+        if let Some(raw) = args.flag(flag) {
+            let lit = failfilter::time_literal(raw)
+                .map_err(|e| Error::args(format!("--{flag}: {e}")))?;
+            conjoin(
+                failfilter::compile(&format!("time {op} {lit}"))
+                    .expect("desugared time bound compiles"),
+            );
+        }
     }
-    Ok(range)
+    Ok(pred)
+}
+
+/// `parse_opts` with the command's filter pushed down into the parser.
+fn pushdown(parse_opts: &ParseOptions, filter: &Option<CompiledPredicate>) -> ParseOptions {
+    let mut opts = parse_opts.clone();
+    opts.filter.clone_from(filter);
+    opts
+}
+
+/// Filters a snapshot-decoded view through the command's predicate
+/// (identity without one). Snapshots always persist unfiltered state;
+/// this is where a `--where` composes with a warm index — still with
+/// zero parsing.
+fn filter_view(view: failscope::StreamView, filter: &Option<CompiledPredicate>) -> failscope::StreamView {
+    match filter {
+        Some(p) => {
+            let spec = view.spec().clone();
+            let window = view.window();
+            view.filtered(|r| p.matches(r, &spec, window))
+        }
+        None => view,
+    }
 }
 
 /// `failctl generate`.
@@ -283,51 +334,60 @@ fn index_mode(args: &ParsedArgs) -> Result<IndexMode> {
     }
 }
 
-fn require_warm_err(path: &str) -> Error {
-    Error::run(format!(
+fn require_warm_err(path: &str, args: &ParsedArgs) -> Error {
+    let mut msg = format!(
         "{path}: no warm .fsidx snapshot for --index require (build one with `failctl index build {path}`)"
-    ))
+    );
+    if let Some(expr) = args.flag("where") {
+        // Snapshots are always unfiltered, so the fix is the same build
+        // command — the filter applies at read time, not build time.
+        let _ = write!(
+            msg,
+            "; `--where {expr}` filters the snapshot at read time, so the same unfiltered build serves it"
+        );
+    }
+    Error::run(msg)
 }
 
 /// A report's resolved input: a warm snapshot index, or a cold-parsed
-/// (possibly clipped) log to be indexed in-process.
+/// (possibly filtered at ingest) log to be indexed in-process.
 enum ReportInput {
     Warm(Box<failscope::StreamView>),
     Cold(FailureLog),
 }
 
-/// Loads a report's file input honouring `--index`: a warm snapshot is
-/// served without parsing the log (exact hit) or by parsing only its
-/// appended tail (prefix hit); otherwise the log is parsed cold and, in
-/// auto mode, a fresh snapshot is written best-effort.
+/// Loads a report's file input honouring `--index` and the command's
+/// filter: a warm snapshot is served without parsing the log (exact
+/// hit) or by parsing only its appended tail (prefix hit), with the
+/// predicate applied to the decoded view; otherwise the log is parsed
+/// cold with the predicate pushed into the parser. Auto mode refreshes
+/// the snapshot best-effort after an *unfiltered* cold parse only — a
+/// filtered parse never sees the whole log, and snapshots must.
 fn open_report_input(
     args: &ParsedArgs,
     path: &str,
     trace: &Collector,
     parse_opts: &ParseOptions,
+    filter: &Option<CompiledPredicate>,
 ) -> Result<ReportInput> {
     let mode = index_mode(args)?;
     if mode == IndexMode::Off {
-        let log = load_traced(path, Some(trace), parse_opts)?;
-        let range = time_range(args, &log)?;
-        return Ok(ReportInput::Cold(faillog::clip(&log, range)));
+        let log = load_traced(path, Some(trace), &pushdown(parse_opts, filter))?;
+        return Ok(ReportInput::Cold(log));
     }
     let warm = |view: failscope::StreamView| -> Result<ReportInput> {
-        if args.flag("since").is_none() && args.flag("until").is_none() {
-            return Ok(ReportInput::Warm(Box::new(view)));
-        }
-        // Clipping works on logs; rebuild one from the snapshot (still
-        // zero parsing) and render through the usual cold path.
-        let log = view.to_log();
-        let range = time_range(args, &log)?;
-        Ok(ReportInput::Cold(faillog::clip(&log, range)))
+        Ok(ReportInput::Warm(Box::new(filter_view(view, filter))))
     };
     match failindex::open_indexed(path, Some(trace))? {
         IndexedLoad::Exact(snap) => warm(snap.into_view()),
         IndexedLoad::Extended { snapshot, .. } => warm(snapshot.into_view()),
         IndexedLoad::Cold { source } => {
             if mode == IndexMode::Require {
-                return Err(require_warm_err(path));
+                return Err(require_warm_err(path, args));
+            }
+            if filter.is_some() {
+                let log = load_traced(path, Some(trace), &pushdown(parse_opts, filter))?;
+                return Ok(ReportInput::Cold(log));
             }
             let log = load_traced(path, Some(trace), parse_opts)?;
             failindex::save_traced(
@@ -337,8 +397,7 @@ fn open_report_input(
                 Some(trace),
             )
             .ok();
-            let range = time_range(args, &log)?;
-            Ok(ReportInput::Cold(faillog::clip(&log, range)))
+            Ok(ReportInput::Cold(log))
         }
     }
 }
@@ -353,12 +412,13 @@ fn open_report_input(
 /// export (byte-identical at any `--threads` value).
 pub fn report(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[
-        "threads", "since", "until", "format", "sections", "model", "seed", "trace",
+        "threads", "since", "until", "where", "format", "sections", "model", "seed", "trace",
         "parse-chunk", "index",
     ])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
     let parse_opts = parse_options(args)?;
+    let filter = build_filter(args)?;
     let sections = match args.flag("sections") {
         Some(spec) => failscope::select_sections(spec)?,
         None => failscope::SECTIONS.iter().collect(),
@@ -371,18 +431,31 @@ pub fn report(args: &ParsedArgs) -> Result<String> {
                     "pass either a log file or --model, not both",
                 ));
             }
-            if args.flag("index").is_some() {
-                return Err(Error::args("--index only applies to file input"));
+            if let Some(mode) = args.flag("index") {
+                return Err(Error::args(format!(
+                    "--index {mode} only applies to file input (--model {name} is generated in-process)"
+                )));
             }
             let seed: u64 = args.flag_or("seed", 42)?;
-            ReportInput::Cold(Simulator::new(model_by_name(name)?, seed).generate_traced(Some(&trace))?)
+            let log = Simulator::new(model_by_name(name)?, seed).generate_traced(Some(&trace))?;
+            // The model path never touches the parser; the predicate
+            // applies directly to the generated records.
+            match &filter {
+                Some(p) => {
+                    let (spec, window) = (log.spec().clone(), log.window());
+                    ReportInput::Cold(log.filtered(|r| p.matches(r, &spec, window)))
+                }
+                None => ReportInput::Cold(log),
+            }
         }
         None => {
-            if args.flag("seed").is_some() {
-                return Err(Error::args("--seed only applies with --model"));
+            if let Some(seed) = args.flag("seed") {
+                return Err(Error::args(format!(
+                    "--seed {seed} only applies with --model"
+                )));
             }
             let path = args.positional(0, "file")?;
-            open_report_input(args, path, &trace, &parse_opts)?
+            open_report_input(args, path, &trace, &parse_opts, &filter)?
         }
     };
     let render = |ctx: &SectionCtx<'_>| match format {
@@ -400,54 +473,62 @@ pub fn report(args: &ParsedArgs) -> Result<String> {
     Ok(out)
 }
 
-/// Loads one `compare` input honouring `--index`: warm snapshots are
-/// converted back to a log without parsing (the comparison renderer
-/// works on logs); cold parses refresh the snapshot in auto mode.
+/// Loads one `compare` input honouring `--index` and the command's
+/// filter: warm snapshots are filtered as decoded views and converted
+/// back to a log without parsing (the comparison renderer works on
+/// logs); cold parses push the predicate into the parser and refresh
+/// the snapshot in auto mode only when unfiltered.
 fn load_compare_input(
     args: &ParsedArgs,
     path: &str,
     trace: &Collector,
     parse_opts: &ParseOptions,
     mode: IndexMode,
+    filter: &Option<CompiledPredicate>,
 ) -> Result<FailureLog> {
-    let log = if mode == IndexMode::Off {
-        load_traced(path, Some(trace), parse_opts)?
-    } else {
-        match failindex::open_indexed(path, Some(trace))? {
-            IndexedLoad::Exact(snap) => snap.into_view().to_log(),
-            IndexedLoad::Extended { snapshot, .. } => snapshot.into_view().to_log(),
-            IndexedLoad::Cold { source } => {
-                if mode == IndexMode::Require {
-                    return Err(require_warm_err(path));
-                }
-                let log = load_traced(path, Some(trace), parse_opts)?;
-                failindex::save_traced(
-                    failindex::snapshot_path(path),
-                    &failscope::LogView::new(&log),
-                    source,
-                    Some(trace),
-                )
-                .ok();
-                log
-            }
+    if mode == IndexMode::Off {
+        return load_traced(path, Some(trace), &pushdown(parse_opts, filter));
+    }
+    match failindex::open_indexed(path, Some(trace))? {
+        IndexedLoad::Exact(snap) => Ok(filter_view(snap.into_view(), filter).to_log()),
+        IndexedLoad::Extended { snapshot, .. } => {
+            Ok(filter_view(snapshot.into_view(), filter).to_log())
         }
-    };
-    let range = time_range(args, &log)?;
-    Ok(faillog::clip(&log, range))
+        IndexedLoad::Cold { source } => {
+            if mode == IndexMode::Require {
+                return Err(require_warm_err(path, args));
+            }
+            if filter.is_some() {
+                return load_traced(path, Some(trace), &pushdown(parse_opts, filter));
+            }
+            let log = load_traced(path, Some(trace), parse_opts)?;
+            failindex::save_traced(
+                failindex::snapshot_path(path),
+                &failscope::LogView::new(&log),
+                source,
+                Some(trace),
+            )
+            .ok();
+            Ok(log)
+        }
+    }
 }
 
 /// `failctl compare`.
 pub fn compare(args: &ParsedArgs) -> Result<String> {
     args.reject_unknown_flags(&[
-        "threads", "since", "until", "format", "trace", "parse-chunk", "index",
+        "threads", "since", "until", "where", "format", "trace", "parse-chunk", "index",
     ])?;
     let threads = threads_flag(args)?;
     let format = format_flag(args)?;
     let parse_opts = parse_options(args)?;
+    let filter = build_filter(args)?;
     let mode = index_mode(args)?;
     let trace = Collector::new();
-    let older = load_compare_input(args, args.positional(0, "old")?, &trace, &parse_opts, mode)?;
-    let newer = load_compare_input(args, args.positional(1, "new")?, &trace, &parse_opts, mode)?;
+    let older =
+        load_compare_input(args, args.positional(0, "old")?, &trace, &parse_opts, mode, &filter)?;
+    let newer =
+        load_compare_input(args, args.positional(1, "new")?, &trace, &parse_opts, mode, &filter)?;
     let out = trace.time("compare.render", || match format {
         OutputFormat::Text => failscope::render_comparison_threaded(&older, &newer, threads),
         OutputFormat::Json => failscope::render_comparison_json(&older, &newer, threads),
@@ -757,6 +838,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         "max-records",
         "max-idle",
         "threads",
+        "where",
         "format",
         "sections",
         "trace",
@@ -764,6 +846,7 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         "index",
     ])?;
     let source_arg = args.positional(0, "path|sim:MODEL")?;
+    let filter = build_filter(args)?;
     let persist_index = match index_mode(args)? {
         IndexMode::Off => false,
         IndexMode::Auto => true,
@@ -773,6 +856,16 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
             ))
         }
     };
+    if persist_index {
+        if let Some(expr) = args.flag("where") {
+            // Snapshots must cover the whole log; a watch scoped by a
+            // predicate accumulates filtered state that must never be
+            // persisted as an index.
+            return Err(Error::args(format!(
+                "--index auto cannot persist an index scoped by `--where {expr}`; drop one of the two flags"
+            )));
+        }
+    }
 
     let mut source: Box<dyn EventSource> = if let Some(name) = source_arg.strip_prefix("sim:") {
         let clock = match args.flag("accel").unwrap_or("max") {
@@ -786,11 +879,15 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
                 ReplayClock::new(rate)
             }
         };
-        if args.flag("parse-chunk").is_some() {
-            return Err(Error::args("--parse-chunk only applies to file sources"));
+        if let Some(bytes) = args.flag("parse-chunk") {
+            return Err(Error::args(format!(
+                "--parse-chunk {bytes} only applies to file sources (sim:{name} is generated in-process)"
+            )));
         }
-        if args.flag("index").is_some() {
-            return Err(Error::args("--index only applies to file sources"));
+        if let Some(mode) = args.flag("index") {
+            return Err(Error::args(format!(
+                "--index {mode} only applies to file sources (sim:{name} has no log to snapshot)"
+            )));
         }
         let seed: u64 = args.flag_or("seed", 42)?;
         let mut src = SimSource::new(model_by_name(name)?, seed, clock)?;
@@ -808,9 +905,9 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         Box::new(src)
     } else {
         for flag in ["accel", "seed", "inject-mttr"] {
-            if args.flag(flag).is_some() {
+            if let Some(value) = args.flag(flag) {
                 return Err(Error::args(format!(
-                    "--{flag} only applies to sim: sources"
+                    "--{flag} {value} only applies to sim: sources (`{source_arg}` is a file)"
                 )));
             }
         }
@@ -848,6 +945,9 @@ pub fn watch_stream(args: &ParsedArgs, out: &mut dyn io::Write) -> Result<()> {
         .threads(threads_flag(args)?)
         .json_summaries(format_flag(args)? == OutputFormat::Json)
         .trace(trace.clone());
+    if let Some(pred) = filter {
+        builder = builder.filter(pred);
+    }
     if let Some(raw) = args.flag("max-idle") {
         let polls: u64 = raw
             .parse()
@@ -1509,6 +1609,232 @@ mod tests {
         assert!(watch(&parse(&["watch", p, "--inject-mttr", "2.0"])).is_err());
         assert!(watch(&parse(&["watch", "sim:cray"])).is_err());
         assert!(watch(&parse(&["watch", p, "--baseline", "cray"])).is_err());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    /// The ISSUE's acceptance predicate, end to end on both canonical
+    /// seed logs: byte-identical across thread counts, warm vs cold,
+    /// and against a post-hoc filtered baseline.
+    #[test]
+    fn report_where_is_byte_identical_across_threads_index_and_post_hoc() {
+        const EXPR: &str = "category == gpu && ttr > 24";
+        for system in ["tsubame2", "tsubame3"] {
+            let path = temp_path(&format!("where-{system}.fslog"));
+            let p = path.to_str().unwrap();
+            let spath = format!("{p}.fsidx");
+            generate(&parse(&["generate", "--system", system, "--out", p]))
+                .expect("generates");
+
+            let cold = report(&parse(&[
+                "report", p, "--sections", ANALYSIS, "--where", EXPR, "--threads", "1",
+            ]))
+            .expect("reports");
+            for threads in ["2", "4"] {
+                let r = report(&parse(&[
+                    "report", p, "--sections", ANALYSIS, "--where", EXPR, "--threads", threads,
+                ]))
+                .expect("reports");
+                assert_eq!(r, cold, "--threads {threads} on {system}");
+            }
+
+            // A filtered cold parse in auto mode matches too but must
+            // NOT leave a snapshot behind: a filtered parse never sees
+            // the whole log, and snapshots must.
+            let auto = report(&parse(&[
+                "report", p, "--sections", ANALYSIS, "--where", EXPR, "--index", "auto",
+            ]))
+            .expect("reports");
+            assert_eq!(auto, cold);
+            assert!(
+                !std::path::Path::new(&spath).exists(),
+                "filtered parse must not persist a snapshot"
+            );
+
+            // Warm snapshots compose: the .fsidx stores unfiltered
+            // state and the predicate filters the decoded view.
+            index_cmd(&parse(&["index", "build", p])).expect("builds");
+            for mode in ["auto", "require"] {
+                for threads in ["1", "4"] {
+                    let warm = report(&parse(&[
+                        "report", p, "--sections", ANALYSIS, "--where", EXPR,
+                        "--index", mode, "--threads", threads,
+                    ]))
+                    .expect("reports");
+                    assert_eq!(warm, cold, "--index {mode} --threads {threads} on {system}");
+                }
+            }
+
+            // Post-hoc baseline: filter the same records outside the
+            // pipeline, save them as a log, report that log unfiltered.
+            let log = load(p).expect("loads");
+            let posthoc_log = log.filtered(|r| r.category().is_gpu() && r.ttr().get() > 24.0);
+            assert!(!posthoc_log.is_empty() && posthoc_log.len() < log.len());
+            let bpath = temp_path(&format!("where-{system}-posthoc.fslog"));
+            let b = bpath.to_str().unwrap();
+            faillog::save(b, &posthoc_log).expect("saves");
+            let posthoc = report(&parse(&["report", b, "--sections", ANALYSIS]))
+                .expect("reports");
+            assert_eq!(cold, posthoc, "pushdown must equal the post-hoc filter on {system}");
+
+            // compare under the same filter matches an unfiltered
+            // comparison of the post-hoc logs.
+            let c_pushdown = compare(&parse(&["compare", p, p, "--where", EXPR]))
+                .expect("compares");
+            let c_posthoc = compare(&parse(&["compare", b, b])).expect("compares");
+            assert_eq!(c_pushdown, c_posthoc);
+
+            std::fs::remove_file(&path).expect("cleanup");
+            std::fs::remove_file(&spath).expect("cleanup");
+            std::fs::remove_file(&bpath).expect("cleanup");
+        }
+    }
+
+    #[test]
+    fn where_errors_are_span_annotated_and_name_the_flag() {
+        let path = temp_path("where-err.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--out", p])).expect("generates");
+        let err = report(&parse(&["report", p, "--where", "bananas == 1"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--where: unknown field `bananas`"), "{err}");
+        assert!(err.contains("bananas == 1"), "{err}");
+        assert!(err.contains("^^^^^^^"), "source span must be underlined: {err}");
+        let err = report(&parse(&["report", p, "--where", "ttr >"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--where: ") && err.contains('^'), "{err}");
+        // compare and watch route through the same compiler.
+        let err = compare(&parse(&["compare", p, p, "--where", "ttr = 1"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--where: ") && err.contains('^'), "{err}");
+        let err = watch(&parse(&["watch", p, "--where", "category == banana"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--where: ") && err.contains('^'), "{err}");
+        // The sugar flags name themselves, not --where.
+        let err = report(&parse(&["report", p, "--since", "banana"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--since: "), "{err}");
+        let err = report(&parse(&["report", p, "--until", "2017-13-01"]))
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--until: "), "{err}");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn since_until_are_sugar_for_where_time_bounds() {
+        let path = temp_path("sugar.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame3", "--out", p]))
+            .expect("generates");
+        let sugar = report(&parse(&["report", p, "--since", "500", "--until", "1000"]))
+            .expect("reports");
+        let spelled = report(&parse(&[
+            "report", p, "--where", "time >= 500 && time < 1000",
+        ]))
+        .expect("reports");
+        assert_eq!(sugar, spelled, "--since/--until must desugar to time bounds");
+        // The sugar conjoins with an explicit --where.
+        let both = report(&parse(&[
+            "report", p, "--where", "category == gpu", "--until", "1000",
+        ]))
+        .expect("reports");
+        let spelled = report(&parse(&[
+            "report", p, "--where", "category == gpu && time < 1000",
+        ]))
+        .expect("reports");
+        assert_eq!(both, spelled);
+        // Date bounds desugar through the same literal path.
+        let dated = report(&parse(&["report", p, "--since", "2017-10-01"])).expect("reports");
+        let spelled = report(&parse(&[
+            "report", p, "--where", "time >= \"2017-10-01\"",
+        ]))
+        .expect("reports");
+        assert_eq!(dated, spelled);
+        // The model path honours the same filter flags.
+        let m = report(&parse(&[
+            "report", "--model", "tsubame3", "--sections", ANALYSIS, "--where", "category == gpu",
+        ]))
+        .expect("reports");
+        let full = report(&parse(&["report", "--model", "tsubame3", "--sections", ANALYSIS]))
+            .expect("reports");
+        assert_ne!(m, full, "the filter must scope the generated log");
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn watch_where_scopes_the_monitor_and_tags_alerts() {
+        let path = temp_path("watch-where.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--system", "tsubame2", "--out", p]))
+            .expect("generates");
+        let out = watch(&parse(&[
+            "watch", p, "--baseline", "tsubame2", "--where", "category == gpu",
+        ]))
+        .expect("watches");
+        assert!(out.contains("# filter: category == gpu"), "{out}");
+        assert!(
+            !out.contains("897 records"),
+            "the monitor must see only the filtered stream: {out}"
+        );
+        let alerts: Vec<&str> = out.lines().filter(|l| l.starts_with('{')).collect();
+        for line in &alerts {
+            assert!(
+                line.ends_with("\"filter\":\"category == gpu\"}"),
+                "every alert must carry the filter expression: {line}"
+            );
+        }
+        // JSON mode stays pure NDJSON (the banner is text-only).
+        let json = watch(&parse(&[
+            "watch", p, "--baseline", "tsubame2", "--where", "category == gpu",
+            "--format", "json",
+        ]))
+        .expect("watches");
+        for line in json.lines() {
+            assert!(line.starts_with('{'), "{line}");
+        }
+        // A filtered watch must never persist its (filtered) index.
+        let err = watch(&parse(&[
+            "watch", p, "--where", "category == gpu", "--index", "auto",
+        ]))
+        .unwrap_err()
+        .to_string();
+        assert!(err.contains("--index auto"), "{err}");
+        assert!(err.contains("--where category == gpu"), "{err}");
+        assert!(!std::path::Path::new(&format!("{p}.fsidx")).exists());
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    /// Satellite: every invalid flag combination names the offending
+    /// flag and its value.
+    #[test]
+    fn flag_rejections_name_the_flag_and_value() {
+        let path = temp_path("reject.fslog");
+        let p = path.to_str().unwrap();
+        generate(&parse(&["generate", "--out", p])).expect("generates");
+        let msg = |r: Result<String>| r.unwrap_err().to_string();
+        let m = msg(watch(&parse(&["watch", "sim:tsubame3", "--parse-chunk", "512"])));
+        assert!(m.contains("--parse-chunk 512") && m.contains("sim:tsubame3"), "{m}");
+        let m = msg(watch(&parse(&["watch", "sim:tsubame3", "--index", "off"])));
+        assert!(m.contains("--index off") && m.contains("sim:tsubame3"), "{m}");
+        let m = msg(watch(&parse(&["watch", p, "--inject-mttr", "2.0"])));
+        assert!(m.contains("--inject-mttr 2.0") && m.contains(p), "{m}");
+        let m = msg(watch(&parse(&["watch", p, "--accel", "3"])));
+        assert!(m.contains("--accel 3"), "{m}");
+        let m = msg(report(&parse(&["report", "--model", "tsubame2", "--index", "auto"])));
+        assert!(m.contains("--index auto") && m.contains("tsubame2"), "{m}");
+        let m = msg(report(&parse(&["report", p, "--seed", "7"])));
+        assert!(m.contains("--seed 7"), "{m}");
+        // --index require on a snapshotless log while --where is active
+        // names both flags (and the fix is still an unfiltered build).
+        let m = msg(report(&parse(&["report", p, "--index", "require", "--where", "ttr > 1"])));
+        assert!(m.contains("--index require"), "{m}");
+        assert!(m.contains("--where ttr > 1"), "{m}");
+        assert!(m.contains("failctl index build"), "{m}");
         std::fs::remove_file(&path).expect("cleanup");
     }
 }

@@ -592,6 +592,26 @@ impl StreamView {
         .expect("pushed records were validated")
     }
 
+    /// Rebuilds the view keeping only the records `keep` accepts,
+    /// re-deriving every index from scratch so the result is
+    /// indistinguishable from a view that only ever ingested the
+    /// matching records. This is how a `--where` predicate composes
+    /// with persisted (always unfiltered) index snapshots: decode the
+    /// snapshot, then filter the decoded view.
+    ///
+    /// Records are visited in ingest order, so the filtered view's
+    /// record order — and therefore any report rendered from it — is
+    /// byte-identical to a cold filtered parse of the same log.
+    pub fn filtered(&self, mut keep: impl FnMut(&FailureRecord) -> bool) -> StreamView {
+        let mut out = StreamView::new(self.generation, self.spec.clone(), self.window);
+        for rec in &self.records {
+            if keep(rec) {
+                out.push(rec.clone()).expect("subset of a valid view is valid");
+            }
+        }
+        out
+    }
+
     /// The system generation this view is indexed for.
     pub const fn generation(&self) -> Generation {
         self.generation
@@ -742,6 +762,31 @@ mod tests {
         assert_eq!(sv.gpu_involvements(), bv.gpu_involvements());
         assert_eq!(sv.multi_gpu_times(), bv.multi_gpu_times());
         assert_eq!(sv.month_ttrs(), bv.month_ttrs());
+    }
+
+    #[test]
+    fn filtered_rebuild_matches_a_filter_first_ingest() {
+        let log = Simulator::new(SystemModel::tsubame3(), 17).generate().unwrap();
+        let full = feed(&log);
+        let keep = |r: &FailureRecord| r.category().is_gpu() && r.ttr().get() > 24.0;
+        let filtered = full.filtered(keep);
+        // Oracle: a view that only ever saw the matching records.
+        let mut oracle = StreamView::for_log(&log);
+        oracle
+            .extend(log.records().iter().filter(|r| keep(r)).cloned())
+            .unwrap();
+        assert!(!filtered.is_empty() && filtered.len() < full.len());
+        assert_eq!(filtered.records(), oracle.records());
+        let (mut filtered, mut oracle) = (filtered, oracle);
+        filtered.materialize();
+        oracle.materialize();
+        assert_eq!(filtered.to_log(), oracle.to_log());
+        assert_eq!(filtered.ttrs_sorted(), oracle.ttrs_sorted());
+        assert_eq!(filtered.category_indices(), oracle.category_indices());
+        assert_eq!(filtered.month_ttrs(), oracle.month_ttrs());
+        // And against the batch view of the equivalently filtered log.
+        let sub = faillog::from_str(&faillog::to_string(&filtered.to_log()).unwrap()).unwrap();
+        assert_matches_batch(&filtered, &LogView::new(&sub));
     }
 
     #[test]

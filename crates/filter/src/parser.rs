@@ -1,0 +1,349 @@
+//! Recursive-descent parser for the `--where` expression grammar.
+//!
+//! ```text
+//! expr       := or
+//! or         := and ( "||" and )*
+//! and        := unary ( "&&" unary )*
+//! unary      := "!" unary | atom
+//! atom       := "(" expr ")" | comparison
+//! comparison := FIELD op value
+//!             | FIELD "in" "(" value ( "," value )* ")"
+//! op         := "==" | "!=" | "<" | "<=" | ">" | ">=" | "~"
+//! value      := NUMBER | STRING | WORD
+//! ```
+//!
+//! The parser is syntax-only: field names and value types are checked
+//! by the compiler in `lib.rs`, which is where the span on every node
+//! pays off.
+
+use crate::lexer::{Lexed, Span, Tok};
+
+/// A comparison operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// `~`: case-insensitive substring match.
+    Match,
+}
+
+impl CmpOp {
+    pub(crate) fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Match => "~",
+        }
+    }
+}
+
+/// A literal on the right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum ValueKind {
+    Num(f64),
+    Str(String),
+    Word(String),
+}
+
+/// A spanned literal.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Value {
+    pub kind: ValueKind,
+    pub span: Span,
+}
+
+/// The syntax tree of one filter expression.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Ast {
+    And(Box<Ast>, Box<Ast>),
+    Or(Box<Ast>, Box<Ast>),
+    Not(Box<Ast>),
+    Cmp {
+        field: String,
+        field_span: Span,
+        op: CmpOp,
+        op_span: Span,
+        value: Value,
+    },
+    In {
+        field: String,
+        field_span: Span,
+        values: Vec<Value>,
+    },
+}
+
+pub(crate) fn parse(tokens: &[Lexed], src_len: usize) -> Result<Ast, (String, Span)> {
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        end: Span::new(src_len, src_len),
+    };
+    if tokens.is_empty() {
+        return Err(("empty filter expression".into(), Span::new(0, src_len.max(1))));
+    }
+    let ast = p.or_expr()?;
+    if let Some(extra) = p.peek() {
+        return Err((
+            format!("unexpected {} after the expression", extra.tok.describe()),
+            extra.span,
+        ));
+    }
+    Ok(ast)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Lexed],
+    pos: usize,
+    /// Zero-width span at end of input, for "expected ..." errors there.
+    end: Span,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&'a Lexed> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Lexed> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok, what: &str) -> Result<Span, (String, Span)> {
+        match self.next() {
+            Some(l) if &l.tok == want => Ok(l.span),
+            Some(l) => Err((
+                format!("expected {what}, found {}", l.tok.describe()),
+                l.span,
+            )),
+            None => Err((format!("expected {what}, found end of expression"), self.end)),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Ast, (String, Span)> {
+        let mut lhs = self.and_expr()?;
+        while matches!(self.peek(), Some(l) if l.tok == Tok::OrOr) {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Ast::Or(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Ast, (String, Span)> {
+        let mut lhs = self.unary()?;
+        while matches!(self.peek(), Some(l) if l.tok == Tok::AndAnd) {
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Ast::And(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Ast, (String, Span)> {
+        if matches!(self.peek(), Some(l) if l.tok == Tok::Bang) {
+            self.pos += 1;
+            return Ok(Ast::Not(Box::new(self.unary()?)));
+        }
+        self.atom()
+    }
+
+    fn atom(&mut self) -> Result<Ast, (String, Span)> {
+        match self.peek() {
+            Some(l) if l.tok == Tok::LParen => {
+                self.pos += 1;
+                let inner = self.or_expr()?;
+                self.expect(&Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Some(l) => {
+                if let Tok::Word(field) = &l.tok {
+                    let field = field.clone();
+                    let field_span = l.span;
+                    self.pos += 1;
+                    self.comparison(field, field_span)
+                } else {
+                    Err((
+                        format!(
+                            "expected a field name or `(`, found {}",
+                            l.tok.describe()
+                        ),
+                        l.span,
+                    ))
+                }
+            }
+            None => Err((
+                "expected a field name or `(`, found end of expression".into(),
+                self.end,
+            )),
+        }
+    }
+
+    fn comparison(&mut self, field: String, field_span: Span) -> Result<Ast, (String, Span)> {
+        let (op, op_span) = match self.next() {
+            Some(l) => {
+                let op = match &l.tok {
+                    Tok::EqEq => Some(CmpOp::Eq),
+                    Tok::Ne => Some(CmpOp::Ne),
+                    Tok::Lt => Some(CmpOp::Lt),
+                    Tok::Le => Some(CmpOp::Le),
+                    Tok::Gt => Some(CmpOp::Gt),
+                    Tok::Ge => Some(CmpOp::Ge),
+                    Tok::Tilde => Some(CmpOp::Match),
+                    Tok::Word(w) if w == "in" => None,
+                    other => {
+                        return Err((
+                            format!(
+                                "expected a comparison operator or `in` after `{field}`, \
+                                 found {}",
+                                other.describe()
+                            ),
+                            l.span,
+                        ))
+                    }
+                };
+                match op {
+                    Some(op) => (op, l.span),
+                    None => return self.in_set(field, field_span),
+                }
+            }
+            None => {
+                return Err((
+                    format!("expected a comparison operator or `in` after `{field}`"),
+                    self.end,
+                ))
+            }
+        };
+        let value = self.value()?;
+        Ok(Ast::Cmp {
+            field,
+            field_span,
+            op,
+            op_span,
+            value,
+        })
+    }
+
+    fn in_set(&mut self, field: String, field_span: Span) -> Result<Ast, (String, Span)> {
+        self.expect(&Tok::LParen, "`(` after `in`")?;
+        let mut values = vec![self.value()?];
+        loop {
+            match self.next() {
+                Some(l) if l.tok == Tok::Comma => values.push(self.value()?),
+                Some(l) if l.tok == Tok::RParen => break,
+                Some(l) => {
+                    return Err((
+                        format!("expected `,` or `)`, found {}", l.tok.describe()),
+                        l.span,
+                    ))
+                }
+                None => {
+                    return Err(("expected `,` or `)`, found end of expression".into(), self.end))
+                }
+            }
+        }
+        Ok(Ast::In {
+            field,
+            field_span,
+            values,
+        })
+    }
+
+    fn value(&mut self) -> Result<Value, (String, Span)> {
+        match self.next() {
+            Some(l) => {
+                let kind = match &l.tok {
+                    Tok::Number(n) => ValueKind::Num(*n),
+                    Tok::Str(s) => ValueKind::Str(s.clone()),
+                    Tok::Word(w) => ValueKind::Word(w.clone()),
+                    other => {
+                        return Err((
+                            format!("expected a value, found {}", other.describe()),
+                            l.span,
+                        ))
+                    }
+                };
+                Ok(Value { kind, span: l.span })
+            }
+            None => Err(("expected a value, found end of expression".into(), self.end)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> Ast {
+        parse(&lex(src).unwrap(), src.len()).unwrap()
+    }
+
+    fn parse_err(src: &str) -> String {
+        parse(&lex(src).unwrap(), src.len()).unwrap_err().0
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter_than_or() {
+        // a || b && c  parses as  a || (b && c)
+        let ast = parsed("a == 1 || b == 2 && c == 3");
+        match ast {
+            Ast::Or(lhs, rhs) => {
+                assert!(matches!(*lhs, Ast::Cmp { .. }));
+                assert!(matches!(*rhs, Ast::And(..)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override_precedence() {
+        let ast = parsed("(a == 1 || b == 2) && c == 3");
+        assert!(matches!(ast, Ast::And(..)));
+    }
+
+    #[test]
+    fn not_applies_to_the_nearest_atom() {
+        let ast = parsed("!a == 1 && b == 2");
+        match ast {
+            Ast::And(lhs, _) => assert!(matches!(*lhs, Ast::Not(..))),
+            other => panic!("unexpected shape: {other:?}"),
+        }
+        assert!(matches!(parsed("!!a == 1"), Ast::Not(..)));
+    }
+
+    #[test]
+    fn in_sets_parse() {
+        match parsed("category in (gpu, memory, \"System Board\")") {
+            Ast::In { field, values, .. } => {
+                assert_eq!(field, "category");
+                assert_eq!(values.len(), 3);
+                assert_eq!(values[2].kind, ValueKind::Str("System Board".into()));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_problem() {
+        assert!(parse_err("").contains("empty filter expression"));
+        assert!(parse_err("ttr >").contains("expected a value"));
+        assert!(parse_err("ttr 24").contains("comparison operator or `in`"));
+        assert!(parse_err("(a == 1").contains("expected `)`"));
+        assert!(parse_err("a == 1 b == 2").contains("after the expression"));
+        assert!(parse_err("in (a)").contains("comparison operator or `in`"));
+        assert!(parse_err("a in b").contains("`(` after `in`"));
+        assert!(parse_err("a in (1,)").contains("expected a value"));
+        assert!(parse_err("&& a == 1").contains("field name or `(`"));
+    }
+}

@@ -10,8 +10,11 @@
 //! ([`summarize`]).
 //!
 //! For live monitoring, [`LogTailer`] reads the same format (plus NDJSON
-//! body rows) incrementally with follow-mode polling, and [`TimeRange`] /
-//! [`clip`] filter logs to a `--since`/`--until` span.
+//! body rows) incrementally with follow-mode polling. Record filtering
+//! (`--where`, and the `--since`/`--until` sugar that desugars into it)
+//! is pushed down into the parser itself: a compiled
+//! [`failfilter::CompiledPredicate`] carried in [`ParseOptions::filter`]
+//! drops non-matching records during chunked ingest.
 //!
 //! # Examples
 //!
@@ -42,8 +45,7 @@ pub use csv::{from_str, read_log, to_string, write_log};
 pub use inflate::{crc32, gzip_compress, gzip_decompress, Crc32};
 pub use input::{read_input, Compression, InputReader, FSIDX_MAGIC};
 pub use ops::{
-    anonymize_nodes, clip, load, load_traced, load_traced_with, load_with, parse_time_bound,
-    save, summarize, LogSummary, TimeRange,
+    anonymize_nodes, load, load_traced, load_traced_with, load_with, save, summarize, LogSummary,
 };
 pub use parallel::{from_str_with, ParseOptions, DEFAULT_CHUNK_BYTES};
 pub use stream::{parse_body_rows, parse_ndjson_row, record_to_ndjson, LogTailer, TailProgress};

@@ -4,93 +4,10 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::path::Path;
 
-use failtypes::{Date, FailureLog, FailureRecord, Hours, NodeId, ObservationWindow};
+use failtypes::{FailureLog, FailureRecord, NodeId};
 
 use crate::{csv, ParseOptions};
-use failtypes::{Error, Result};
-
-/// An inclusive `[since, until]` filter over failure times, expressed
-/// as hour offsets into a log's observation window.
-///
-/// Unset bounds are open: the default range keeps everything. This is
-/// the single implementation behind `failctl report/compare
-/// --since/--until` and the `failwatch` evaluation window.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
-pub struct TimeRange {
-    /// Keep records at or after this offset; `None` means from the start.
-    pub since: Option<Hours>,
-    /// Keep records at or before this offset; `None` means to the end.
-    pub until: Option<Hours>,
-}
-
-impl TimeRange {
-    /// The unbounded range (keeps every record).
-    pub fn all() -> Self {
-        TimeRange::default()
-    }
-
-    /// A range with the given optional bounds.
-    pub fn new(since: Option<Hours>, until: Option<Hours>) -> Self {
-        TimeRange { since, until }
-    }
-
-    /// True when both bounds are open.
-    pub fn is_all(&self) -> bool {
-        self.since.is_none() && self.until.is_none()
-    }
-
-    /// Whether `t` satisfies both bounds (inclusive).
-    pub fn contains(&self, t: Hours) -> bool {
-        self.since.is_none_or(|s| t.get() >= s.get())
-            && self.until.is_none_or(|u| t.get() <= u.get())
-    }
-}
-
-/// Parses a `--since`/`--until` bound: either a plain hour offset
-/// (`"1200"`, `"36.5"`) or a calendar date (`"2018-03-01"`), resolved
-/// against `window` into an hour offset from the window start.
-///
-/// # Errors
-///
-/// Returns [`Error::Args`] describing the malformed bound.
-pub fn parse_time_bound(s: &str, window: ObservationWindow) -> Result<Hours> {
-    if let Ok(h) = s.parse::<f64>() {
-        if !h.is_finite() {
-            return Err(Error::args(format!("time bound `{s}` is not finite")));
-        }
-        return Ok(Hours::new(h));
-    }
-    let parts: Vec<&str> = s.split('-').collect();
-    if parts.len() == 3 {
-        let date = (|| {
-            let year: i32 = parts[0].parse().ok()?;
-            let month: u8 = parts[1].parse().ok()?;
-            let day: u8 = parts[2].parse().ok()?;
-            Date::new(year, month, day)
-        })();
-        if let Some(date) = date {
-            return Ok(window.start().hours_until(date));
-        }
-    }
-    Err(Error::args(format!(
-        "invalid time bound `{s}`: expected hours (e.g. `1200`) or a date (e.g. `2018-03-01`)"
-    )))
-}
-
-/// Returns a copy of `log` keeping only the records inside `range`,
-/// with spec and observation window unchanged.
-pub fn clip(log: &FailureLog, range: TimeRange) -> FailureLog {
-    if range.is_all() {
-        return log.clone();
-    }
-    let records: Vec<FailureRecord> = log
-        .iter()
-        .filter(|r| range.contains(r.time()))
-        .cloned()
-        .collect();
-    FailureLog::with_spec(log.generation(), log.spec().clone(), log.window(), records)
-        .expect("subset of a valid log is valid")
-}
+use failtypes::Result;
 
 /// Writes a log to a file in the `failscope-log v1` format.
 ///
@@ -100,7 +17,7 @@ pub fn clip(log: &FailureLog, range: TimeRange) -> FailureLog {
 ///
 /// # Errors
 ///
-/// Returns [`Error`] on I/O failure.
+/// Returns [`Error`](failtypes::Error) on I/O failure.
 pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<()> {
     let path = path.as_ref();
     if path.extension().is_some_and(|e| e == "gz") {
@@ -117,7 +34,7 @@ pub fn save(path: impl AsRef<Path>, log: &FailureLog) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`Error`] on I/O failure or malformed content.
+/// Returns [`Error`](failtypes::Error) on I/O failure or malformed content.
 pub fn load(path: impl AsRef<Path>) -> Result<FailureLog> {
     load_with(path, &ParseOptions::default())
 }
@@ -360,42 +277,6 @@ mod tests {
             seen[p as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
-    }
-
-    #[test]
-    fn time_range_contains_is_inclusive() {
-        let r = TimeRange::new(Some(Hours::new(10.0)), Some(Hours::new(20.0)));
-        assert!(r.contains(Hours::new(10.0)));
-        assert!(r.contains(Hours::new(20.0)));
-        assert!(!r.contains(Hours::new(9.999)));
-        assert!(!r.contains(Hours::new(20.001)));
-        assert!(TimeRange::all().contains(Hours::new(-5.0)));
-        assert!(TimeRange::all().is_all());
-    }
-
-    #[test]
-    fn clip_keeps_only_in_range_records() {
-        let log = t3_log();
-        let mid = log.window().duration().get() / 2.0;
-        let first = clip(&log, TimeRange::new(None, Some(Hours::new(mid))));
-        let second = clip(&log, TimeRange::new(Some(Hours::new(mid)), None));
-        assert_eq!(first.len() + second.len(), log.len());
-        assert!(first.iter().all(|r| r.time().get() <= mid));
-        assert!(second.iter().all(|r| r.time().get() >= mid));
-        assert_eq!(first.window(), log.window());
-        assert_eq!(clip(&log, TimeRange::all()), log);
-    }
-
-    #[test]
-    fn parse_time_bound_accepts_hours_and_dates() {
-        let window = t3_log().window();
-        assert_eq!(parse_time_bound("36.5", window).unwrap().get(), 36.5);
-        // 2017-05-10 is one day after the Tsubame-3 window start.
-        let h = parse_time_bound("2017-05-10", window).unwrap();
-        assert!((h.get() - 24.0).abs() < 1e-9);
-        assert!(parse_time_bound("yesterday", window).is_err());
-        assert!(parse_time_bound("2017-13-40", window).is_err());
-        assert!(parse_time_bound("inf", window).is_err());
     }
 
     #[test]

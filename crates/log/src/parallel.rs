@@ -20,7 +20,20 @@
 //! Worker count defaults to [`failstats::available_threads`]; `threads
 //! <= 1` or a single chunk short-circuits to a plain serial loop with
 //! no pool spin-up.
+//!
+//! **Predicate pushdown:** a compiled `--where` filter
+//! ([`failfilter::CompiledPredicate`] carried in
+//! [`ParseOptions::filter`]) is evaluated per record inside each chunk,
+//! right after row validation and before the record reaches the output
+//! vector, so filtered ingest never materializes dropped records. Rows
+//! are still parsed and validated *before* the predicate runs, which
+//! keeps error behavior — first error in declaration order, global line
+//! numbers — byte-identical to an unfiltered parse. The
+//! `filter.records_in` / `filter.records_kept` counters tally the
+//! pushdown per chunk in declaration order, so traces stay
+//! thread-invariant.
 
+use failfilter::CompiledPredicate;
 use failstats::{available_threads, line_chunks, par_map_ordered};
 use failtypes::{Error, FailureLog, FailureRecord, Generation, ObservationWindow, Result, SystemSpec};
 
@@ -46,13 +59,18 @@ pub const DEFAULT_CHUNK_BYTES: usize = 1 << 20;
 /// let opts = ParseOptions::new().threads(4).chunk_bytes(64 * 1024);
 /// assert_eq!(opts.threads, 4);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ParseOptions {
     /// Worker threads to parse with (`<= 1` means serial).
     pub threads: usize,
     /// Target bytes per chunk, snapped up to line boundaries (clamped
     /// to at least 1).
     pub chunk_bytes: usize,
+    /// Predicate pushed down into the parser: records failing it are
+    /// dropped right after validation, before they reach the output.
+    /// `None` keeps every record. Filtering never changes which errors
+    /// are reported (rows are validated first).
+    pub filter: Option<CompiledPredicate>,
 }
 
 impl Default for ParseOptions {
@@ -60,6 +78,7 @@ impl Default for ParseOptions {
         ParseOptions {
             threads: available_threads(),
             chunk_bytes: DEFAULT_CHUNK_BYTES,
+            filter: None,
         }
     }
 }
@@ -74,7 +93,7 @@ impl ParseOptions {
     pub fn serial() -> Self {
         ParseOptions {
             threads: 1,
-            chunk_bytes: DEFAULT_CHUNK_BYTES,
+            ..ParseOptions::default()
         }
     }
 
@@ -87,6 +106,12 @@ impl ParseOptions {
     /// Returns the options with the chunk size replaced.
     pub fn chunk_bytes(mut self, chunk_bytes: usize) -> Self {
         self.chunk_bytes = chunk_bytes;
+        self
+    }
+
+    /// Returns the options with a pushdown predicate installed.
+    pub fn filter(mut self, filter: CompiledPredicate) -> Self {
+        self.filter = Some(filter);
         self
     }
 }
@@ -133,8 +158,9 @@ pub(crate) fn from_str_traced(
         trace.incr("parse.chunk_bytes", body.len() as u64);
     }
 
+    let filter = opts.filter.as_ref();
     let outcomes = par_map_ordered(chunks.len(), opts.threads, |i| {
-        parse_chunk(&body[chunks[i].clone()], generation, &spec, window)
+        parse_chunk(&body[chunks[i].clone()], generation, &spec, window, filter)
     });
 
     // Declaration-order merge. The first erroring chunk wins; every
@@ -143,14 +169,20 @@ pub(crate) fn from_str_traced(
     // global number.
     let mut records = Vec::new();
     let mut lines_before = header_lines;
+    let mut records_in = 0u64;
     for outcome in outcomes {
         match outcome {
-            Ok((mut chunk_records, chunk_lines)) => {
+            Ok((mut chunk_records, chunk_lines, chunk_seen)) => {
+                records_in += chunk_seen as u64;
                 records.append(&mut chunk_records);
                 lines_before += chunk_lines;
             }
             Err(err) => return Err(offset_error_line(err, lines_before)),
         }
+    }
+    if let (Some(trace), Some(_)) = (trace, filter) {
+        trace.incr("filter.records_in", records_in);
+        trace.incr("filter.records_kept", records.len() as u64);
     }
     Ok(FailureLog::with_spec(generation, spec, window, records)?)
 }
@@ -174,16 +206,19 @@ fn parse_header(
 }
 
 /// Parses one chunk with chunk-relative 1-based line numbers. Returns
-/// the records plus the number of lines in the chunk (blank lines
-/// included — they advance the global numbering).
+/// the kept records, the number of lines in the chunk (blank lines
+/// included — they advance the global numbering), and the pre-filter
+/// record count (for the `filter.records_in` counter).
 fn parse_chunk(
     chunk: &str,
     generation: Generation,
     spec: &SystemSpec,
     window: ObservationWindow,
-) -> Result<(Vec<FailureRecord>, usize)> {
+    filter: Option<&CompiledPredicate>,
+) -> Result<(Vec<FailureRecord>, usize, usize)> {
     let mut records = Vec::new();
     let mut lines = 0usize;
+    let mut seen = 0usize;
     for raw in chunk.split_inclusive('\n') {
         lines += 1;
         let line = raw.trim();
@@ -193,9 +228,12 @@ fn parse_chunk(
         let rec = parse_row(lines, line, generation)?;
         rec.validate(generation, spec, window)
             .map_err(|e| Error::invalid_row(lines, e))?;
-        records.push(rec);
+        seen += 1;
+        if filter.is_none_or(|f| f.matches(&rec, spec, window)) {
+            records.push(rec);
+        }
     }
-    Ok((records, lines))
+    Ok((records, lines, seen))
 }
 
 /// Shifts a chunk-relative row error to its global line number. Only
@@ -332,6 +370,83 @@ mod tests {
             from_str_with("# failscope-log v1\n# generation: Tsubame-3\n", &ParseOptions::default()),
             Err(Error::Header(_))
         ));
+    }
+
+    #[test]
+    fn filtered_parse_matches_post_hoc_filter_at_any_configuration() {
+        let text = t3_text();
+        let pred = failfilter::compile("category == gpu && ttr > 24").unwrap();
+        let oracle = parse_serial(&text).unwrap();
+        let expected: Vec<_> = oracle
+            .iter()
+            .filter(|r| pred.matches(r, oracle.spec(), oracle.window()))
+            .cloned()
+            .collect();
+        assert!(!expected.is_empty() && expected.len() < oracle.len());
+        for threads in [1, 2, 4] {
+            for chunk_bytes in [1, 4096, usize::MAX] {
+                let opts = ParseOptions::new()
+                    .threads(threads)
+                    .chunk_bytes(chunk_bytes)
+                    .filter(pred.clone());
+                let filtered = from_str_with(&text, &opts).unwrap();
+                assert_eq!(
+                    filtered.records(),
+                    expected.as_slice(),
+                    "threads = {threads}, chunk_bytes = {chunk_bytes}"
+                );
+                assert_eq!(filtered.spec(), oracle.spec());
+                assert_eq!(filtered.window(), oracle.window());
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_parse_reports_the_same_errors() {
+        // The filter would drop the malformed row's category — but rows
+        // are validated before the predicate runs, so the error is
+        // byte-identical to the unfiltered parse.
+        let mut text = t3_text();
+        text.push_str("0,1.0,zz,Memory,0,,\n");
+        let serial_err = parse_serial(&text).unwrap_err();
+        let pred = failfilter::compile("category == gpu").unwrap();
+        for chunk_bytes in [1, 4096, usize::MAX] {
+            let opts = ParseOptions::new()
+                .threads(4)
+                .chunk_bytes(chunk_bytes)
+                .filter(pred.clone());
+            let err = from_str_with(&text, &opts).unwrap_err();
+            assert_eq!(err.to_string(), serial_err.to_string(), "chunk_bytes = {chunk_bytes}");
+        }
+    }
+
+    #[test]
+    fn filter_counters_are_thread_invariant_and_tally_the_pushdown() {
+        let text = t3_text();
+        let pred = failfilter::compile("ttr > 24").unwrap();
+        let run = |threads: usize| {
+            let trace = failtrace::Collector::new();
+            let opts = ParseOptions::new()
+                .threads(threads)
+                .chunk_bytes(512)
+                .filter(pred.clone());
+            let log = from_str_traced(&text, &opts, Some(&trace)).unwrap();
+            (
+                log.len(),
+                trace.counter("filter.records_in"),
+                trace.counter("filter.records_kept"),
+                trace.export(),
+            )
+        };
+        let (kept, records_in, records_kept, one) = run(1);
+        assert_eq!((kept, records_in, records_kept, one), run(4));
+        assert_eq!(records_in, parse_serial(&text).unwrap().len() as u64);
+        assert_eq!(records_kept, kept as u64);
+        assert!(records_kept < records_in);
+        // No filter, no filter counters.
+        let trace = failtrace::Collector::new();
+        from_str_traced(&text, &ParseOptions::default(), Some(&trace)).unwrap();
+        assert!(!trace.export().contains("filter."));
     }
 
     #[test]

@@ -158,6 +158,22 @@ impl Alert {
         out.push_str("\"}");
         out
     }
+
+    /// [`Alert::to_ndjson`], optionally tagged with the `--where`
+    /// filter expression scoping the watch that raised it. With
+    /// `Some(expr)` the line gains a trailing `"filter"` field so an
+    /// NDJSON consumer can tell a scoped alert stream from a fleet-wide
+    /// one; with `None` the output is exactly [`Alert::to_ndjson`].
+    pub fn to_ndjson_with(&self, filter: Option<&str>) -> String {
+        let mut out = self.to_ndjson();
+        if let Some(expr) = filter {
+            out.pop();
+            out.push_str(",\"filter\":\"");
+            push_json_escaped(&mut out, expr);
+            out.push_str("\"}");
+        }
+        out
+    }
 }
 
 impl fmt::Display for Alert {
@@ -207,6 +223,16 @@ mod tests {
         assert!(line.contains("\"time_h\":10.25"));
         assert!(line.contains("\"window_n\":50"));
         assert!(line.ends_with('}'));
+    }
+
+    #[test]
+    fn ndjson_with_filter_appends_the_escaped_expression() {
+        let a = alert();
+        assert_eq!(a.to_ndjson_with(None), a.to_ndjson());
+        let line = a.to_ndjson_with(Some("node ~ \"rack12\" && gpus >= 2"));
+        assert!(line.ends_with(",\"filter\":\"node ~ \\\"rack12\\\" && gpus >= 2\"}"), "{line}");
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with(&a.to_ndjson()[..a.to_ndjson().len() - 1]));
     }
 
     #[test]

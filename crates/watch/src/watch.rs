@@ -15,6 +15,7 @@ use std::io::Write;
 use std::thread;
 use std::time::Duration;
 
+use failfilter::CompiledPredicate;
 use failstats::par_map_ordered;
 use failtrace::Collector;
 use failtypes::{Alert, FailureRecord, JsonValue};
@@ -138,6 +139,12 @@ pub struct WatchConfig {
     /// Summary sections to render, in order (defaults to all of
     /// [`WATCH_SECTIONS`]).
     pub summary_sections: Vec<&'static WatchSection>,
+    /// `--where` scope for the whole watch: records failing the
+    /// predicate are dropped as each chunk is pulled, before they reach
+    /// the online state, so the detector, summaries, and record bounds
+    /// all see only matching records. NDJSON alerts raised under a
+    /// filter carry its expression in a `"filter"` field.
+    pub filter: Option<CompiledPredicate>,
     /// Optional trace collector; when set, the loop records the
     /// `watch.records_ingested`, `watch.alerts_raised`, and
     /// `watch.sketch_compactions` counters as it runs.
@@ -156,6 +163,7 @@ impl Default for WatchConfig {
             threads: 1,
             json_summaries: false,
             summary_sections: WATCH_SECTIONS.iter().collect(),
+            filter: None,
             trace: None,
         }
     }
@@ -254,6 +262,14 @@ impl WatchConfigBuilder {
         self
     }
 
+    /// Scope the watch to records matching a compiled `--where`
+    /// predicate (see [`WatchConfig::filter`]).
+    #[must_use]
+    pub fn filter(mut self, filter: CompiledPredicate) -> Self {
+        self.config.filter = Some(filter);
+        self
+    }
+
     /// Attach a trace collector (see [`WatchConfig::trace`]).
     #[must_use]
     pub fn trace(mut self, trace: Collector) -> Self {
@@ -339,7 +355,13 @@ pub fn run(
         if let Some(det) = &detector {
             writeln!(out, "# baseline: {}", det.baseline().name)?;
         }
+        if let Some(pred) = &config.filter {
+            writeln!(out, "# filter: {}", pred.source())?;
+        }
     }
+    // Predicate evaluation needs the source's system context.
+    let filter_spec = source.spec().clone();
+    let filter_window = source.window();
     let mut alerts = Vec::new();
     let mut records = 0usize;
     let mut idle_polls = 0u64;
@@ -362,8 +384,21 @@ pub fn run(
         chunk.clear();
         let end = source.next_chunk(limit, &mut chunk)?;
 
+        // The idle counter tracks the *source*: a pull that produced
+        // records resets it even when the filter drops them all.
         if !chunk.is_empty() {
             idle_polls = 0;
+        }
+        if let Some(pred) = &config.filter {
+            let pulled = chunk.len();
+            chunk.retain(|r| pred.matches(r, &filter_spec, filter_window));
+            if let Some(trace) = &config.trace {
+                trace.incr("filter.records_in", pulled as u64);
+                trace.incr("filter.records_kept", chunk.len() as u64);
+            }
+        }
+
+        if !chunk.is_empty() {
             let ingested = state.ingest_batch(chunk.drain(..))?;
             records += ingested;
             if let Some(trace) = &config.trace {
@@ -373,7 +408,8 @@ pub fn run(
             // where the trailing windows have genuinely new content.
             if let Some(det) = &mut detector {
                 for alert in det.evaluate(&state) {
-                    writeln!(out, "{}", alert.to_ndjson())?;
+                    let filter_tag = config.filter.as_ref().map(CompiledPredicate::source);
+                    writeln!(out, "{}", alert.to_ndjson_with(filter_tag))?;
                     if let Some(trace) = &config.trace {
                         trace.incr("watch.alerts_raised", 1);
                     }
@@ -820,6 +856,69 @@ mod tests {
         assert!(drift.clone().mttr_ratio(0.9).build().is_err());
         assert!(drift.clone().burst_window_hours(0.0).build().is_err());
         assert!(drift.min_window(5).build().is_ok());
+    }
+
+    #[test]
+    fn filter_scopes_the_state_and_tags_alerts() {
+        let pred = failfilter::compile("category == gpu").unwrap();
+        let trace = Collector::new();
+        let config = WatchConfig::builder()
+            .filter(pred.clone())
+            .trace(trace.clone())
+            .build()
+            .unwrap();
+        let (outcome, output) = watch_sim(1, Some((5.0, 0.1)), &config);
+        // The detector and state only ever saw matching records.
+        assert!(outcome.records > 0);
+        assert!(outcome
+            .state
+            .view()
+            .records()
+            .iter()
+            .all(|r| r.category().is_gpu()));
+        assert!(output.contains("# filter: category == gpu"), "{output}");
+        for alert in &outcome.alerts {
+            assert!(output.contains(&alert.to_ndjson_with(Some("category == gpu"))));
+        }
+        // The pushdown counters tally the whole stream.
+        let records_in = trace.counter("filter.records_in");
+        let kept = trace.counter("filter.records_kept");
+        assert_eq!(kept, outcome.records as u64);
+        assert!(records_in > kept);
+        // Unfiltered run sees the full stream.
+        let (full, _) = watch_sim(1, Some((5.0, 0.1)), &WatchConfig::default());
+        assert_eq!(records_in, full.records as u64);
+    }
+
+    #[test]
+    fn match_all_filter_only_adds_the_banner_and_alert_tags() {
+        let pred = failfilter::compile("ttr >= 0").unwrap();
+        let config = WatchConfig::builder().filter(pred).build().unwrap();
+        let (filtered, out_f) = watch_sim(3, Some((4.0, 0.6)), &config);
+        let (plain, out_p) = watch_sim(3, Some((4.0, 0.6)), &WatchConfig::default());
+        assert_eq!(filtered.records, plain.records);
+        assert_eq!(filtered.alerts, plain.alerts);
+        assert_eq!(filtered.state, plain.state);
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.starts_with("# filter:"))
+                .map(|l| l.replace(",\"filter\":\"ttr >= 0\"}", "}"))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(strip(&out_f), strip(&out_p));
+        assert_ne!(out_f, out_p);
+    }
+
+    #[test]
+    fn json_mode_suppresses_the_filter_banner() {
+        let pred = failfilter::compile("ttr >= 0").unwrap();
+        let config = WatchConfig::builder()
+            .filter(pred)
+            .json_summaries(true)
+            .build()
+            .unwrap();
+        let (_, output) = watch_sim(1, None, &config);
+        assert!(output.lines().all(|l| l.starts_with('{')), "{output}");
     }
 
     #[test]

@@ -47,6 +47,42 @@ if [ "$parse_rate" -lt "$parse_floor" ]; then
     exit 1
 fi
 
+# Filter-pushdown gate, part 1: throughput. Parsing with a predicate
+# pushed down must stay within 15% of plain parse throughput (the
+# predicate is a few branches per record; anything slower means an
+# allocating or re-scanning eval sneaked into the record path).
+# `repro bench` already verifies the filtered parse is byte-identical
+# to the post-hoc filter of an unfiltered parse before reporting it.
+filter_rate=$(sed -n 's/.*"filter_records_per_second":\([0-9]*\).*/\1/p' \
+    BENCH_pipeline.json)
+if [ -z "$filter_rate" ]; then
+    echo "verify: filter_records_per_second missing from BENCH_pipeline.json" >&2
+    exit 1
+fi
+if [ $((filter_rate * 100)) -lt $((parse_rate * 85)) ]; then
+    echo "verify: filter pushdown overhead exceeds 15%: $filter_rate rec/s vs unfiltered $parse_rate rec/s" >&2
+    exit 1
+fi
+
+# Filter-pushdown gate, part 2: a `--where` report must be
+# byte-identical to the report of an expected input constructed
+# independently with awk — keep the 7 header lines, then only rows
+# whose ttr_h column (field 3) exceeds 48.
+flt_dir=$(mktemp -d)
+flt_sections="header,categories,spatial,involvement,tbf,ttr,availability,survival,seasonal"
+cargo run -q --release -p failctl -- \
+    generate --system tsubame3 --out "$flt_dir/flt.fslog" >/dev/null
+awk -F, 'NR <= 7 || $3 + 0 > 48' "$flt_dir/flt.fslog" > "$flt_dir/expected.fslog"
+cargo run -q --release -p failctl -- report "$flt_dir/flt.fslog" \
+    --sections "$flt_sections" --where 'ttr > 48' > "$flt_dir/where.txt"
+cargo run -q --release -p failctl -- report "$flt_dir/expected.fslog" \
+    --sections "$flt_sections" > "$flt_dir/expected.txt"
+cmp -s "$flt_dir/where.txt" "$flt_dir/expected.txt" || {
+    echo "verify: --where report differs from the awk-filtered expected report" >&2
+    exit 1
+}
+rm -rf "$flt_dir"
+
 # Snapshot gate, part 1: `repro bench`'s index block times the warm
 # `.fsidx` load path (validate + decode) against a cold parse on the
 # same ~110k-record year; measured ~5x on one container core, tripwire
@@ -170,4 +206,4 @@ fi
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "verify: build + tests + clippy + streaming gate + parse gate + index gate + gzip smoke + json gate + trace gate + docs all green"
+echo "verify: build + tests + clippy + streaming gate + parse gate + filter gate + index gate + gzip smoke + json gate + trace gate + docs all green"
