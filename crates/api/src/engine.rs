@@ -1,0 +1,801 @@
+//! [`QueryEngine`]: the one execution path behind `failctl report`,
+//! `failctl compare`, and every `faild` query.
+//!
+//! # One path, two lifetimes
+//!
+//! The CLI constructs a fresh engine per invocation, so its caches are
+//! always cold and execution is exactly the old in-CLI pipeline. The
+//! server keeps one engine alive across clients; that engine memoizes
+//!
+//! * **parsed logs** — keyed by source identity *and content
+//!   fingerprint* (`(path, bytes, crc32, chunk size, filter)` for
+//!   files, `(name, seed)` for models). Each entry stores the
+//!   [`Collector`] that recorded the original parse/generation, and a
+//!   cache hit replays those instruments into the new query's collector
+//!   ([`Collector::merge_from`]), so the `metrics` section and `--trace`
+//!   exports stay byte-identical to an uncached run.
+//! * **rendered outputs** — keyed by the full query shape (command,
+//!   source fingerprints, filters, sections, format, chunk size, index
+//!   policy, and — when snapshots are in play — the snapshot freshness
+//!   state). The thread count is deliberately **excluded**: output is
+//!   byte-identical at every `--threads` value, so all thread counts
+//!   share one entry. A log that grows on disk changes its fingerprint,
+//!   which invalidates every dependent entry without any watcher
+//!   machinery.
+//!
+//! Only successful outputs are cached; errors always re-execute.
+//!
+//! # Dirty snapshots
+//!
+//! Every unfiltered cold parse of a file (index mode `off`, where the
+//! CLI would never write a snapshot) is remembered together with the
+//! [`failindex::SourceInfo`] fingerprint of the bytes it parsed.
+//! [`QueryEngine::persist_dirty`] — called by the server on graceful
+//! shutdown — writes those indexes to disk so the next process starts
+//! warm. Auto-mode cold parses refresh their snapshot immediately,
+//! exactly like the CLI always has.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+use failfilter::CompiledPredicate;
+use failindex::{Freshness, IndexMode, IndexedLoad, SourceInfo};
+use faillog::ParseOptions;
+use failscope::SectionCtx;
+use failsim::{Simulator, SystemModel};
+use failtrace::Collector;
+use failtypes::{Error, FailureLog, JsonValue, Result};
+
+use crate::request::{OutputFormat, QueryCmd, QueryOptions, QueryRequest, QuerySource};
+
+/// How many rendered outputs the engine keeps before evicting the
+/// oldest (FIFO). Rendered reports are small (a few KiB); this bounds a
+/// pathological client mix without ever affecting correctness.
+const RENDER_CACHE_CAPACITY: usize = 256;
+
+/// The result of executing one [`QueryRequest`].
+#[derive(Debug)]
+pub struct QueryOutcome {
+    /// The rendered output, byte-identical to the equivalent CLI
+    /// invocation.
+    pub output: String,
+    /// The query's trace collector (load instruments replayed on cache
+    /// hits), for `--trace` exports.
+    pub trace: Collector,
+    /// `true` when the output was served from the render cache.
+    pub cached: bool,
+}
+
+/// A parsed (or generated) log plus the collector that recorded the
+/// work, replayed into later queries that reuse the entry.
+struct CachedLog {
+    log: Arc<FailureLog>,
+    load_trace: Collector,
+}
+
+/// An unfiltered cold-parsed file log eligible for snapshot
+/// persistence at shutdown.
+struct DirtyLog {
+    log: Arc<FailureLog>,
+    source: SourceInfo,
+}
+
+struct RenderEntry {
+    output: String,
+    trace: Collector,
+}
+
+#[derive(Default)]
+struct RenderCache {
+    map: HashMap<String, RenderEntry>,
+    order: VecDeque<String>,
+}
+
+/// The shared query executor. See the module docs for the caching and
+/// determinism contract.
+pub struct QueryEngine {
+    logs: Mutex<HashMap<String, CachedLog>>,
+    renders: Mutex<RenderCache>,
+    dirty: Mutex<HashMap<String, DirtyLog>>,
+    metrics: Collector,
+}
+
+impl std::fmt::Debug for QueryEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QueryEngine").finish_non_exhaustive()
+    }
+}
+
+impl Default for QueryEngine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A source's resolved on-disk identity: the raw bytes fingerprint
+/// (also reused as the dirty-snapshot `SourceInfo`). `None` when the
+/// file could not be read — execution then bypasses every cache and
+/// lets the parser report the canonical error.
+type FilePrint = Option<SourceInfo>;
+
+impl QueryEngine {
+    /// A fresh engine with empty caches.
+    pub fn new() -> Self {
+        QueryEngine {
+            logs: Mutex::new(HashMap::new()),
+            renders: Mutex::new(RenderCache::default()),
+            dirty: Mutex::new(HashMap::new()),
+            metrics: Collector::new(),
+        }
+    }
+
+    /// The engine's own instrumentation (cache hits/misses, snapshot
+    /// persistence). Cloning shares the registry, so a server can record
+    /// its own counters into the same collector and export one
+    /// `metrics` document.
+    pub fn metrics(&self) -> &Collector {
+        &self.metrics
+    }
+
+    /// Executes one query. The output is byte-identical to the
+    /// equivalent CLI invocation at any thread count, warm or cold,
+    /// cached or uncached.
+    ///
+    /// # Errors
+    ///
+    /// Propagates argument validation, filter compilation, I/O, and
+    /// parse errors with the same messages the CLI commands always
+    /// produced. Errors are never cached.
+    pub fn execute(&self, req: &QueryRequest) -> Result<QueryOutcome> {
+        let filter = build_filter(&req.opts)?;
+        let key = self.render_key(req)?;
+        if let Some(key) = &key {
+            let renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = renders.map.get(key) {
+                self.metrics.incr("engine.render_cache.hit", 1);
+                let trace = Collector::new();
+                trace.merge_from(&entry.trace);
+                return Ok(QueryOutcome {
+                    output: entry.output.clone(),
+                    trace,
+                    cached: true,
+                });
+            }
+        }
+        self.metrics.incr("engine.render_cache.miss", 1);
+        let trace = Collector::new();
+        let output = match &req.cmd {
+            QueryCmd::Report(source) => self.run_report(req, source, &filter, &trace)?,
+            QueryCmd::Compare { old, new } => self.run_compare(req, old, new, &filter, &trace)?,
+        };
+        if let Some(key) = key {
+            let snapshot = Collector::new();
+            snapshot.merge_from(&trace);
+            let mut renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
+            if !renders.map.contains_key(&key) {
+                renders.order.push_back(key.clone());
+                renders.map.insert(
+                    key,
+                    RenderEntry {
+                        output: output.clone(),
+                        trace: snapshot,
+                    },
+                );
+                while renders.order.len() > RENDER_CACHE_CAPACITY {
+                    if let Some(evicted) = renders.order.pop_front() {
+                        renders.map.remove(&evicted);
+                        self.metrics.incr("engine.render_cache.evicted", 1);
+                    }
+                }
+            }
+        }
+        Ok(QueryOutcome {
+            output,
+            trace,
+            cached: false,
+        })
+    }
+
+    /// Writes a `.fsidx` snapshot for every unfiltered cold-parsed file
+    /// log the engine is still holding, skipping logs whose snapshot is
+    /// already exact. Returns the number of snapshots written. Called
+    /// by the server on graceful shutdown.
+    pub fn persist_dirty(&self) -> usize {
+        let drained: Vec<(String, DirtyLog)> = {
+            let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            dirty.drain().collect()
+        };
+        let mut written = 0;
+        for (path, entry) in drained {
+            if matches!(failindex::probe(&path), Ok(Freshness::Exact)) {
+                continue;
+            }
+            let view = failscope::LogView::new(&entry.log);
+            if failindex::save(failindex::snapshot_path(&path), &view, entry.source).is_ok() {
+                written += 1;
+                self.metrics.incr("engine.snapshots_persisted", 1);
+            }
+        }
+        written
+    }
+
+    /// The number of file logs currently awaiting snapshot persistence.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.lock().unwrap_or_else(|e| e.into_inner()).len()
+    }
+
+    /// Builds the render-cache key for a request, or `None` when the
+    /// request must not be cached (a source file is unreadable — let
+    /// execution surface the canonical error — or a warm-mode probe
+    /// failed).
+    fn render_key(&self, req: &QueryRequest) -> Result<Option<String>> {
+        let mut sources = Vec::new();
+        let paths: Vec<&str> = match &req.cmd {
+            QueryCmd::Report(QuerySource::Model { name, seed }) => {
+                sources.push(format!("model:{name}:{seed}"));
+                Vec::new()
+            }
+            QueryCmd::Report(QuerySource::File(path)) => vec![path.as_str()],
+            QueryCmd::Compare { old, new } => vec![old.as_str(), new.as_str()],
+        };
+        for path in paths {
+            let Some(info) = fingerprint(path) else {
+                return Ok(None);
+            };
+            let mut id = format!("file:{path}:{}:{:08x}", info.bytes, info.crc32);
+            if req.opts.index_mode() != IndexMode::Off {
+                // Warm queries also depend on the snapshot's state: a
+                // cold auto run that leaves a snapshot behind must not
+                // be replayed for the (now warm) next run, whose
+                // `metrics` section truthfully differs.
+                let Ok(freshness) = failindex::probe(path) else {
+                    return Ok(None);
+                };
+                let tag = match freshness {
+                    Freshness::Exact => "exact".to_string(),
+                    Freshness::Prefix { tail_bytes } => format!("prefix:{tail_bytes}"),
+                    Freshness::Stale { .. } => "stale".to_string(),
+                    Freshness::Missing => "missing".to_string(),
+                };
+                id.push_str(&format!(":fsidx={tag}"));
+            }
+            sources.push(id);
+        }
+        let opts = &req.opts;
+        let key = JsonValue::object()
+            .field("v", 1u64)
+            .field(
+                "cmd",
+                match &req.cmd {
+                    QueryCmd::Report(_) => "report",
+                    QueryCmd::Compare { .. } => "compare",
+                },
+            )
+            .field("sources", JsonValue::array(sources))
+            .field("where", opt_str(&opts.where_expr))
+            .field("since", opt_str(&opts.since))
+            .field("until", opt_str(&opts.until))
+            .field("sections", opt_str(&opts.sections))
+            .field("format", opts.format.name())
+            .field("chunk_bytes", opts.chunk_bytes as u64)
+            .field("index", opts.index_mode().to_string())
+            .build()
+            .render();
+        Ok(Some(key))
+    }
+
+    /// Ported from the CLI `report` command: resolves the input (model,
+    /// warm snapshot, or cold parse), renders the selected sections.
+    fn run_report(
+        &self,
+        req: &QueryRequest,
+        source: &QuerySource,
+        filter: &Option<CompiledPredicate>,
+        trace: &Collector,
+    ) -> Result<String> {
+        let opts = &req.opts;
+        validate_chunk(opts)?;
+        let sections = match &opts.sections {
+            Some(spec) => failscope::select_sections(spec)?,
+            None => failscope::SECTIONS.iter().collect(),
+        };
+        let input = match source {
+            QuerySource::Model { name, seed } => {
+                if let Some(mode) = opts.index {
+                    return Err(Error::args(format!(
+                        "--index {mode} only applies to file input (--model {name} is generated in-process)"
+                    )));
+                }
+                let log = self.model_log(name, *seed, trace)?;
+                // The model path never touches the parser; the
+                // predicate applies directly to the generated records.
+                match filter {
+                    Some(p) => {
+                        let (spec, window) = (log.spec().clone(), log.window());
+                        ReportInput::Cold(Arc::new(log.filtered(|r| p.matches(r, &spec, window))))
+                    }
+                    None => ReportInput::Cold(log),
+                }
+            }
+            QuerySource::File(path) => self.open_report_input(req, path, trace, filter)?,
+        };
+        let render = |ctx: &SectionCtx<'_>| match opts.format {
+            OutputFormat::Text => failscope::render_text_sections(&sections, ctx, opts.threads),
+            OutputFormat::Json => failscope::render_json_sections(&sections, ctx, opts.threads),
+        };
+        let body = match &input {
+            ReportInput::Warm(view) => render(&SectionCtx::with_trace(view.as_ref(), trace)),
+            ReportInput::Cold(log) => {
+                let view = failscope::LogView::new_traced(log, Some(trace));
+                render(&SectionCtx::with_trace(&view, trace))
+            }
+        };
+        Ok(version_header(opts.format, "report") + &body)
+    }
+
+    /// Ported from the CLI `compare` command.
+    fn run_compare(
+        &self,
+        req: &QueryRequest,
+        old: &str,
+        new: &str,
+        filter: &Option<CompiledPredicate>,
+        trace: &Collector,
+    ) -> Result<String> {
+        let opts = &req.opts;
+        validate_chunk(opts)?;
+        let older = self.load_compare_input(req, old, trace, filter)?;
+        let newer = self.load_compare_input(req, new, trace, filter)?;
+        let body = trace.time("compare.render", || match opts.format {
+            OutputFormat::Text => {
+                failscope::render_comparison_threaded(&older, &newer, opts.threads)
+            }
+            OutputFormat::Json => failscope::render_comparison_json(&older, &newer, opts.threads),
+        });
+        Ok(version_header(opts.format, "compare") + &body)
+    }
+
+    /// Loads a report's file input honouring the index policy and the
+    /// query's filter: a warm snapshot is served without parsing the
+    /// log (exact hit) or by parsing only its appended tail (prefix
+    /// hit), with the predicate applied to the decoded view; otherwise
+    /// the log is parsed cold with the predicate pushed into the
+    /// parser. Auto mode refreshes the snapshot best-effort after an
+    /// *unfiltered* cold parse only — a filtered parse never sees the
+    /// whole log, and snapshots must.
+    fn open_report_input(
+        &self,
+        req: &QueryRequest,
+        path: &str,
+        trace: &Collector,
+        filter: &Option<CompiledPredicate>,
+    ) -> Result<ReportInput> {
+        let opts = &req.opts;
+        let mode = opts.index_mode();
+        if mode == IndexMode::Off {
+            let log = self.file_log(path, opts, filter, trace)?;
+            return Ok(ReportInput::Cold(log));
+        }
+        let warm = |view: failscope::StreamView| -> Result<ReportInput> {
+            Ok(ReportInput::Warm(Box::new(filter_view(view, filter))))
+        };
+        match failindex::open_indexed(path, Some(trace))? {
+            IndexedLoad::Exact(snap) => warm(snap.into_view()),
+            IndexedLoad::Extended { snapshot, .. } => warm(snapshot.into_view()),
+            IndexedLoad::Cold { source } => {
+                if mode == IndexMode::Require {
+                    return Err(require_warm_err(path, opts));
+                }
+                if filter.is_some() {
+                    let log = self.file_log(path, opts, filter, trace)?;
+                    return Ok(ReportInput::Cold(log));
+                }
+                let log = self.file_log(path, opts, &None, trace)?;
+                failindex::save_traced(
+                    failindex::snapshot_path(path),
+                    &failscope::LogView::new(&log),
+                    source,
+                    Some(trace),
+                )
+                .ok();
+                Ok(ReportInput::Cold(log))
+            }
+        }
+    }
+
+    /// Loads one `compare` input; warm snapshots are filtered as
+    /// decoded views and converted back to a log without parsing (the
+    /// comparison renderer works on logs).
+    fn load_compare_input(
+        &self,
+        req: &QueryRequest,
+        path: &str,
+        trace: &Collector,
+        filter: &Option<CompiledPredicate>,
+    ) -> Result<Arc<FailureLog>> {
+        let opts = &req.opts;
+        let mode = opts.index_mode();
+        if mode == IndexMode::Off {
+            return self.file_log(path, opts, filter, trace);
+        }
+        match failindex::open_indexed(path, Some(trace))? {
+            IndexedLoad::Exact(snap) => Ok(Arc::new(filter_view(snap.into_view(), filter).to_log())),
+            IndexedLoad::Extended { snapshot, .. } => {
+                Ok(Arc::new(filter_view(snapshot.into_view(), filter).to_log()))
+            }
+            IndexedLoad::Cold { source } => {
+                if mode == IndexMode::Require {
+                    return Err(require_warm_err(path, opts));
+                }
+                if filter.is_some() {
+                    return self.file_log(path, opts, filter, trace);
+                }
+                let log = self.file_log(path, opts, &None, trace)?;
+                failindex::save_traced(
+                    failindex::snapshot_path(path),
+                    &failscope::LogView::new(&log),
+                    source,
+                    Some(trace),
+                )
+                .ok();
+                Ok(log)
+            }
+        }
+    }
+
+    /// A memoized in-process model generation. The stored load trace is
+    /// replayed into `trace` so a cache hit's metrics are identical to
+    /// a fresh generation.
+    fn model_log(&self, name: &str, seed: u64, trace: &Collector) -> Result<Arc<FailureLog>> {
+        let model = model_by_name(name)?;
+        let key = format!("model:{name}:{seed}");
+        {
+            let logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = logs.get(&key) {
+                self.metrics.incr("engine.log_cache.hit", 1);
+                trace.merge_from(&entry.load_trace);
+                return Ok(Arc::clone(&entry.log));
+            }
+        }
+        self.metrics.incr("engine.log_cache.miss", 1);
+        let load_trace = Collector::new();
+        let log = Arc::new(Simulator::new(model, seed).generate_traced(Some(&load_trace))?);
+        trace.merge_from(&load_trace);
+        let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+        logs.entry(key).or_insert(CachedLog {
+            log: Arc::clone(&log),
+            load_trace,
+        });
+        Ok(log)
+    }
+
+    /// A memoized cold file parse (with the query's filter pushed into
+    /// the parser), keyed by content fingerprint so a grown or
+    /// rewritten log re-parses. Unfiltered parses are remembered for
+    /// snapshot persistence at shutdown.
+    fn file_log(
+        &self,
+        path: &str,
+        opts: &QueryOptions,
+        filter: &Option<CompiledPredicate>,
+        trace: &Collector,
+    ) -> Result<Arc<FailureLog>> {
+        let parse_opts = {
+            let mut p = ParseOptions::new()
+                .threads(opts.threads)
+                .chunk_bytes(opts.chunk_bytes);
+            p.filter.clone_from(filter);
+            p
+        };
+        let Some(info) = fingerprint(path) else {
+            // Unreadable input: parse uncached so the loader reports
+            // the canonical error (and never poisons a cache entry).
+            let load_trace = Collector::new();
+            let log = load_traced(path, &load_trace, &parse_opts)?;
+            trace.merge_from(&load_trace);
+            return Ok(Arc::new(log));
+        };
+        let filter_tag = match (&filter, opts) {
+            (None, _) => String::from("-"),
+            (Some(_), o) => format!(
+                "w={:?};s={:?};u={:?}",
+                o.where_expr, o.since, o.until
+            ),
+        };
+        let key = format!(
+            "file:{path}:{}:{:08x}:c{}:{filter_tag}",
+            info.bytes, info.crc32, opts.chunk_bytes
+        );
+        {
+            let logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(entry) = logs.get(&key) {
+                self.metrics.incr("engine.log_cache.hit", 1);
+                trace.merge_from(&entry.load_trace);
+                return Ok(Arc::clone(&entry.log));
+            }
+        }
+        self.metrics.incr("engine.log_cache.miss", 1);
+        let load_trace = Collector::new();
+        let log = Arc::new(load_traced(path, &load_trace, &parse_opts)?);
+        trace.merge_from(&load_trace);
+        if filter.is_none() {
+            let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            dirty.insert(
+                path.to_string(),
+                DirtyLog {
+                    log: Arc::clone(&log),
+                    source: info,
+                },
+            );
+        }
+        let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+        logs.entry(key).or_insert(CachedLog {
+            log: Arc::clone(&log),
+            load_trace,
+        });
+        Ok(log)
+    }
+}
+
+/// A report's resolved input: a warm snapshot index, or a cold-parsed
+/// (possibly filtered at ingest) log.
+enum ReportInput {
+    Warm(Box<failscope::StreamView>),
+    Cold(Arc<FailureLog>),
+}
+
+/// The `{"v":1,...}` header line versioning every JSON output; text
+/// output is unversioned (it is not a machine schema).
+fn version_header(format: OutputFormat, kind: &str) -> String {
+    match format {
+        OutputFormat::Text => String::new(),
+        OutputFormat::Json => format!("{{\"v\":1,\"kind\":\"{kind}\"}}\n"),
+    }
+}
+
+fn opt_str(value: &Option<String>) -> JsonValue {
+    match value {
+        Some(s) => JsonValue::Str(s.clone()),
+        None => JsonValue::Null,
+    }
+}
+
+/// Raw-bytes fingerprint of a source file (`None` when unreadable).
+fn fingerprint(path: &str) -> FilePrint {
+    std::fs::read(path).ok().map(|raw| SourceInfo::of_bytes(&raw))
+}
+
+fn validate_chunk(opts: &QueryOptions) -> Result<()> {
+    if opts.chunk_bytes == 0 {
+        return Err(Error::args("--parse-chunk must be at least 1 byte"));
+    }
+    Ok(())
+}
+
+fn load_traced(path: &str, trace: &Collector, opts: &ParseOptions) -> Result<FailureLog> {
+    // Parse errors carry their 1-based line number and offending field;
+    // prefixing the path makes the message directly actionable.
+    faillog::load_traced_with(path, Some(trace), opts)
+        .map_err(|e| Error::run(format!("{path}: {e}")))
+}
+
+/// Compiles the record filter for a query: the `--where` expression,
+/// conjoined with the `--since`/`--until` sugar, which desugars into
+/// the same predicate IR (`time >= SINCE && time < UNTIL`; `--until` is
+/// exclusive, matching the half-open observation window). Returns
+/// `None` when no filtering option is present.
+pub(crate) fn build_filter(opts: &QueryOptions) -> Result<Option<CompiledPredicate>> {
+    compile_filter(
+        opts.where_expr.as_deref(),
+        opts.since.as_deref(),
+        opts.until.as_deref(),
+    )
+}
+
+/// Filter compilation shared with the watch runner.
+pub(crate) fn compile_filter(
+    where_expr: Option<&str>,
+    since: Option<&str>,
+    until: Option<&str>,
+) -> Result<Option<CompiledPredicate>> {
+    let mut pred: Option<CompiledPredicate> = None;
+    let mut conjoin = |p: CompiledPredicate| {
+        pred = Some(match pred.take() {
+            Some(q) => q.and(p),
+            None => p,
+        });
+    };
+    if let Some(src) = where_expr {
+        conjoin(failfilter::compile(src).map_err(|e| Error::args(format!("--where: {e}")))?);
+    }
+    for (flag, op, raw) in [("since", ">=", since), ("until", "<", until)] {
+        if let Some(raw) = raw {
+            let lit = failfilter::time_literal(raw)
+                .map_err(|e| Error::args(format!("--{flag}: {e}")))?;
+            conjoin(
+                failfilter::compile(&format!("time {op} {lit}"))
+                    .expect("desugared time bound compiles"),
+            );
+        }
+    }
+    Ok(pred)
+}
+
+/// Filters a snapshot-decoded view through the query's predicate
+/// (identity without one). Snapshots always persist unfiltered state;
+/// this is where a `--where` composes with a warm index — still with
+/// zero parsing.
+fn filter_view(
+    view: failscope::StreamView,
+    filter: &Option<CompiledPredicate>,
+) -> failscope::StreamView {
+    match filter {
+        Some(p) => {
+            let spec = view.spec().clone();
+            let window = view.window();
+            view.filtered(|r| p.matches(r, &spec, window))
+        }
+        None => view,
+    }
+}
+
+fn require_warm_err(path: &str, opts: &QueryOptions) -> Error {
+    use std::fmt::Write as _;
+    let mut msg = format!(
+        "{path}: no warm .fsidx snapshot for --index require (build one with `failctl index build {path}`)"
+    );
+    if let Some(expr) = &opts.where_expr {
+        // Snapshots are always unfiltered, so the fix is the same build
+        // command — the filter applies at read time, not build time.
+        let _ = write!(
+            msg,
+            "; `--where {expr}` filters the snapshot at read time, so the same unfiltered build serves it"
+        );
+    }
+    Error::run(msg)
+}
+
+/// Resolves a calibrated model by name.
+pub fn model_by_name(name: &str) -> Result<SystemModel> {
+    match name {
+        "tsubame2" => Ok(SystemModel::tsubame2()),
+        "tsubame3" => Ok(SystemModel::tsubame3()),
+        other => Err(Error::run(format!(
+            "unknown model `{other}` (use tsubame2 or tsubame3)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::QueryRequest;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("failapi-tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn model_report_is_cached_with_identical_bytes_and_trace() {
+        let engine = QueryEngine::new();
+        let req = QueryRequest::report(QuerySource::model("tsubame2", 42))
+            .format(OutputFormat::Json)
+            .threads(2);
+        let cold = engine.execute(&req).expect("executes");
+        assert!(!cold.cached);
+        assert!(cold.output.starts_with("{\"v\":1,\"kind\":\"report\"}\n"));
+        let warm = engine.execute(&req).expect("executes");
+        assert!(warm.cached);
+        assert_eq!(warm.output, cold.output);
+        assert_eq!(warm.trace.export(), cold.trace.export());
+        // A fresh engine (the CLI case) produces the same bytes.
+        let fresh = QueryEngine::new().execute(&req).expect("executes");
+        assert_eq!(fresh.output, cold.output);
+        assert_eq!(fresh.trace.export(), cold.trace.export());
+    }
+
+    #[test]
+    fn thread_count_shares_one_cache_entry() {
+        let engine = QueryEngine::new();
+        let base = QueryRequest::report(QuerySource::model("tsubame3", 7));
+        let one = engine.execute(&base.clone().threads(1)).expect("executes");
+        let four = engine.execute(&base.threads(4)).expect("executes");
+        assert!(!one.cached);
+        assert!(four.cached, "threads must not split the render cache");
+        assert_eq!(one.output, four.output);
+    }
+
+    #[test]
+    fn file_growth_invalidates_the_render_cache() {
+        let path = temp_path("grow.fslog");
+        let p = path.to_str().unwrap();
+        let log = Simulator::new(SystemModel::tsubame2(), 42)
+            .generate()
+            .expect("simulates");
+        let text = faillog::to_string(&log).expect("serializes");
+        let cut = text[..text.len() / 2].rfind('\n').expect("has lines") + 1;
+        std::fs::write(&path, &text[..cut]).expect("write prefix");
+
+        let engine = QueryEngine::new();
+        let req = QueryRequest::report(QuerySource::file(p)).sections("header,tbf");
+        let first = engine.execute(&req).expect("executes");
+        assert!(engine.execute(&req).expect("executes").cached);
+
+        std::fs::write(&path, &text).expect("write full");
+        let regrown = engine.execute(&req).expect("executes");
+        assert!(!regrown.cached, "growth must invalidate the cache");
+        assert_ne!(regrown.output, first.output);
+        // ... and the grown output matches a fresh engine's.
+        let fresh = QueryEngine::new().execute(&req).expect("executes");
+        assert_eq!(regrown.output, fresh.output);
+
+        std::fs::remove_file(&path).expect("cleanup");
+    }
+
+    #[test]
+    fn persist_dirty_writes_snapshots_for_cold_parses() {
+        let path = temp_path("dirty.fslog");
+        let p = path.to_str().unwrap();
+        let spath = failindex::snapshot_path(p);
+        let log = Simulator::new(SystemModel::tsubame2(), 42)
+            .generate()
+            .expect("simulates");
+        faillog::save(p, &log).expect("saves");
+        let _ = std::fs::remove_file(&spath);
+
+        let engine = QueryEngine::new();
+        let req = QueryRequest::report(QuerySource::file(p)).sections("header");
+        engine.execute(&req).expect("executes");
+        assert_eq!(engine.dirty_count(), 1);
+        assert_eq!(engine.persist_dirty(), 1);
+        assert_eq!(engine.dirty_count(), 0);
+        assert!(matches!(failindex::probe(p), Ok(Freshness::Exact)));
+        // Filtered parses never mark the log dirty: the parse did not
+        // see the whole log, and snapshots must.
+        let _ = std::fs::remove_file(&spath);
+        let filtered = QueryRequest::report(QuerySource::file(p))
+            .sections("header")
+            .where_expr("category == gpu");
+        engine.execute(&filtered).expect("executes");
+        assert_eq!(engine.dirty_count(), 0);
+
+        std::fs::remove_file(&path).expect("cleanup");
+        let _ = std::fs::remove_file(&spath);
+    }
+
+    #[test]
+    fn validation_errors_match_the_cli_wording() {
+        let engine = QueryEngine::new();
+        let err = engine
+            .execute(
+                &QueryRequest::report(QuerySource::model("tsubame2", 42))
+                    .index(IndexMode::Auto),
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("--index auto only applies to file input"),
+            "{err}"
+        );
+        let err = engine
+            .execute(&QueryRequest::report(QuerySource::model("cray", 1)))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("unknown model `cray`"), "{err}");
+        let err = engine
+            .execute(
+                &QueryRequest::report(QuerySource::model("tsubame2", 1)).where_expr("bananas == 1"),
+            )
+            .unwrap_err()
+            .to_string();
+        assert!(err.starts_with("--where: unknown field `bananas`"), "{err}");
+        let err = engine
+            .execute(&QueryRequest::report(QuerySource::model("tsubame2", 1)).chunk_bytes(0))
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("--parse-chunk must be at least 1 byte"), "{err}");
+    }
+}

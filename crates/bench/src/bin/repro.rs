@@ -24,12 +24,17 @@
 //!
 //! Exits non-zero when any requested experiment fails its checks.
 
+use std::sync::mpsc;
+use std::thread;
 use std::time::Instant;
 
+use failapi::{wire, OutputFormat, QueryEngine, QueryRequest, QuerySource};
 use failbench::experiments;
 use failbench::runner::{self, CatalogEntry};
 use failbench::LogStore;
 use failscope::{LogView, SectionCtx};
+use failserver::client::Connection;
+use failserver::{Endpoint, ServerConfig};
 use failsim::{Simulator, SystemModel};
 use failtrace::Collector;
 use failtypes::JsonValue;
@@ -397,6 +402,135 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("identical_output", index_identical)
         .build();
 
+    // Query-server bench: start `faild` in-process on a loopback TCP
+    // socket, replay a mixed report/compare workload from four
+    // concurrent clients, and check every response byte-identical to
+    // the local `failapi` path (the path the CLI itself routes
+    // through), cold and warm. `server_queries_per_second` (the warm
+    // concurrent rate) is the figure scripts/verify.sh gates on; the
+    // graceful shutdown must persist a `.fsidx` snapshot for each log
+    // the server cold-parsed.
+    const SERVER_CLIENTS: usize = 4;
+    const SERVER_WARM_QUERIES_PER_CLIENT: usize = 64;
+    let srv_dir = std::env::temp_dir().join("failbench-server-bench");
+    std::fs::create_dir_all(&srv_dir).expect("temp dir");
+    let srv_t2 = srv_dir.join("tsubame2.fslog");
+    let srv_t3 = srv_dir.join("tsubame3.fslog");
+    let t3_log = Simulator::new(SystemModel::tsubame3(), 42)
+        .generate()
+        .expect("calibrated model simulates");
+    faillog::save(srv_t2.to_str().expect("utf-8 path"), &section_log).expect("writes bench log");
+    faillog::save(srv_t3.to_str().expect("utf-8 path"), &t3_log).expect("writes bench log");
+    let server_records = section_log.len() + t3_log.len();
+    let srv_requests: Vec<QueryRequest> = vec![
+        QueryRequest::report(QuerySource::file(srv_t2.to_str().expect("utf-8 path")))
+            .sections(ANALYSIS_SECTIONS),
+        QueryRequest::report(QuerySource::file(srv_t3.to_str().expect("utf-8 path")))
+            .sections(ANALYSIS_SECTIONS)
+            .format(OutputFormat::Json),
+        QueryRequest::report(QuerySource::file(srv_t2.to_str().expect("utf-8 path")))
+            .sections("tbf,ttr")
+            .where_expr("category == gpu && ttr > 24"),
+        QueryRequest::compare(
+            srv_t2.to_str().expect("utf-8 path"),
+            srv_t3.to_str().expect("utf-8 path"),
+        ),
+    ];
+    let srv_expected: Vec<String> = srv_requests
+        .iter()
+        .map(|req| QueryEngine::new().execute(req).expect("local query").output)
+        .collect();
+
+    let (srv_tx, srv_rx) = mpsc::channel();
+    let srv_handle = thread::spawn(move || {
+        failserver::serve(
+            ServerConfig {
+                endpoint: Endpoint::tcp("127.0.0.1:0"),
+                max_inflight: SERVER_CLIENTS,
+            },
+            move |bound| {
+                srv_tx.send(bound.clone()).expect("report bound endpoint");
+            },
+        )
+    });
+    let srv_bound = srv_rx.recv().expect("server binds");
+
+    let mut server_identical = true;
+    let cold_start = Instant::now();
+    {
+        let mut conn = Connection::connect(&srv_bound).expect("connects");
+        for (i, req) in srv_requests.iter().enumerate() {
+            let resp = conn
+                .roundtrip(&wire::encode_query(i as u64, req))
+                .expect("cold roundtrip");
+            server_identical &= resp.output == srv_expected[i];
+        }
+    }
+    let server_cold_seconds = cold_start.elapsed().as_secs_f64();
+
+    let warm_start = Instant::now();
+    thread::scope(|s| {
+        let clients: Vec<_> = (0..SERVER_CLIENTS)
+            .map(|client| {
+                let (bound, requests, expected) = (&srv_bound, &srv_requests, &srv_expected);
+                s.spawn(move || {
+                    let mut conn = Connection::connect(bound).expect("connects");
+                    let mut identical = true;
+                    // Stagger the walk so the four clients hit
+                    // different requests at the same moment.
+                    for step in 0..SERVER_WARM_QUERIES_PER_CLIENT {
+                        let i = (step + client) % requests.len();
+                        let resp = conn
+                            .roundtrip(&wire::encode_query(i as u64, &requests[i]))
+                            .expect("warm roundtrip");
+                        identical &= resp.output == expected[i];
+                    }
+                    identical
+                })
+            })
+            .collect();
+        for client in clients {
+            server_identical &= client.join().expect("client thread");
+        }
+    });
+    let server_warm_seconds = warm_start.elapsed().as_secs_f64();
+    let server_warm_queries = SERVER_CLIENTS * SERVER_WARM_QUERIES_PER_CLIENT;
+    let server_rate = server_warm_queries as f64 / server_warm_seconds.max(f64::MIN_POSITIVE);
+
+    {
+        let mut conn = Connection::connect(&srv_bound).expect("connects");
+        conn.roundtrip(&wire::encode_simple(0, "shutdown"))
+            .expect("shutdown roundtrip");
+    }
+    let server_snapshots = srv_handle
+        .join()
+        .expect("server thread")
+        .expect("server shuts down cleanly")
+        .snapshots_persisted;
+    std::fs::remove_dir_all(&srv_dir).ok();
+    println!(
+        "  server bench: {SERVER_CLIENTS} clients x {SERVER_WARM_QUERIES_PER_CLIENT} warm queries over 2 logs ({server_records} records)"
+    );
+    println!(
+        "    cold {:.1} ms ({} queries) | warm {:.1} ms | {:.0} queries/s | snapshots persisted: {server_snapshots} | identical: {server_identical}",
+        server_cold_seconds * 1e3,
+        srv_requests.len(),
+        server_warm_seconds * 1e3,
+        server_rate
+    );
+    let server_json = JsonValue::object()
+        .field("logs", 2u64)
+        .field("records", server_records)
+        .field("clients", SERVER_CLIENTS)
+        .field("cold_queries", srv_requests.len())
+        .field("warm_queries", server_warm_queries)
+        .field("cold_seconds", server_cold_seconds)
+        .field("warm_seconds", server_warm_seconds)
+        .field("queries_per_second", server_rate as u64)
+        .field("snapshots_persisted", server_snapshots)
+        .field("identical_output", server_identical)
+        .build();
+
     let mut json = JsonValue::object()
         .field("experiments", catalog.len())
         // The serial pass always runs on 1 thread and the parallel pass
@@ -418,6 +552,8 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("index", index_json)
         .field("index_load_speedup_x100", (index_load_speedup * 100.0) as u64)
         .field("index_report_speedup_x100", (index_report_speedup * 100.0) as u64)
+        .field("server", server_json)
+        .field("server_queries_per_second", server_rate as u64)
         .field("sections", JsonValue::Array(section_rows))
         .field("trace", collector.to_json(true))
         .build()
@@ -444,6 +580,14 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     }
     if !index_identical {
         eprintln!("warm snapshot report diverged from the cold parse");
+        std::process::exit(1);
+    }
+    if !server_identical {
+        eprintln!("server responses diverged from the local query path");
+        std::process::exit(1);
+    }
+    if server_snapshots != 2 {
+        eprintln!("server shutdown persisted {server_snapshots} snapshots, expected 2");
         std::process::exit(1);
     }
 }

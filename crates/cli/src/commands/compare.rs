@@ -1,0 +1,32 @@
+//! `failctl compare`: a thin adapter over [`failapi::QueryEngine`].
+
+use failapi::{QueryEngine, QueryRequest};
+use failtypes::Result;
+
+use super::common::{CommonQueryArgs, TIME_FLAGS};
+use crate::args::ParsedArgs;
+
+/// The flags compare accepts: the common set minus `--sections` (a
+/// comparison is one document), plus the time sugar.
+fn compare_flags() -> Vec<&'static str> {
+    let mut allowed: Vec<&'static str> = super::common::COMMON_QUERY_FLAGS
+        .iter()
+        .copied()
+        .filter(|f| *f != "sections")
+        .collect();
+    allowed.extend_from_slice(TIME_FLAGS);
+    allowed
+}
+
+/// `failctl compare`.
+pub fn compare(args: &ParsedArgs) -> Result<String> {
+    args.reject_unknown_flags(&compare_flags())?;
+    let common = CommonQueryArgs::from_args(args);
+    let req = common.apply_query(QueryRequest::compare(
+        args.positional(0, "old")?,
+        args.positional(1, "new")?,
+    ))?;
+    let outcome = QueryEngine::new().execute(&req)?;
+    common.write_trace(&outcome.trace)?;
+    Ok(outcome.output)
+}

@@ -1,0 +1,45 @@
+//! `failctl report`: a thin adapter over [`failapi::QueryEngine`].
+
+use failapi::{QueryEngine, QueryRequest, QuerySource};
+use failtypes::{Error, Result};
+
+use super::common::{allowed_flags, CommonQueryArgs};
+use crate::args::ParsedArgs;
+
+/// Resolves the report's source: a log file (the positional at `idx`)
+/// or `--model NAME [--seed N]`, which generates the calibrated log
+/// in-process. `query report` reuses this with its sub-command-shifted
+/// positional index.
+pub(crate) fn report_source_at(args: &ParsedArgs, idx: usize) -> Result<QuerySource> {
+    match args.flag("model") {
+        Some(name) => {
+            if args.positional.len() > idx {
+                return Err(Error::args("pass either a log file or --model, not both"));
+            }
+            Ok(QuerySource::model(name, args.flag_or("seed", 42u64)?))
+        }
+        None => {
+            if let Some(seed) = args.flag("seed") {
+                return Err(Error::args(format!(
+                    "--seed {seed} only applies with --model"
+                )));
+            }
+            Ok(QuerySource::file(args.positional(idx, "file")?))
+        }
+    }
+}
+
+/// `failctl report`.
+///
+/// Every run records pipeline tracing — generation/parsing, index
+/// construction, per-section rendering — so `--sections metrics`
+/// always has data, and `--trace PATH` writes the deterministic NDJSON
+/// export (byte-identical at any `--threads` value).
+pub fn report(args: &ParsedArgs) -> Result<String> {
+    args.reject_unknown_flags(&allowed_flags(true, &["model", "seed"]))?;
+    let common = CommonQueryArgs::from_args(args);
+    let req = common.apply_query(QueryRequest::report(report_source_at(args, 0)?))?;
+    let outcome = QueryEngine::new().execute(&req)?;
+    common.write_trace(&outcome.trace)?;
+    Ok(outcome.output)
+}

@@ -1,0 +1,66 @@
+//! The blocking `faild` client used by `failctl query` and the tests.
+
+use std::io::{BufRead, BufReader, Write};
+
+use failapi::wire::{self, Response};
+use failtypes::{Error, Result};
+
+use crate::server::{Endpoint, Stream};
+
+/// One connection to a running `faild`. Requests and responses are
+/// strictly interleaved (send one line, read one line), matching the
+/// protocol's per-connection ordering guarantee.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl Connection {
+    /// Connects to a `faild` endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket cannot be reached.
+    pub fn connect(endpoint: &Endpoint) -> Result<Connection> {
+        let writer = endpoint.connect_stream()?;
+        let reader = writer
+            .try_clone()
+            .map_err(|e| Error::io("cloning the faild connection", e))?;
+        Ok(Connection {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one encoded request line and reads the matching response.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, when the server closes the connection, or —
+    /// decoded from the typed error envelope — when the server answers
+    /// with `ok:false` (argument errors keep their `args` kind).
+    pub fn roundtrip(&mut self, line: &str) -> Result<Response> {
+        writeln!(self.writer, "{line}")
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| Error::io("sending request to faild", e))?;
+        let mut response = String::new();
+        let n = self
+            .reader
+            .read_line(&mut response)
+            .map_err(|e| Error::io("reading response from faild", e))?;
+        if n == 0 {
+            return Err(Error::run("faild closed the connection"));
+        }
+        wire::parse_response(response.trim_end())
+    }
+}
+
+/// One-shot convenience: connect, send `line`, return the response.
+///
+/// # Errors
+///
+/// As [`Connection::connect`] and [`Connection::roundtrip`].
+pub fn roundtrip(endpoint: &Endpoint, line: &str) -> Result<Response> {
+    Connection::connect(endpoint)?.roundtrip(line)
+}

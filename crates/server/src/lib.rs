@@ -1,0 +1,26 @@
+//! `faild` — the failscope query server.
+//!
+//! A long-running daemon holding one process-wide
+//! [`failapi::QueryEngine`] (parsed logs, warm `.fsidx`-backed render
+//! cache) and answering report/compare/watch/metrics queries from many
+//! concurrent clients over a Unix or TCP socket, one NDJSON request per
+//! line ([`failapi::wire`]).
+//!
+//! * [`server`] — [`serve`]: bind, accept, thread-per-connection with a
+//!   bounded execution gate, graceful shutdown persisting dirty
+//!   snapshots.
+//! * [`client`] — [`client::Connection`]: the blocking client used by
+//!   `failctl query` and the test suite.
+//!
+//! The determinism contract is inherited from `failapi`: every response
+//! body is byte-identical to the equivalent `failctl` CLI invocation,
+//! warm or cold, at any thread count.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![deny(unsafe_code)]
+
+pub mod client;
+pub mod server;
+
+pub use server::{ready_line, serve, Endpoint, ServeSummary, ServerConfig};

@@ -1,0 +1,429 @@
+//! The accept loop, connection handlers, and graceful shutdown.
+//!
+//! One thread per connection; query execution is additionally bounded
+//! by a counting gate (`max_inflight`), so a burst of expensive cold
+//! parses from many clients degrades to a queue instead of a thundering
+//! herd — correctness never depends on the gate, only peak memory does.
+//!
+//! Shutdown is a protocol command: any client may send
+//! `{"v":1,"id":N,"cmd":"shutdown"}`. The server stops accepting, lets
+//! every in-flight request finish (handlers poll a shared flag on a
+//! read timeout), persists the engine's dirty `.fsidx` snapshots, and
+//! returns a [`ServeSummary`].
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use failapi::wire::{self, Command};
+use failapi::QueryEngine;
+use failtypes::{Error, JsonValue, Result};
+
+/// How often a blocked connection reader wakes up to check the
+/// shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(200);
+
+/// Where the server listens (and clients connect).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket at this path.
+    Unix(PathBuf),
+    /// A TCP address, e.g. `127.0.0.1:7171` (port 0 picks a free one).
+    Tcp(String),
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Unix(path) => write!(f, "unix:{}", path.display()),
+            Endpoint::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+impl Endpoint {
+    /// A Unix-socket endpoint.
+    pub fn unix(path: impl Into<PathBuf>) -> Self {
+        Endpoint::Unix(path.into())
+    }
+
+    /// A TCP endpoint.
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Endpoint::Tcp(addr.into())
+    }
+
+    /// Opens a client connection to this endpoint.
+    pub(crate) fn connect_stream(&self) -> Result<Stream> {
+        match self {
+            Endpoint::Unix(path) => UnixStream::connect(path)
+                .map(Stream::Unix)
+                .map_err(|e| Error::run(format!("connecting to faild at {self}: {e}"))),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr)
+                .map(Stream::Tcp)
+                .map(Stream::into_low_latency)
+                .map_err(|e| Error::run(format!("connecting to faild at {self}: {e}"))),
+        }
+    }
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Where to listen.
+    pub endpoint: Endpoint,
+    /// How many queries may execute concurrently (minimum 1); further
+    /// requests queue. Responses are unaffected — only peak memory is.
+    pub max_inflight: usize,
+}
+
+/// What a completed serve run did, reported after a graceful shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Connections accepted.
+    pub connections: u64,
+    /// Requests answered (including error envelopes).
+    pub requests: u64,
+    /// `.fsidx` snapshots persisted at shutdown for logs the engine
+    /// cold-parsed.
+    pub snapshots_persisted: usize,
+}
+
+/// The `{"v":1,"ready":true,...}` line a wrapper prints to stdout once
+/// the socket is bound, so scripts can wait for it before connecting.
+pub fn ready_line(endpoint: &Endpoint) -> String {
+    JsonValue::object()
+        .field("v", 1u64)
+        .field("ready", true)
+        .field("endpoint", endpoint.to_string())
+        .build()
+        .render()
+}
+
+/// A duplex byte stream over either transport.
+#[derive(Debug)]
+pub(crate) enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    pub(crate) fn try_clone(&self) -> std::io::Result<Stream> {
+        match self {
+            Stream::Unix(s) => s.try_clone().map(Stream::Unix),
+            Stream::Tcp(s) => s.try_clone().map(Stream::Tcp),
+        }
+    }
+
+    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Disables Nagle's algorithm on TCP streams (a no-op on Unix
+    /// sockets): the protocol is strictly request/response with one
+    /// small line each way, so batching writes only adds the
+    /// delayed-ACK round trip to every query.
+    pub(crate) fn into_low_latency(self) -> Stream {
+        if let Stream::Tcp(s) = &self {
+            s.set_nodelay(true).ok();
+        }
+        self
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+enum Listener {
+    Unix(UnixListener, PathBuf),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> Result<Listener> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                let listener = UnixListener::bind(path).or_else(|_| {
+                    // A stale socket file from a crashed server blocks
+                    // the bind; remove it and retry once.
+                    std::fs::remove_file(path).ok();
+                    UnixListener::bind(path)
+                })
+                .map_err(|e| Error::run(format!("binding {}: {e}", path.display())))?;
+                Ok(Listener::Unix(listener, path.clone()))
+            }
+            Endpoint::Tcp(addr) => TcpListener::bind(addr)
+                .map(Listener::Tcp)
+                .map_err(|e| Error::run(format!("binding {addr}: {e}"))),
+        }
+    }
+
+    /// The endpoint actually bound (TCP port 0 resolves here).
+    fn bound_endpoint(&self) -> Result<Endpoint> {
+        match self {
+            Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
+            Listener::Tcp(listener) => listener
+                .local_addr()
+                .map(|a| Endpoint::Tcp(a.to_string()))
+                .map_err(|e| Error::io("resolving the bound address", e)),
+        }
+    }
+
+    fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+}
+
+/// A counting gate bounding concurrent query execution.
+struct Gate {
+    slots: Mutex<usize>,
+    freed: Condvar,
+}
+
+impl Gate {
+    fn new(slots: usize) -> Gate {
+        Gate {
+            slots: Mutex::new(slots.max(1)),
+            freed: Condvar::new(),
+        }
+    }
+
+    fn run<T>(&self, work: impl FnOnce() -> T) -> T {
+        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
+        while *slots == 0 {
+            slots = self
+                .freed
+                .wait(slots)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+        *slots -= 1;
+        drop(slots);
+        let result = work();
+        *self.slots.lock().unwrap_or_else(|e| e.into_inner()) += 1;
+        self.freed.notify_one();
+        result
+    }
+}
+
+struct Shared {
+    engine: QueryEngine,
+    gate: Gate,
+    shutdown: AtomicBool,
+    requests: AtomicU64,
+    bound: Endpoint,
+}
+
+impl Shared {
+    /// Executes one decoded command; returns the response line and
+    /// whether it was a shutdown request.
+    fn respond(&self, id: u64, cmd: Command) -> (String, bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.engine.metrics().incr("server.requests", 1);
+        match cmd {
+            Command::Query(req) => {
+                let line = match self.gate.run(|| self.engine.execute(&req)) {
+                    Ok(outcome) => {
+                        wire::encode_ok(id, req_name(&req), outcome.cached, &outcome.output)
+                    }
+                    Err(e) => self.error_line(id, &e),
+                };
+                (line, false)
+            }
+            Command::Watch(req) => {
+                let line = self.gate.run(|| {
+                    let mut buf = Vec::new();
+                    match failapi::watch::run(&req, &mut buf) {
+                        Ok(_) => match String::from_utf8(buf) {
+                            Ok(output) => wire::encode_ok(id, "watch", false, &output),
+                            Err(_) => self
+                                .error_line(id, &Error::run("watch produced non-UTF8 output")),
+                        },
+                        Err(e) => self.error_line(id, &e),
+                    }
+                });
+                (line, false)
+            }
+            Command::Metrics => {
+                // The live collector: engine cache counters plus the
+                // server's own, exported as the standard NDJSON trace.
+                let export = self.engine.metrics().export();
+                (wire::encode_ok(id, "metrics", false, &export), false)
+            }
+            Command::Ping => (wire::encode_ok(id, "ping", false, "pong\n"), false),
+            Command::Shutdown => {
+                self.shutdown.store(true, Ordering::SeqCst);
+                // Unblock the acceptor with a throwaway connection.
+                let _ = self.bound.connect_stream();
+                (
+                    wire::encode_ok(id, "shutdown", false, "faild: shutting down\n"),
+                    true,
+                )
+            }
+        }
+    }
+
+    fn error_line(&self, id: u64, e: &Error) -> String {
+        self.engine.metrics().incr("server.errors", 1);
+        wire::encode_err(id, e)
+    }
+}
+
+fn req_name(req: &failapi::QueryRequest) -> &'static str {
+    match req.cmd {
+        failapi::QueryCmd::Report(_) => "report",
+        failapi::QueryCmd::Compare { .. } => "compare",
+    }
+}
+
+/// Runs `faild` to completion: binds the endpoint, calls `ready` with
+/// the resolved address (print this to stdout so clients can wait for
+/// it), then serves until a client sends `shutdown`. In-flight requests
+/// finish, dirty `.fsidx` snapshots are persisted, and the summary is
+/// returned.
+///
+/// # Errors
+///
+/// Fails only on bind/setup problems; per-connection I/O errors drop
+/// that connection and per-request errors become typed error envelopes.
+pub fn serve(config: ServerConfig, ready: impl FnOnce(&Endpoint)) -> Result<ServeSummary> {
+    let listener = Listener::bind(&config.endpoint)?;
+    let bound = listener.bound_endpoint()?;
+    let shared = Arc::new(Shared {
+        engine: QueryEngine::new(),
+        gate: Gate::new(config.max_inflight),
+        shutdown: AtomicBool::new(false),
+        requests: AtomicU64::new(0),
+        bound: bound.clone(),
+    });
+    ready(&bound);
+
+    let mut connections: u64 = 0;
+    let mut handlers = Vec::new();
+    let mut accept_errors = 0u32;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok(s) => {
+                accept_errors = 0;
+                s.into_low_latency()
+            }
+            Err(_) => {
+                // Transient accept failures happen under fd pressure;
+                // a persistent streak means the listener is gone.
+                accept_errors += 1;
+                if accept_errors > 100 {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up connection
+        }
+        connections += 1;
+        shared.engine.metrics().incr("server.connections", 1);
+        let shared = Arc::clone(&shared);
+        handlers.push(std::thread::spawn(move || handle(stream, &shared)));
+    }
+    for handler in handlers {
+        handler.join().ok();
+    }
+    let snapshots_persisted = shared.engine.persist_dirty();
+    if let Endpoint::Unix(path) = &bound {
+        std::fs::remove_file(path).ok();
+    }
+    Ok(ServeSummary {
+        connections,
+        requests: shared.requests.load(Ordering::Relaxed),
+        snapshots_persisted,
+    })
+}
+
+/// One connection: read request lines, write response lines, until EOF
+/// or shutdown. The read timeout is a poll interval, not a deadline —
+/// an idle client stays connected; the timeout only exists so the
+/// handler notices a shutdown triggered elsewhere.
+fn handle(stream: Stream, shared: &Shared) {
+    stream.set_read_timeout(Some(READ_POLL)).ok();
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        // read_line may return WouldBlock/TimedOut mid-line; bytes read
+        // so far stay buffered in `line`, so looping until a full line
+        // arrives is lossless.
+        let complete = loop {
+            match reader.read_line(&mut line) {
+                Ok(0) => break false, // EOF
+                Ok(_) => {
+                    if line.ends_with('\n') {
+                        break true;
+                    }
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut
+                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => break false,
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break false;
+            }
+        };
+        if !complete {
+            return;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (id, cmd) = wire::parse_request(&line);
+        let (response, is_shutdown) = match cmd {
+            Ok(cmd) => shared.respond(id, cmd),
+            Err(e) => {
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                shared.engine.metrics().incr("server.requests", 1);
+                (shared.error_line(id, &e), false)
+            }
+        };
+        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
+            return;
+        }
+        if is_shutdown {
+            return;
+        }
+    }
+}

@@ -316,6 +316,45 @@ impl Collector {
             .build()
     }
 
+    /// Folds every instrument recorded in `other` into this collector:
+    /// counters and span call/item/wall tallies add, histogram buckets
+    /// merge element-wise with min/max reduced. Used to replay the
+    /// instruments of a cached pipeline stage (e.g. a memoized log
+    /// parse) into a fresh query trace so the export stays identical to
+    /// an uncached run.
+    pub fn merge_from(&self, other: &Collector) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let snapshot = other.with_registry(|reg| {
+            (
+                reg.counters.clone(),
+                reg.hists.clone(),
+                reg.spans.clone(),
+            )
+        });
+        self.with_registry(|reg| {
+            for (stage, value) in snapshot.0 {
+                *reg.counters.entry(stage).or_insert(0) += value;
+            }
+            for (stage, hist) in snapshot.1 {
+                let own = reg.hists.entry(stage).or_insert_with(Histogram::new);
+                for (slot, n) in hist.buckets.iter().enumerate() {
+                    own.buckets[slot] += n;
+                }
+                own.count += hist.count;
+                own.min = own.min.min(hist.min);
+                own.max = own.max.max(hist.max);
+            }
+            for (stage, stats) in snapshot.2 {
+                let own = reg.spans.entry(stage).or_default();
+                own.calls += stats.calls;
+                own.items += stats.items;
+                own.wall_ns += stats.wall_ns;
+            }
+        });
+    }
+
     /// A short human-readable rendering, one indented line per
     /// instrument in export order. Deterministic; used by the `metrics`
     /// report section.
@@ -466,6 +505,40 @@ mod tests {
             }
         });
         assert_eq!(trace.counter("watch.records_ingested"), 400);
+    }
+
+    #[test]
+    fn merge_from_replays_instruments_identically() {
+        let original = Collector::new();
+        original.incr("parse.records", 42);
+        original.observe_hours("ttr", 0.2);
+        original.observe_hours("ttr", 1000.0);
+        {
+            let mut span = original.span("parse.chunks");
+            span.add_items(7);
+        }
+
+        // Merging into an empty collector reproduces the export exactly.
+        let replayed = Collector::new();
+        replayed.merge_from(&original);
+        assert_eq!(replayed.export(), original.export());
+
+        // Merging into a non-empty collector accumulates.
+        let busy = Collector::new();
+        busy.incr("parse.records", 8);
+        busy.observe_hours("ttr", 4.0);
+        busy.merge_from(&original);
+        assert_eq!(busy.counter("parse.records"), 50);
+        let export = busy.export();
+        assert!(export.contains(r#""count":3"#));
+        assert!(export.contains(r#""min":0.2"#));
+        assert!(export.contains(r#""max":1000"#));
+        assert_eq!(busy.span_stats("parse.chunks").unwrap().items, 7);
+
+        // Self-merge is a no-op, not a double count.
+        let double = original.clone();
+        double.merge_from(&original);
+        assert_eq!(original.counter("parse.records"), 42);
     }
 
     #[test]

@@ -289,6 +289,23 @@ impl Error {
             _ => None,
         }
     }
+
+    /// A stable machine-readable tag naming the error variant, used by
+    /// the `faild` protocol's typed error envelope
+    /// (`{"error":{"kind":...,"message":...}}`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Error::Io { .. } => "io",
+            Error::Header(_) => "header",
+            Error::Row { .. } => "row",
+            Error::InvalidRow { .. } => "invalid_row",
+            Error::Invalid(_) => "invalid",
+            Error::Config { .. } => "config",
+            Error::Args(_) => "args",
+            Error::Run(_) => "run",
+            Error::Other { .. } => "other",
+        }
+    }
 }
 
 impl fmt::Display for Error {

@@ -58,6 +58,101 @@ impl JsonValue {
         JsonObjectBuilder { pairs: Vec::new() }
     }
 
+    /// Parses one JSON document (the inverse of [`JsonValue::render`]).
+    ///
+    /// Numbers without a fraction or exponent that fit an `i64` parse
+    /// as [`JsonValue::Int`]; everything else numeric parses as
+    /// [`JsonValue::Num`]. Object keys keep input order. Trailing
+    /// whitespace is allowed, trailing content is not — a whole NDJSON
+    /// line is exactly one document.
+    ///
+    /// ```
+    /// use failtypes::JsonValue;
+    ///
+    /// let doc = JsonValue::parse(r#"{"v":1,"cmd":"report"}"#).unwrap();
+    /// assert_eq!(doc.get("v").and_then(JsonValue::as_i64), Some(1));
+    /// assert_eq!(doc.get("cmd").and_then(JsonValue::as_str), Some("report"));
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the byte offset of the first syntax
+    /// error.
+    pub fn parse(s: &str) -> Result<JsonValue, JsonParseError> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(p.err("trailing content after the document"));
+        }
+        Ok(value)
+    }
+
+    /// Object field lookup (first match); `None` on non-objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(pairs) => {
+                pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload: an [`JsonValue::Int`], or a
+    /// [`JsonValue::Num`] that is exactly integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::Num(x) if x.fract() == 0.0 && x.abs() < 9e15 => Some(*x as i64),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (ints widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The key/value pairs in input order, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
     /// Builds a [`JsonValue::Array`] from anything convertible to
     /// values.
     pub fn array<T: Into<JsonValue>>(items: impl IntoIterator<Item = T>) -> JsonValue {
@@ -212,6 +307,251 @@ impl JsonObjectBuilder {
     }
 }
 
+/// Error raised by [`JsonValue::parse`]: a description plus the byte
+/// offset where parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    message: String,
+    offset: usize,
+}
+
+impl JsonParseError {
+    /// The byte offset in the input where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.offset
+    }
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, JsonParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, JsonParseError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, JsonParseError> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(byte) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.hex4()?;
+                            // Surrogate pairs arrive as two \uXXXX units.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if !(self.peek() == Some(b'\\')
+                                    && self.bytes.get(self.pos + 1) == Some(&b'u'))
+                                {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(c);
+                        }
+                        other => {
+                            return Err(
+                                self.err(format!("unknown escape `\\{}`", other as char))
+                            )
+                        }
+                    }
+                }
+                _ => {
+                    // Consume one whole UTF-8 scalar (input is &str, so
+                    // boundaries are valid).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && self.bytes[end] & 0xC0 == 0x80 {
+                        end += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..end])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|b| std::str::from_utf8(b).ok())
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(byte) = self.peek() {
+            match byte {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("number bytes are ASCII");
+        if integral {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
+            .map_err(|_| self.err(format!("invalid number `{text}`")))
+    }
+}
+
 /// Writes a finite f64 as a JSON number (`{}` on f64 round-trips);
 /// non-finite values degrade to `null` since JSON has no NaN/Inf.
 pub(crate) fn push_json_number(out: &mut String, x: f64) {
@@ -299,5 +639,92 @@ mod tests {
             JsonValue::Null,
         ]);
         assert_eq!(doc.render(), r#"[{"k":"v"},null]"#);
+    }
+
+    #[test]
+    fn parse_round_trips_rendered_documents() {
+        let docs = [
+            r#"{"v":1,"id":7,"cmd":"report","sections":["header","metrics"]}"#,
+            r#"[1,-2,3.5,true,false,null,"x"]"#,
+            r#"{"nested":{"a":[{"b":null}]},"t":"a\"b\\c\nd"}"#,
+            "42",
+            "\"lone\"",
+        ];
+        for doc in docs {
+            let parsed = JsonValue::parse(doc).unwrap();
+            assert_eq!(parsed.render(), doc, "round trip of {doc}");
+        }
+    }
+
+    #[test]
+    fn parse_accepts_whitespace_and_preserves_key_order() {
+        let parsed = JsonValue::parse(" { \"z\" : 1 ,\n\t\"a\" : [ 2 , 3 ] } ").unwrap();
+        assert_eq!(parsed.render(), r#"{"z":1,"a":[2,3]}"#);
+    }
+
+    #[test]
+    fn parse_number_types() {
+        assert_eq!(JsonValue::parse("12").unwrap(), JsonValue::Int(12));
+        assert_eq!(JsonValue::parse("-3").unwrap(), JsonValue::Int(-3));
+        assert_eq!(JsonValue::parse("1.5").unwrap(), JsonValue::Num(1.5));
+        assert_eq!(JsonValue::parse("1e3").unwrap(), JsonValue::Num(1000.0));
+        // Too big for i64 falls back to f64 rather than erroring.
+        assert!(matches!(
+            JsonValue::parse("99999999999999999999").unwrap(),
+            JsonValue::Num(_)
+        ));
+    }
+
+    #[test]
+    fn parse_string_escapes() {
+        let parsed = JsonValue::parse(r#""a\"b\\c\/d\n\t\r\b\fAé""#).unwrap();
+        assert_eq!(
+            parsed,
+            JsonValue::Str("a\"b\\c/d\n\t\r\u{8}\u{c}A\u{e9}".to_string())
+        );
+        // Surrogate pair → one astral scalar.
+        let pair = JsonValue::parse(r#""😀""#).unwrap();
+        assert_eq!(pair, JsonValue::Str("\u{1f600}".to_string()));
+    }
+
+    #[test]
+    fn parse_accessors() {
+        let doc = JsonValue::parse(
+            r#"{"v":1,"ok":true,"n":2.5,"rows":[{"id":"header"}],"name":"t2"}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("v").and_then(JsonValue::as_i64), Some(1));
+        assert_eq!(doc.get("ok").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(doc.get("n").and_then(JsonValue::as_f64), Some(2.5));
+        assert_eq!(doc.get("name").and_then(JsonValue::as_str), Some("t2"));
+        let rows = doc.get("rows").and_then(JsonValue::as_array).unwrap();
+        assert_eq!(rows[0].get("id").and_then(JsonValue::as_str), Some("header"));
+        assert!(doc.get("missing").is_none());
+        assert!(doc.as_object().is_some());
+        assert!(rows[0].as_array().is_none());
+    }
+
+    #[test]
+    fn parse_errors_carry_offsets() {
+        for (doc, what) in [
+            ("", "unexpected end"),
+            ("{", "expected `\"`"),
+            (r#"{"a":1,}"#, "expected `\"`"),
+            (r#"{"a" 1}"#, "expected `:`"),
+            ("[1 2]", "expected `,` or `]`"),
+            ("tru", "expected `true`"),
+            ("\"unterminated", "unterminated string"),
+            (r#""\q""#, "unknown escape"),
+            (r#""\ud800x""#, "unpaired surrogate"),
+            ("1 2", "trailing content"),
+            ("nullx", "trailing content"),
+        ] {
+            let err = JsonValue::parse(doc).unwrap_err();
+            assert!(
+                err.to_string().contains(what),
+                "{doc:?} gave {err} (wanted {what})"
+            );
+            assert!(err.offset() <= doc.len());
+        }
     }
 }

@@ -66,7 +66,7 @@ mod time;
 
 pub use category::{Category, ComponentClass, Domain, T2Category, T3Category};
 pub use error::{Error, InvalidRecordError, InvalidSpecError, ParseCategoryError, Result};
-pub use json::{JsonObjectBuilder, JsonValue};
+pub use json::{JsonObjectBuilder, JsonParseError, JsonValue};
 pub use record::{FailureLog, FailureRecord};
 pub use software::SoftwareLocus;
 pub use stream::{Alert, AlertKind, AlertSeverity, StreamEvent};

@@ -122,6 +122,99 @@ for t in 1 4; do
 done
 rm -rf "$idx_dir"
 
+# Server gate, part 1: `repro bench`'s server block replays a mixed
+# report/compare workload from four concurrent clients against an
+# in-process `faild` and exits non-zero unless every response is
+# byte-identical to the local query path and the shutdown persisted
+# both snapshots; gate on the warm concurrent rate (measured ~6000
+# queries/s on one container core, tripwire at 200 — which is roughly
+# where an accidental per-query write-batching latency would land).
+server_floor=200
+server_rate=$(sed -n 's/.*"server_queries_per_second":\([0-9]*\).*/\1/p' \
+    BENCH_pipeline.json)
+if [ -z "$server_rate" ]; then
+    echo "verify: server_queries_per_second missing from BENCH_pipeline.json" >&2
+    exit 1
+fi
+if [ "$server_rate" -lt "$server_floor" ]; then
+    echo "verify: server query throughput regressed: $server_rate queries/s < floor $server_floor" >&2
+    exit 1
+fi
+
+# Server gate, part 2: a real `faild` process serving both canonical
+# seed logs over a Unix socket. Cold queries must be byte-identical to
+# the direct CLI report, warm repeats byte-identical to cold, four
+# concurrent clients must all get the same bytes, and a graceful
+# shutdown must persist a `.fsidx` snapshot next to each cold-parsed
+# log.
+srv_dir=$(mktemp -d)
+srv_sections="header,categories,spatial,involvement,tbf,ttr,availability,survival,seasonal"
+for system in tsubame2 tsubame3; do
+    cargo run -q --release -p failctl -- \
+        generate --system "$system" --out "$srv_dir/$system.fslog" >/dev/null
+done
+cargo run -q --release -p failctl -- serve --socket "$srv_dir/faild.sock" \
+    > "$srv_dir/serve.log" &
+srv_pid=$!
+for _ in $(seq 1 100); do
+    [ -S "$srv_dir/faild.sock" ] && break
+    sleep 0.1
+done
+[ -S "$srv_dir/faild.sock" ] || {
+    echo "verify: faild did not bind its socket" >&2
+    exit 1
+}
+for system in tsubame2 tsubame3; do
+    cargo run -q --release -p failctl -- report "$srv_dir/$system.fslog" \
+        --sections "$srv_sections" > "$srv_dir/$system.cli.txt"
+    cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+        report "$srv_dir/$system.fslog" --sections "$srv_sections" \
+        > "$srv_dir/$system.cold.txt"
+    cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+        report "$srv_dir/$system.fslog" --sections "$srv_sections" \
+        > "$srv_dir/$system.warm.txt"
+    cmp -s "$srv_dir/$system.cli.txt" "$srv_dir/$system.cold.txt" || {
+        echo "verify: faild cold query differs from the direct CLI report for $system" >&2
+        exit 1
+    }
+    cmp -s "$srv_dir/$system.cold.txt" "$srv_dir/$system.warm.txt" || {
+        echo "verify: faild warm query differs from its cold query for $system" >&2
+        exit 1
+    }
+done
+client_pids=""
+for client in 1 2 3 4; do
+    cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+        report "$srv_dir/tsubame2.fslog" --sections "$srv_sections" \
+        > "$srv_dir/client$client.txt" &
+    client_pids="$client_pids $!"
+done
+for pid in $client_pids; do
+    wait "$pid" || {
+        echo "verify: concurrent faild client exited non-zero" >&2
+        exit 1
+    }
+done
+for client in 1 2 3 4; do
+    cmp -s "$srv_dir/tsubame2.cli.txt" "$srv_dir/client$client.txt" || {
+        echo "verify: concurrent faild client $client diverged from the CLI report" >&2
+        exit 1
+    }
+done
+cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+    shutdown >/dev/null
+wait "$srv_pid" || {
+    echo "verify: faild exited non-zero" >&2
+    exit 1
+}
+for system in tsubame2 tsubame3; do
+    [ -f "$srv_dir/$system.fslog.fsidx" ] || {
+        echo "verify: faild shutdown did not persist $system.fslog.fsidx" >&2
+        exit 1
+    }
+done
+rm -rf "$srv_dir"
+
 # Gzip ingest smoke: the same log written plain and as .fslog.gz must
 # produce byte-identical reports (input is sniffed by magic bytes and
 # inflated in memory — no temp files, no external tooling).
@@ -154,9 +247,9 @@ grep -q '"stage":"watch.records_ingested"' "$watch_trace" || {
 }
 rm -f "$watch_trace"
 
-# JSON report gate: the section registry must emit one well-formed
-# NDJSON line per section with the stable {id, title, data} shape, on
-# both canonical models.
+# JSON report gate: a `{"v":1,"kind":"report"}` version header line,
+# then one well-formed NDJSON line per section with the stable
+# {id, title, data} shape, on both canonical models.
 if command -v jq >/dev/null 2>&1; then
     tmpdir=$(mktemp -d)
     trap 'rm -rf "$tmpdir"' EXIT
@@ -165,10 +258,12 @@ if command -v jq >/dev/null 2>&1; then
         cargo run -q --release -p failctl -- \
             generate --system "$system" --out "$log" >/dev/null
         cargo run -q --release -p failctl -- report "$log" --format json \
-            | jq -e -s 'length == 10
-                and .[0].id == "header"
+            | jq -e -s 'length == 11
+                and .[0].v == 1
+                and .[0].kind == "report"
+                and .[1].id == "header"
                 and .[-1].id == "metrics"
-                and all(.[]; has("id") and has("title") and has("data"))' \
+                and all(.[1:][]; has("id") and has("title") and has("data"))' \
             >/dev/null || {
             echo "verify: failctl report --format json schema gate failed for $system" >&2
             exit 1
@@ -206,4 +301,4 @@ fi
 # API docs must build warning-free.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "verify: build + tests + clippy + streaming gate + parse gate + filter gate + index gate + gzip smoke + json gate + trace gate + docs all green"
+echo "verify: build + tests + clippy + streaming gate + parse gate + filter gate + index gate + server gate + gzip smoke + json gate + trace gate + docs all green"
