@@ -6,26 +6,23 @@
 //! herd — correctness never depends on the gate, only peak memory does.
 //!
 //! Shutdown is a protocol command: any client may send
-//! `{"v":1,"id":N,"cmd":"shutdown"}`. The server stops accepting, lets
-//! every in-flight request finish (handlers poll a shared flag on a
-//! read timeout), persists the engine's dirty `.fsidx` snapshots, and
-//! returns a [`ServeSummary`].
+//! `{"v":1,"id":N,"cmd":"shutdown"}`. The server stops accepting,
+//! half-closes the read side of every open connection (which wakes any
+//! handler blocked in a read with a clean EOF — no per-connection poll
+//! timeouts), lets every in-flight request finish, persists the
+//! engine's dirty `.fsidx` snapshots, and returns a [`ServeSummary`].
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{TcpListener, TcpStream};
+use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
 
 use failapi::wire::{self, Command};
 use failapi::QueryEngine;
 use failtypes::{Error, JsonValue, Result};
-
-/// How often a blocked connection reader wakes up to check the
-/// shutdown flag.
-const READ_POLL: Duration = Duration::from_millis(200);
 
 /// Where the server listens (and clients connect).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,10 +115,12 @@ impl Stream {
         }
     }
 
-    fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+    /// Half-closes the read side, waking a handler blocked in a read
+    /// with a clean EOF while leaving its in-flight response writable.
+    fn shutdown_read(&self) {
         match self {
-            Stream::Unix(s) => s.set_read_timeout(timeout),
-            Stream::Tcp(s) => s.set_read_timeout(timeout),
+            Stream::Unix(s) => drop(s.shutdown(Shutdown::Read)),
+            Stream::Tcp(s) => drop(s.shutdown(Shutdown::Read)),
         }
     }
 
@@ -242,6 +241,10 @@ struct Shared {
     shutdown: AtomicBool,
     requests: AtomicU64,
     bound: Endpoint,
+    /// Read-half clones of every open connection, so shutdown can wake
+    /// blocked readers by half-closing them instead of making every
+    /// read spin on a poll timeout.
+    open: Mutex<HashMap<u64, Stream>>,
 }
 
 impl Shared {
@@ -325,6 +328,7 @@ pub fn serve(config: ServerConfig, ready: impl FnOnce(&Endpoint)) -> Result<Serv
         shutdown: AtomicBool::new(false),
         requests: AtomicU64::new(0),
         bound: bound.clone(),
+        open: Mutex::new(HashMap::new()),
     });
     ready(&bound);
 
@@ -353,7 +357,16 @@ pub fn serve(config: ServerConfig, ready: impl FnOnce(&Endpoint)) -> Result<Serv
         connections += 1;
         shared.engine.metrics().incr("server.connections", 1);
         let shared = Arc::clone(&shared);
-        handlers.push(std::thread::spawn(move || handle(stream, &shared)));
+        let id = connections;
+        handlers.push(std::thread::spawn(move || handle(stream, &shared, id)));
+    }
+    // Wake every handler blocked in a read: half-close the read side of
+    // each registered connection, which surfaces as a clean EOF.
+    {
+        let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
+        for (_, stream) in open.drain() {
+            stream.shutdown_read();
+        }
     }
     for handler in handlers {
         handler.join().ok();
@@ -370,11 +383,30 @@ pub fn serve(config: ServerConfig, ready: impl FnOnce(&Endpoint)) -> Result<Serv
 }
 
 /// One connection: read request lines, write response lines, until EOF
-/// or shutdown. The read timeout is a poll interval, not a deadline —
-/// an idle client stays connected; the timeout only exists so the
-/// handler notices a shutdown triggered elsewhere.
-fn handle(stream: Stream, shared: &Shared) {
-    stream.set_read_timeout(Some(READ_POLL)).ok();
+/// or shutdown. Reads block — an idle connection costs nothing; a
+/// shutdown elsewhere wakes this handler by half-closing the read side
+/// of its registered stream (a clean EOF), not via poll timeouts.
+fn handle(stream: Stream, shared: &Shared, id: u64) {
+    if let Ok(registered) = stream.try_clone() {
+        let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
+        open.insert(id, registered);
+    }
+    // The shutdown sweep drains the registry after the flag is set; a
+    // handler registering after the sweep must notice the flag itself.
+    if shared.shutdown.load(Ordering::SeqCst) {
+        deregister(shared, id);
+        return;
+    }
+    serve_connection(stream, shared);
+    deregister(shared, id);
+}
+
+fn deregister(shared: &Shared, id: u64) {
+    let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
+    open.remove(&id);
+}
+
+fn serve_connection(stream: Stream, shared: &Shared) {
     let Ok(read_half) = stream.try_clone() else {
         return;
     };
@@ -383,25 +415,18 @@ fn handle(stream: Stream, shared: &Shared) {
     let mut line = String::new();
     loop {
         line.clear();
-        // read_line may return WouldBlock/TimedOut mid-line; bytes read
-        // so far stay buffered in `line`, so looping until a full line
-        // arrives is lossless.
+        // A blocking read_line only returns a partial line right before
+        // EOF; loop on Interrupted so a signal cannot split a frame.
         let complete = loop {
             match reader.read_line(&mut line) {
-                Ok(0) => break false, // EOF
+                Ok(0) => break false, // EOF (or shutdown half-close)
                 Ok(_) => {
                     if line.ends_with('\n') {
                         break true;
                     }
                 }
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut
-                        || e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
                 Err(_) => break false,
-            }
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break false;
             }
         };
         if !complete {
