@@ -49,10 +49,11 @@ use failtypes::{Error, FailureLog, JsonValue, Result};
 
 use crate::request::{OutputFormat, QueryCmd, QueryOptions, QueryRequest, QuerySource};
 
-/// How many rendered outputs the engine keeps before evicting the
-/// oldest (FIFO). Rendered reports are small (a few KiB); this bounds a
-/// pathological client mix without ever affecting correctness.
-const RENDER_CACHE_CAPACITY: usize = 256;
+/// Default byte budget for the render cache (64 MiB). Rendered
+/// reports are small (a few KiB), so the default holds thousands of
+/// entries; `faild --cache-bytes` overrides it. The bound only ever
+/// affects memory, never correctness: an evicted entry re-renders.
+pub const DEFAULT_CACHE_BYTES: usize = 64 * 1024 * 1024;
 
 /// The result of executing one [`QueryRequest`].
 #[derive(Debug)]
@@ -72,6 +73,12 @@ pub struct QueryOutcome {
 struct CachedLog {
     log: Arc<FailureLog>,
     load_trace: Collector,
+    /// Catalog grouping id: the file path, or `model:{name}:{seed}`.
+    /// Several cache entries (chunk-size or filter variants) share one
+    /// id; `logs`/`evict` operate on the id, not the entry key.
+    catalog_id: String,
+    /// The file fingerprint at parse time (`None` for models).
+    source_info: Option<SourceInfo>,
 }
 
 /// An unfiltered cold-parsed file log eligible for snapshot
@@ -84,12 +91,96 @@ struct DirtyLog {
 struct RenderEntry {
     output: String,
     trace: Collector,
+    /// Catalog ids of every source this output depends on, so a
+    /// catalog `evict` can drop dependent renders.
+    sources: Vec<String>,
+    /// The entry's current recency stamp; `order` records with an
+    /// older stamp are stale and skipped on eviction.
+    stamp: u64,
+    /// Charged against the byte budget: key + output length.
+    bytes: usize,
 }
 
+/// An LRU render cache bounded by total bytes, not entry count.
+///
+/// Recency is tracked with stamps: every hit pushes a fresh
+/// `(key, stamp)` pair instead of splicing the old one out of the
+/// queue, and eviction skips pairs whose stamp no longer matches the
+/// entry's (lazy invalidation). The queue is compacted when the stale
+/// pairs outnumber the live entries.
 #[derive(Default)]
 struct RenderCache {
     map: HashMap<String, RenderEntry>,
-    order: VecDeque<String>,
+    order: VecDeque<(String, u64)>,
+    next_stamp: u64,
+    bytes: usize,
+}
+
+impl RenderCache {
+    /// Marks `key` as most recently used.
+    fn touch(&mut self, key: &str) {
+        self.next_stamp += 1;
+        let stamp = self.next_stamp;
+        if let Some(entry) = self.map.get_mut(key) {
+            entry.stamp = stamp;
+            self.order.push_back((key.to_string(), stamp));
+        }
+        self.maybe_compact();
+    }
+
+    /// Inserts an entry as most recently used and charges its bytes.
+    fn insert(&mut self, key: String, mut entry: RenderEntry) {
+        self.next_stamp += 1;
+        entry.stamp = self.next_stamp;
+        self.bytes += entry.bytes;
+        self.order.push_back((key.clone(), entry.stamp));
+        self.map.insert(key, entry);
+    }
+
+    /// Evicts least-recently-used entries until the budget holds.
+    /// Returns how many live entries were dropped.
+    fn evict_to(&mut self, budget: usize) -> usize {
+        let mut evicted = 0;
+        while self.bytes > budget {
+            let Some((key, stamp)) = self.order.pop_front() else {
+                break;
+            };
+            let live = self.map.get(&key).is_some_and(|e| e.stamp == stamp);
+            if live {
+                if let Some(entry) = self.map.remove(&key) {
+                    self.bytes -= entry.bytes;
+                    evicted += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Drops every entry depending on `catalog_id`; returns the count.
+    fn remove_source(&mut self, catalog_id: &str) -> usize {
+        let doomed: Vec<String> = self
+            .map
+            .iter()
+            .filter(|(_, e)| e.sources.iter().any(|s| s == catalog_id))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &doomed {
+            if let Some(entry) = self.map.remove(key) {
+                self.bytes -= entry.bytes;
+            }
+        }
+        self.maybe_compact();
+        doomed.len()
+    }
+
+    /// Rebuilds the recency queue once stale pairs dominate, keeping
+    /// amortized O(1) touches without unbounded queue growth.
+    fn maybe_compact(&mut self) {
+        if self.order.len() > 2 * self.map.len() + 64 {
+            self.order
+                .retain(|(key, stamp)| self.map.get(key).is_some_and(|e| e.stamp == *stamp));
+        }
+    }
 }
 
 /// The shared query executor. See the module docs for the caching and
@@ -99,6 +190,8 @@ pub struct QueryEngine {
     renders: Mutex<RenderCache>,
     dirty: Mutex<HashMap<String, DirtyLog>>,
     metrics: Collector,
+    /// Render-cache byte budget (key + output bytes per entry).
+    cache_bytes: usize,
 }
 
 impl std::fmt::Debug for QueryEngine {
@@ -120,13 +213,22 @@ impl Default for QueryEngine {
 type FilePrint = Option<SourceInfo>;
 
 impl QueryEngine {
-    /// A fresh engine with empty caches.
+    /// A fresh engine with empty caches and the default render-cache
+    /// byte budget ([`DEFAULT_CACHE_BYTES`]).
     pub fn new() -> Self {
+        Self::with_cache_bytes(DEFAULT_CACHE_BYTES)
+    }
+
+    /// A fresh engine whose render cache is bounded to `cache_bytes`
+    /// (the `faild --cache-bytes` knob). A budget of 0 disables render
+    /// caching entirely; log memoization is unaffected.
+    pub fn with_cache_bytes(cache_bytes: usize) -> Self {
         QueryEngine {
             logs: Mutex::new(HashMap::new()),
             renders: Mutex::new(RenderCache::default()),
             dirty: Mutex::new(HashMap::new()),
             metrics: Collector::new(),
+            cache_bytes,
         }
     }
 
@@ -150,43 +252,50 @@ impl QueryEngine {
     pub fn execute(&self, req: &QueryRequest) -> Result<QueryOutcome> {
         let filter = build_filter(&req.opts)?;
         let key = self.render_key(req)?;
-        if let Some(key) = &key {
-            let renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((key, _)) = &key {
+            let mut renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
             if let Some(entry) = renders.map.get(key) {
                 self.metrics.incr("engine.render_cache.hit", 1);
+                self.metrics.incr("cache.hits", 1);
                 let trace = Collector::new();
                 trace.merge_from(&entry.trace);
+                let output = entry.output.clone();
+                renders.touch(key);
                 return Ok(QueryOutcome {
-                    output: entry.output.clone(),
+                    output,
                     trace,
                     cached: true,
                 });
             }
         }
         self.metrics.incr("engine.render_cache.miss", 1);
+        self.metrics.incr("cache.misses", 1);
         let trace = Collector::new();
         let output = match &req.cmd {
             QueryCmd::Report(source) => self.run_report(req, source, &filter, &trace)?,
             QueryCmd::Compare { old, new } => self.run_compare(req, old, new, &filter, &trace)?,
         };
-        if let Some(key) = key {
+        if let Some((key, sources)) = key {
             let snapshot = Collector::new();
             snapshot.merge_from(&trace);
             let mut renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
             if !renders.map.contains_key(&key) {
-                renders.order.push_back(key.clone());
-                renders.map.insert(
+                let bytes = key.len() + output.len();
+                renders.insert(
                     key,
                     RenderEntry {
                         output: output.clone(),
                         trace: snapshot,
+                        sources,
+                        stamp: 0,
+                        bytes,
                     },
                 );
-                while renders.order.len() > RENDER_CACHE_CAPACITY {
-                    if let Some(evicted) = renders.order.pop_front() {
-                        renders.map.remove(&evicted);
-                        self.metrics.incr("engine.render_cache.evicted", 1);
-                    }
+                let evicted = renders.evict_to(self.cache_bytes);
+                if evicted > 0 {
+                    self.metrics
+                        .incr("engine.render_cache.evicted", evicted as u64);
+                    self.metrics.incr("cache.evictions", evicted as u64);
                 }
             }
         }
@@ -225,15 +334,19 @@ impl QueryEngine {
         self.dirty.lock().unwrap_or_else(|e| e.into_inner()).len()
     }
 
-    /// Builds the render-cache key for a request, or `None` when the
+    /// Builds the render-cache key for a request — plus the catalog
+    /// ids of the sources it depends on, recorded in the entry so a
+    /// catalog `evict` can drop dependent renders — or `None` when the
     /// request must not be cached (a source file is unreadable — let
     /// execution surface the canonical error — or a warm-mode probe
     /// failed).
-    fn render_key(&self, req: &QueryRequest) -> Result<Option<String>> {
+    fn render_key(&self, req: &QueryRequest) -> Result<Option<(String, Vec<String>)>> {
         let mut sources = Vec::new();
+        let mut catalog_ids = Vec::new();
         let paths: Vec<&str> = match &req.cmd {
             QueryCmd::Report(QuerySource::Model { name, seed }) => {
                 sources.push(format!("model:{name}:{seed}"));
+                catalog_ids.push(format!("model:{name}:{seed}"));
                 Vec::new()
             }
             QueryCmd::Report(QuerySource::File(path)) => vec![path.as_str()],
@@ -243,6 +356,7 @@ impl QueryEngine {
             let Some(info) = fingerprint(path) else {
                 return Ok(None);
             };
+            catalog_ids.push(path.to_string());
             let mut id = format!("file:{path}:{}:{:08x}", info.bytes, info.crc32);
             if req.opts.index_mode() != IndexMode::Off {
                 // Warm queries also depend on the snapshot's state: a
@@ -282,7 +396,118 @@ impl QueryEngine {
             .field("index", opts.index_mode().to_string())
             .build()
             .render();
-        Ok(Some(key))
+        Ok(Some((key, catalog_ids)))
+    }
+
+    /// Lists every source the engine has memoized, grouped by catalog
+    /// id (the file path, or `model:{name}:{seed}`) and sorted for
+    /// deterministic output. Snapshot freshness is probed live, so the
+    /// listing reflects the disk as of this call.
+    pub fn catalog(&self) -> Vec<CatalogEntry> {
+        struct Group {
+            records: usize,
+            info: Option<SourceInfo>,
+            log_entries: usize,
+        }
+        let mut groups: HashMap<String, Group> = HashMap::new();
+        {
+            let logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+            for entry in logs.values() {
+                let group = groups
+                    .entry(entry.catalog_id.clone())
+                    .or_insert_with(|| Group {
+                        records: 0,
+                        info: None,
+                        log_entries: 0,
+                    });
+                group.log_entries += 1;
+                // Filtered variants parse fewer records; report the
+                // fullest parse the engine holds.
+                group.records = group.records.max(entry.log.len());
+                if let Some(info) = &entry.source_info {
+                    let wider = group.info.as_ref().is_none_or(|g| info.bytes >= g.bytes);
+                    if wider {
+                        group.info = Some(*info);
+                    }
+                }
+            }
+        }
+        let render_counts: HashMap<String, usize> = {
+            let renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
+            let mut counts = HashMap::new();
+            for entry in renders.map.values() {
+                for source in &entry.sources {
+                    *counts.entry(source.clone()).or_insert(0) += 1;
+                }
+            }
+            counts
+        };
+        let dirty: Vec<String> = {
+            let dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            dirty.keys().cloned().collect()
+        };
+        let mut entries: Vec<CatalogEntry> = groups
+            .into_iter()
+            .map(|(source, group)| {
+                let is_model = group.info.is_none();
+                let snapshot = if is_model {
+                    None
+                } else {
+                    Some(match failindex::probe(&source) {
+                        Ok(Freshness::Exact) => "exact".to_string(),
+                        Ok(Freshness::Prefix { .. }) => "prefix".to_string(),
+                        Ok(Freshness::Stale { .. }) => "stale".to_string(),
+                        Ok(Freshness::Missing) | Err(_) => "missing".to_string(),
+                    })
+                };
+                CatalogEntry {
+                    records: group.records,
+                    bytes: group.info.as_ref().map(|i| i.bytes),
+                    crc32: group.info.as_ref().map(|i| i.crc32),
+                    snapshot,
+                    log_entries: group.log_entries,
+                    render_entries: render_counts.get(&source).copied().unwrap_or(0),
+                    dirty: dirty.contains(&source),
+                    source,
+                }
+            })
+            .collect();
+        entries.sort_by(|a, b| a.source.cmp(&b.source));
+        entries
+    }
+
+    /// Drops every memoized state for one source: parsed-log cache
+    /// entries, render-cache entries depending on it, and its pending
+    /// dirty snapshot. The next query re-parses from disk (or
+    /// regenerates the model). Render drops count as cache evictions.
+    pub fn evict(&self, source: &QuerySource) -> EvictOutcome {
+        let catalog_id = catalog_id(source);
+        let logs = {
+            let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
+            let before = logs.len();
+            logs.retain(|_, entry| entry.catalog_id != catalog_id);
+            before - logs.len()
+        };
+        let renders = {
+            let mut renders = self.renders.lock().unwrap_or_else(|e| e.into_inner());
+            renders.remove_source(&catalog_id)
+        };
+        let dirty = {
+            let mut dirty = self.dirty.lock().unwrap_or_else(|e| e.into_inner());
+            usize::from(dirty.remove(&catalog_id).is_some())
+        };
+        if renders > 0 {
+            self.metrics
+                .incr("engine.render_cache.evicted", renders as u64);
+            self.metrics.incr("cache.evictions", renders as u64);
+        }
+        self.metrics.incr("engine.catalog.evict", 1);
+        EvictOutcome {
+            source: catalog_id,
+            logs,
+            renders,
+            dirty,
+        }
     }
 
     /// Ported from the CLI `report` command: resolves the input (model,
@@ -463,9 +688,11 @@ impl QueryEngine {
         let log = Arc::new(Simulator::new(model, seed).generate_traced(Some(&load_trace))?);
         trace.merge_from(&load_trace);
         let mut logs = self.logs.lock().unwrap_or_else(|e| e.into_inner());
-        logs.entry(key).or_insert(CachedLog {
+        logs.entry(key.clone()).or_insert(CachedLog {
             log: Arc::clone(&log),
             load_trace,
+            catalog_id: key,
+            source_info: None,
         });
         Ok(log)
     }
@@ -533,9 +760,98 @@ impl QueryEngine {
         logs.entry(key).or_insert(CachedLog {
             log: Arc::clone(&log),
             load_trace,
+            catalog_id: path.to_string(),
+            source_info: Some(info),
         });
         Ok(log)
     }
+}
+
+/// One source in the engine's catalog: everything `faild` remembers
+/// about a log it has served, grouped across chunk-size and filter
+/// variants. Produced by [`QueryEngine::catalog`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// The grouping id: the file path, or `model:{name}:{seed}`.
+    pub source: String,
+    /// Records in the fullest cached parse of this source.
+    pub records: usize,
+    /// File bytes at parse time (`None` for in-process models).
+    pub bytes: Option<u64>,
+    /// CRC-32 of the file bytes at parse time (`None` for models).
+    pub crc32: Option<u32>,
+    /// Live `.fsidx` freshness — `exact`, `prefix`, `stale`, or
+    /// `missing` — probed at listing time (`None` for models).
+    pub snapshot: Option<String>,
+    /// Parsed-log cache entries held for this source.
+    pub log_entries: usize,
+    /// Render-cache entries whose output depends on this source.
+    pub render_entries: usize,
+    /// Whether an unfiltered cold parse awaits snapshot persistence.
+    pub dirty: bool,
+}
+
+/// What one [`QueryEngine::evict`] dropped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictOutcome {
+    /// The catalog id the eviction targeted.
+    pub source: String,
+    /// Parsed-log cache entries dropped.
+    pub logs: usize,
+    /// Render-cache entries dropped.
+    pub renders: usize,
+    /// Pending dirty snapshots dropped (0 or 1).
+    pub dirty: usize,
+}
+
+impl EvictOutcome {
+    /// The `faild` response body for an `evict` command.
+    pub fn render(&self) -> String {
+        if self.logs == 0 && self.renders == 0 && self.dirty == 0 {
+            return format!("faild: nothing cached for {}\n", self.source);
+        }
+        format!(
+            "faild: evicted {} (logs={} renders={} dirty={})\n",
+            self.source, self.logs, self.renders, self.dirty
+        )
+    }
+}
+
+/// The catalog id a source groups under: the file path, or
+/// `model:{name}:{seed}`.
+fn catalog_id(source: &QuerySource) -> String {
+    match source {
+        QuerySource::File(path) => path.clone(),
+        QuerySource::Model { name, seed } => format!("model:{name}:{seed}"),
+    }
+}
+
+/// Renders the catalog listing the `faild` `logs` command returns: a
+/// count header plus one line per source, sorted by catalog id.
+pub fn render_catalog(entries: &[CatalogEntry]) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "faild: {} cached log{}\n",
+        entries.len(),
+        if entries.len() == 1 { "" } else { "s" }
+    );
+    for e in entries {
+        let _ = write!(out, "{}: records={}", e.source, e.records);
+        if let (Some(bytes), Some(crc)) = (e.bytes, e.crc32) {
+            let _ = write!(out, " bytes={bytes} crc32={crc:08x}");
+        }
+        if let Some(snapshot) = &e.snapshot {
+            let _ = write!(out, " snapshot={snapshot}");
+        }
+        let _ = writeln!(
+            out,
+            " entries={} renders={} dirty={}",
+            e.log_entries,
+            e.render_entries,
+            if e.dirty { "yes" } else { "no" }
+        );
+    }
+    out
 }
 
 /// A report's resolved input: a warm snapshot index, or a cold-parsed

@@ -45,7 +45,9 @@ pub mod request;
 pub mod watch;
 pub mod wire;
 
-pub use engine::{QueryEngine, QueryOutcome};
+pub use engine::{
+    render_catalog, CatalogEntry, EvictOutcome, QueryEngine, QueryOutcome, DEFAULT_CACHE_BYTES,
+};
 pub use request::{
     parse_chunk_bytes, parse_format, parse_index, parse_threads, OutputFormat, QueryCmd,
     QueryOptions, QueryRequest, QuerySource,

@@ -12,8 +12,10 @@
 //! {"v":1,"id":9,"cmd":"compare","old":"t2.fslog","new":"t3.fslog","until":"1000"}
 //! {"v":1,"id":10,"cmd":"watch","source":"sim:tsubame3","max_records":50,"format":"json"}
 //! {"v":1,"id":11,"cmd":"metrics"}
-//! {"v":1,"id":12,"cmd":"ping"}
-//! {"v":1,"id":13,"cmd":"shutdown"}
+//! {"v":1,"id":12,"cmd":"logs"}
+//! {"v":1,"id":13,"cmd":"evict","log":"fleet.fslog"}
+//! {"v":1,"id":14,"cmd":"ping"}
+//! {"v":1,"id":15,"cmd":"shutdown"}
 //! ```
 //!
 //! Unknown fields are rejected (typo protection, exactly like the
@@ -48,6 +50,11 @@ pub enum Command {
     Watch(WatchRequest),
     /// The server's live trace-collector export.
     Metrics,
+    /// The multi-fleet catalog: every log the engine has memoized.
+    Logs,
+    /// Drop one source's memoized state (parsed logs, dependent render
+    /// entries, pending dirty snapshot).
+    Evict(QuerySource),
     /// Liveness check.
     Ping,
     /// Graceful shutdown (drain, persist dirty snapshots, exit).
@@ -64,6 +71,8 @@ impl Command {
             },
             Command::Watch(_) => "watch",
             Command::Metrics => "metrics",
+            Command::Logs => "logs",
+            Command::Evict(_) => "evict",
             Command::Ping => "ping",
             Command::Shutdown => "shutdown",
         }
@@ -142,7 +151,7 @@ fn parse_command(doc: &JsonValue, obj: &[(String, JsonValue)]) -> Result<Command
                 "v", "id", "cmd", "log", "model", "seed", "sections", "where", "since", "until",
                 "format", "threads", "parse_chunk", "index",
             ])?;
-            let source = parse_source(doc)?;
+            let source = parse_source(doc, "report")?;
             let mut req = QueryRequest::report(source);
             req.opts = parse_options(doc, req.opts)?;
             if let Some(spec) = parse_sections(doc)? {
@@ -205,6 +214,14 @@ fn parse_command(doc: &JsonValue, obj: &[(String, JsonValue)]) -> Result<Command
             check_fields(&["v", "id", "cmd"])?;
             Ok(Command::Metrics)
         }
+        "logs" => {
+            check_fields(&["v", "id", "cmd"])?;
+            Ok(Command::Logs)
+        }
+        "evict" => {
+            check_fields(&["v", "id", "cmd", "log", "model", "seed"])?;
+            Ok(Command::Evict(parse_source(doc, "evict")?))
+        }
         "ping" => {
             check_fields(&["v", "id", "cmd"])?;
             Ok(Command::Ping)
@@ -214,12 +231,12 @@ fn parse_command(doc: &JsonValue, obj: &[(String, JsonValue)]) -> Result<Command
             Ok(Command::Shutdown)
         }
         other => Err(Error::args(format!(
-            "unknown cmd \"{other}\" (use report, compare, watch, metrics, ping, or shutdown)"
+            "unknown cmd \"{other}\" (use report, compare, watch, logs, evict, metrics, ping, or shutdown)"
         ))),
     }
 }
 
-fn parse_source(doc: &JsonValue) -> Result<QuerySource> {
+fn parse_source(doc: &JsonValue, cmd: &str) -> Result<QuerySource> {
     let log = opt_string(doc, "log")?;
     let model = opt_string(doc, "model")?;
     let seed = opt_u64(doc, "seed")?;
@@ -237,7 +254,7 @@ fn parse_source(doc: &JsonValue) -> Result<QuerySource> {
             name,
             seed: seed.unwrap_or(42),
         }),
-        (None, None) => Err(Error::args("report needs \"log\" or \"model\"")),
+        (None, None) => Err(Error::args(format!("{cmd} needs \"log\" or \"model\""))),
     }
 }
 
@@ -406,7 +423,23 @@ pub fn encode_watch(id: u64, req: &WatchRequest) -> String {
     b.build().render()
 }
 
-/// Encodes a field-less command (`metrics`, `ping`, `shutdown`).
+/// Encodes an `evict` command targeting one catalog source.
+pub fn encode_evict(id: u64, source: &QuerySource) -> String {
+    let mut b = JsonValue::object()
+        .field("v", PROTOCOL_VERSION)
+        .field("id", id)
+        .field("cmd", "evict");
+    match source {
+        QuerySource::File(path) => b = b.field("log", path.as_str()),
+        QuerySource::Model { name, seed } => {
+            b = b.field("model", name.as_str()).field("seed", *seed);
+        }
+    }
+    b.build().render()
+}
+
+/// Encodes a field-less command (`metrics`, `logs`, `ping`,
+/// `shutdown`).
 pub fn encode_simple(id: u64, cmd: &str) -> String {
     JsonValue::object()
         .field("v", PROTOCOL_VERSION)
@@ -533,10 +566,26 @@ mod tests {
         let (_, cmd) = parse_request(&encode_watch(3, &watch));
         assert_eq!(cmd.unwrap(), Command::Watch(watch));
 
-        for simple in ["metrics", "ping", "shutdown"] {
+        for simple in ["metrics", "logs", "ping", "shutdown"] {
             let (_, cmd) = parse_request(&encode_simple(4, simple));
             assert_eq!(cmd.unwrap().name(), simple);
         }
+    }
+
+    #[test]
+    fn evict_round_trips_both_source_forms() {
+        let file = QuerySource::file("fleet.fslog");
+        let (_, cmd) = parse_request(&encode_evict(5, &file));
+        assert_eq!(cmd.unwrap(), Command::Evict(file));
+
+        let model = QuerySource::model("tsubame2", 7);
+        let (_, cmd) = parse_request(&encode_evict(6, &model));
+        assert_eq!(cmd.unwrap(), Command::Evict(model));
+
+        let (_, cmd) = parse_request(r#"{"v":1,"id":1,"cmd":"evict"}"#);
+        let err = cmd.unwrap_err();
+        assert_eq!(err.kind(), "args");
+        assert!(err.to_string().contains("evict needs \"log\" or \"model\""));
     }
 
     #[test]

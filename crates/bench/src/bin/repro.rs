@@ -497,6 +497,54 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
     let server_warm_queries = SERVER_CLIENTS * SERVER_WARM_QUERIES_PER_CLIENT;
     let server_rate = server_warm_queries as f64 / server_warm_seconds.max(f64::MIN_POSITIVE);
 
+    // Connection-scaling tier: 64 concurrently-open connections each
+    // replaying warm queries. The reactor multiplexes every socket on
+    // one event-loop thread, so the open-connection count should move
+    // per-query latency (queueing) but not correctness or collapse
+    // throughput; p50/p99 per-query latency make the queueing visible.
+    const SCALE_CLIENTS: usize = 64;
+    const SCALE_QUERIES_PER_CLIENT: usize = 8;
+    let scale_start = Instant::now();
+    let mut scale_latencies: Vec<f64> = thread::scope(|s| {
+        let clients: Vec<_> = (0..SCALE_CLIENTS)
+            .map(|client| {
+                let (bound, requests, expected) = (&srv_bound, &srv_requests, &srv_expected);
+                s.spawn(move || {
+                    let mut conn = Connection::connect(bound).expect("connects");
+                    let mut latencies = Vec::with_capacity(SCALE_QUERIES_PER_CLIENT);
+                    let mut identical = true;
+                    for step in 0..SCALE_QUERIES_PER_CLIENT {
+                        let i = (step + client) % requests.len();
+                        let one = Instant::now();
+                        let resp = conn
+                            .roundtrip(&wire::encode_query(i as u64, &requests[i]))
+                            .expect("scaled roundtrip");
+                        latencies.push(one.elapsed().as_secs_f64());
+                        identical &= resp.output == expected[i];
+                    }
+                    (latencies, identical)
+                })
+            })
+            .collect();
+        clients
+            .into_iter()
+            .flat_map(|client| {
+                let (latencies, identical) = client.join().expect("scaled client thread");
+                server_identical &= identical;
+                latencies
+            })
+            .collect()
+    });
+    let scale_seconds = scale_start.elapsed().as_secs_f64();
+    let scale_queries = SCALE_CLIENTS * SCALE_QUERIES_PER_CLIENT;
+    let scale_rate = scale_queries as f64 / scale_seconds.max(f64::MIN_POSITIVE);
+    scale_latencies.sort_by(|a, b| a.total_cmp(b));
+    let percentile = |q: f64| -> f64 {
+        let idx = ((scale_latencies.len() - 1) as f64 * q).round() as usize;
+        scale_latencies[idx]
+    };
+    let (scale_p50, scale_p99) = (percentile(0.50), percentile(0.99));
+
     {
         let mut conn = Connection::connect(&srv_bound).expect("connects");
         conn.roundtrip(&wire::encode_simple(0, "shutdown"))
@@ -518,6 +566,12 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         server_warm_seconds * 1e3,
         server_rate
     );
+    println!(
+        "    scaled: {SCALE_CLIENTS} connections x {SCALE_QUERIES_PER_CLIENT} warm queries | {:.0} queries/s | p50 {:.2} ms | p99 {:.2} ms",
+        scale_rate,
+        scale_p50 * 1e3,
+        scale_p99 * 1e3
+    );
     let server_json = JsonValue::object()
         .field("logs", 2u64)
         .field("records", server_records)
@@ -527,6 +581,12 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("cold_seconds", server_cold_seconds)
         .field("warm_seconds", server_warm_seconds)
         .field("queries_per_second", server_rate as u64)
+        .field("scale_connections", SCALE_CLIENTS)
+        .field("scale_queries", scale_queries)
+        .field("scale_seconds", scale_seconds)
+        .field("scale_queries_per_second", scale_rate as u64)
+        .field("scale_p50_ms", scale_p50 * 1e3)
+        .field("scale_p99_ms", scale_p99 * 1e3)
         .field("snapshots_persisted", server_snapshots)
         .field("identical_output", server_identical)
         .build();
@@ -554,6 +614,7 @@ fn bench(catalog: &[CatalogEntry], json_path: &str) {
         .field("index_report_speedup_x100", (index_report_speedup * 100.0) as u64)
         .field("server", server_json)
         .field("server_queries_per_second", server_rate as u64)
+        .field("server_scaled_queries_per_second", scale_rate as u64)
         .field("sections", JsonValue::Array(section_rows))
         .field("trace", collector.to_json(true))
         .build()

@@ -117,21 +117,29 @@ COMMANDS
       file sources only, and never combined with --where: snapshots
       always hold unfiltered state), so a later `report --index auto`
       starts warm.
-  serve --socket PATH | --listen ADDR [--max-inflight N]
+  serve --socket PATH | --listen ADDR [--max-inflight N] [--cache-bytes N]
       Run faild: a long-lived query server holding parsed logs and
       warm .fsidx indexes in memory, answering report/compare/watch/
       metrics queries from many concurrent clients over the versioned
-      NDJSON protocol. Prints a {\"v\":1,\"ready\":true,...} line once the
-      socket is bound. Responses are byte-identical to the equivalent
-      CLI invocation. A client `shutdown` command stops the server
+      NDJSON protocol. One event-loop thread multiplexes every
+      connection (idle clients cost zero CPU); --max-inflight (default
+      4) sizes the worker pool that executes queries. --cache-bytes
+      bounds the rendered-output LRU cache (default 64 MiB; 0 disables
+      it). Prints a {\"v\":1,\"ready\":true,...} line once the socket is
+      bound. Responses are byte-identical to the equivalent CLI
+      invocation. A client `shutdown` command stops the server
       gracefully, persisting .fsidx snapshots for every log it
       cold-parsed.
-  query --socket PATH | --connect ADDR <report|compare|watch|metrics|ping|shutdown> [args]
+  query --socket PATH | --connect ADDR <report|compare|watch|logs|evict|metrics|ping|shutdown> [args]
       Send one query to a running faild and print the response body.
       report/compare/watch take the same arguments as the local
       commands (minus --trace and --follow), so
       `failctl query --socket S report LOG --format json` prints
-      exactly what `failctl report LOG --format json` would.
+      exactly what `failctl report LOG --format json` would. `logs`
+      lists the server's cached-log catalog (records, source
+      fingerprint, snapshot state, cached render count); `evict LOG`
+      (or `evict --model NAME [--seed N]`) drops one source's memoized
+      state and render-cache entries without restarting the server.
   anonymize <IN> <OUT> [--key N]
       Rewrite node identities with a keyed permutation.
   checkpoint <FILE> [--cost H]

@@ -15,7 +15,7 @@ use crate::args::ParsedArgs;
 
 /// `failctl query`.
 pub fn query(args: &ParsedArgs) -> Result<String> {
-    let sub = args.positional(0, "report|compare|watch|metrics|ping|shutdown")?;
+    let sub = args.positional(0, "report|compare|watch|logs|evict|metrics|ping|shutdown")?;
     let line = match sub {
         "report" => {
             args.reject_unknown_flags(&query_flags(true, &["model", "seed"]))?;
@@ -70,13 +70,17 @@ pub fn query(args: &ParsedArgs) -> Result<String> {
             CommonQueryArgs::from_args(args).apply_watch(&mut req)?;
             wire::encode_watch(1, &req)
         }
-        "metrics" | "ping" | "shutdown" => {
+        "evict" => {
+            args.reject_unknown_flags(&["socket", "connect", "model", "seed"])?;
+            wire::encode_evict(1, &report_source_at(args, 1)?)
+        }
+        "logs" | "metrics" | "ping" | "shutdown" => {
             args.reject_unknown_flags(&["socket", "connect"])?;
             wire::encode_simple(1, sub)
         }
         other => {
             return Err(Error::args(format!(
-                "unknown query sub-command `{other}` (use report, compare, watch, metrics, ping, or shutdown)"
+                "unknown query sub-command `{other}` (use report, compare, watch, logs, evict, metrics, ping, or shutdown)"
             )))
         }
     };

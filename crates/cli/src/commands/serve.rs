@@ -2,6 +2,7 @@
 
 use std::io::Write as _;
 
+use failapi::QueryEngine;
 use failserver::{Endpoint, ServerConfig};
 use failtypes::{Error, Result};
 
@@ -30,17 +31,21 @@ pub(crate) fn endpoint_from(args: &ParsedArgs, flag: &str) -> Result<Endpoint> {
 /// `{"v":1,"ready":true,...}` line is printed to stdout the moment the
 /// socket is bound so scripts can wait for it before connecting.
 pub fn serve(args: &ParsedArgs) -> Result<String> {
-    args.reject_unknown_flags(&["socket", "listen", "max-inflight"])?;
+    args.reject_unknown_flags(&["socket", "listen", "max-inflight", "cache-bytes"])?;
     let endpoint = endpoint_from(args, "listen")?;
     let max_inflight: usize = args.flag_or("max-inflight", 4usize)?;
     if max_inflight == 0 {
         return Err(Error::args("--max-inflight must be at least 1"));
     }
-    let summary = failserver::serve(
+    // `--cache-bytes 0` disables render caching entirely (every query
+    // re-renders); the default is a 64 MiB LRU budget.
+    let cache_bytes: usize = args.flag_or("cache-bytes", failapi::DEFAULT_CACHE_BYTES)?;
+    let summary = failserver::serve_with_engine(
         ServerConfig {
             endpoint,
             max_inflight,
         },
+        QueryEngine::with_cache_bytes(cache_bytes),
         |bound| {
             println!("{}", failserver::ready_line(bound));
             let _ = std::io::stdout().flush();

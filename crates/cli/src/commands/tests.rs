@@ -162,7 +162,10 @@ fn serve_and_query_validate_their_transport_flags() {
     let m = msg(serve(&parse(&["serve", "--socket", "a", "--max-inflight", "0"])));
     assert!(m.contains("--max-inflight must be at least 1"), "{m}");
     let m = msg(query(&parse(&["query"])));
-    assert!(m.contains("report|compare|watch|metrics|ping|shutdown"), "{m}");
+    assert!(
+        m.contains("report|compare|watch|logs|evict|metrics|ping|shutdown"),
+        "{m}"
+    );
     let m = msg(query(&parse(&["query", "frobnicate", "--socket", "a"])));
     assert!(m.contains("unknown query sub-command `frobnicate`"), "{m}");
     let m = msg(query(&parse(&["query", "ping"])));

@@ -1,23 +1,39 @@
 //! The blocking `faild` client used by `failctl query` and the tests.
 
 use std::io::{BufRead, BufReader, Write};
+use std::time::Duration;
 
 use failapi::wire::{self, Response};
 use failtypes::{Error, Result};
 
 use crate::server::{Endpoint, Stream};
 
+/// Default response deadline: how long [`Connection::roundtrip`] waits
+/// for the server to produce bytes before giving up with a typed error.
+/// Generous, because a cold parse of a large log is legitimate work —
+/// the deadline exists to catch a *hung* server, not a busy one.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
 /// One connection to a running `faild`. Requests and responses are
 /// strictly interleaved (send one line, read one line), matching the
 /// protocol's per-connection ordering guarantee.
+///
+/// Reads carry a deadline ([`DEFAULT_DEADLINE`], adjustable with
+/// [`Connection::set_deadline`]): the server never imposes read
+/// timeouts of its own, so a client that didn't watch the clock would
+/// block forever if the daemon hung. The deadline is a quiet-period
+/// bound — it expires when the server produces *no bytes* for that
+/// long, not when a long response streams slowly.
 #[derive(Debug)]
 pub struct Connection {
     reader: BufReader<Stream>,
     writer: Stream,
+    deadline: Option<Duration>,
 }
 
 impl Connection {
-    /// Connects to a `faild` endpoint.
+    /// Connects to a `faild` endpoint with the default response
+    /// deadline.
     ///
     /// # Errors
     ///
@@ -27,28 +43,60 @@ impl Connection {
         let reader = writer
             .try_clone()
             .map_err(|e| Error::io("cloning the faild connection", e))?;
-        Ok(Connection {
+        let mut conn = Connection {
             reader: BufReader::new(reader),
             writer,
-        })
+            deadline: None,
+        };
+        conn.set_deadline(Some(DEFAULT_DEADLINE))?;
+        Ok(conn)
+    }
+
+    /// Sets (or with `None` disables) the response deadline.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the socket rejects the timeout (already closed).
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> Result<()> {
+        self.reader
+            .get_ref()
+            .set_read_timeout(deadline)
+            .map_err(|e| Error::io("setting the faild response deadline", e))?;
+        self.deadline = deadline;
+        Ok(())
     }
 
     /// Sends one encoded request line and reads the matching response.
     ///
     /// # Errors
     ///
-    /// Fails on I/O errors, when the server closes the connection, or —
-    /// decoded from the typed error envelope — when the server answers
-    /// with `ok:false` (argument errors keep their `args` kind).
+    /// Fails on I/O errors, when the server closes the connection, when
+    /// no response arrives within the deadline, or — decoded from the
+    /// typed error envelope — when the server answers with `ok:false`
+    /// (argument errors keep their `args` kind).
     pub fn roundtrip(&mut self, line: &str) -> Result<Response> {
         writeln!(self.writer, "{line}")
             .and_then(|()| self.writer.flush())
             .map_err(|e| Error::io("sending request to faild", e))?;
         let mut response = String::new();
-        let n = self
-            .reader
-            .read_line(&mut response)
-            .map_err(|e| Error::io("reading response from faild", e))?;
+        let n = match self.reader.read_line(&mut response) {
+            Ok(n) => n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                let waited = self
+                    .deadline
+                    .map_or_else(|| "the deadline".to_string(), |d| format!("{d:?}"));
+                return Err(Error::run(format!(
+                    "no response from faild within {waited} — the server may be hung \
+                     (Connection::set_deadline adjusts or disables the deadline)"
+                )));
+            }
+            Err(e) => return Err(Error::io("reading response from faild", e)),
+        };
         if n == 0 {
             return Err(Error::run("faild closed the connection"));
         }

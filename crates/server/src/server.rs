@@ -1,26 +1,25 @@
-//! The accept loop, connection handlers, and graceful shutdown.
+//! Endpoints, transports, and the [`serve`] entry points.
 //!
-//! One thread per connection; query execution is additionally bounded
-//! by a counting gate (`max_inflight`), so a burst of expensive cold
-//! parses from many clients degrades to a queue instead of a thundering
-//! herd — correctness never depends on the gate, only peak memory does.
+//! The serving machinery itself lives in the private `reactor`
+//! module: one
+//! event-loop thread owns the listener and every client socket
+//! (non-blocking, epoll-multiplexed), and a bounded worker pool of
+//! `max_inflight` threads executes queries — so idle connections cost
+//! zero CPU and a burst of expensive cold parses degrades to a queue
+//! instead of a thundering herd.
 //!
 //! Shutdown is a protocol command: any client may send
-//! `{"v":1,"id":N,"cmd":"shutdown"}`. The server stops accepting,
-//! half-closes the read side of every open connection (which wakes any
-//! handler blocked in a read with a clean EOF — no per-connection poll
-//! timeouts), lets every in-flight request finish, persists the
-//! engine's dirty `.fsidx` snapshots, and returns a [`ServeSummary`].
+//! `{"v":1,"id":N,"cmd":"shutdown"}`. The server answers it, stops
+//! accepting, drops buffered-but-unparsed requests, lets every
+//! in-flight request finish and flush, persists the engine's dirty
+//! `.fsidx` snapshots, and returns a [`ServeSummary`].
 
-use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::{Shutdown, TcpListener, TcpStream};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
 
-use failapi::wire::{self, Command};
 use failapi::QueryEngine;
 use failtypes::{Error, JsonValue, Result};
 
@@ -72,8 +71,9 @@ impl Endpoint {
 pub struct ServerConfig {
     /// Where to listen.
     pub endpoint: Endpoint,
-    /// How many queries may execute concurrently (minimum 1); further
-    /// requests queue. Responses are unaffected — only peak memory is.
+    /// How many queries may execute concurrently (minimum 1) — the
+    /// size of the worker pool; further requests queue. Responses are
+    /// unaffected — only peak memory is.
     pub max_inflight: usize,
 }
 
@@ -115,12 +115,20 @@ impl Stream {
         }
     }
 
-    /// Half-closes the read side, waking a handler blocked in a read
-    /// with a clean EOF while leaving its in-flight response writable.
-    fn shutdown_read(&self) {
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
         match self {
-            Stream::Unix(s) => drop(s.shutdown(Shutdown::Read)),
-            Stream::Tcp(s) => drop(s.shutdown(Shutdown::Read)),
+            Stream::Unix(s) => s.set_nonblocking(nonblocking),
+            Stream::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+
+    pub(crate) fn set_read_timeout(
+        &self,
+        timeout: Option<std::time::Duration>,
+    ) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.set_read_timeout(timeout),
+            Stream::Tcp(s) => s.set_read_timeout(timeout),
         }
     }
 
@@ -133,6 +141,15 @@ impl Stream {
             s.set_nodelay(true).ok();
         }
         self
+    }
+}
+
+impl AsRawFd for Stream {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Stream::Unix(s) => s.as_raw_fd(),
+            Stream::Tcp(s) => s.as_raw_fd(),
+        }
     }
 }
 
@@ -161,13 +178,13 @@ impl Write for Stream {
     }
 }
 
-enum Listener {
+pub(crate) enum Listener {
     Unix(UnixListener, PathBuf),
     Tcp(TcpListener),
 }
 
 impl Listener {
-    fn bind(endpoint: &Endpoint) -> Result<Listener> {
+    pub(crate) fn bind(endpoint: &Endpoint) -> Result<Listener> {
         match endpoint {
             Endpoint::Unix(path) => {
                 let listener = UnixListener::bind(path).or_else(|_| {
@@ -186,7 +203,7 @@ impl Listener {
     }
 
     /// The endpoint actually bound (TCP port 0 resolves here).
-    fn bound_endpoint(&self) -> Result<Endpoint> {
+    pub(crate) fn bound_endpoint(&self) -> Result<Endpoint> {
         match self {
             Listener::Unix(_, path) => Ok(Endpoint::Unix(path.clone())),
             Listener::Tcp(listener) => listener
@@ -196,7 +213,14 @@ impl Listener {
         }
     }
 
-    fn accept(&self) -> std::io::Result<Stream> {
+    pub(crate) fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Listener::Unix(listener, _) => listener.set_nonblocking(nonblocking),
+            Listener::Tcp(listener) => listener.set_nonblocking(nonblocking),
+        }
+    }
+
+    pub(crate) fn accept(&self) -> std::io::Result<Stream> {
         match self {
             Listener::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
             Listener::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
@@ -204,251 +228,47 @@ impl Listener {
     }
 }
 
-/// A counting gate bounding concurrent query execution.
-struct Gate {
-    slots: Mutex<usize>,
-    freed: Condvar,
-}
-
-impl Gate {
-    fn new(slots: usize) -> Gate {
-        Gate {
-            slots: Mutex::new(slots.max(1)),
-            freed: Condvar::new(),
+impl AsRawFd for Listener {
+    fn as_raw_fd(&self) -> RawFd {
+        match self {
+            Listener::Unix(listener, _) => listener.as_raw_fd(),
+            Listener::Tcp(listener) => listener.as_raw_fd(),
         }
     }
-
-    fn run<T>(&self, work: impl FnOnce() -> T) -> T {
-        let mut slots = self.slots.lock().unwrap_or_else(|e| e.into_inner());
-        while *slots == 0 {
-            slots = self
-                .freed
-                .wait(slots)
-                .unwrap_or_else(|e| e.into_inner());
-        }
-        *slots -= 1;
-        drop(slots);
-        let result = work();
-        *self.slots.lock().unwrap_or_else(|e| e.into_inner()) += 1;
-        self.freed.notify_one();
-        result
-    }
 }
 
-struct Shared {
-    engine: QueryEngine,
-    gate: Gate,
-    shutdown: AtomicBool,
-    requests: AtomicU64,
-    bound: Endpoint,
-    /// Read-half clones of every open connection, so shutdown can wake
-    /// blocked readers by half-closing them instead of making every
-    /// read spin on a poll timeout.
-    open: Mutex<HashMap<u64, Stream>>,
-}
-
-impl Shared {
-    /// Executes one decoded command; returns the response line and
-    /// whether it was a shutdown request.
-    fn respond(&self, id: u64, cmd: Command) -> (String, bool) {
-        self.requests.fetch_add(1, Ordering::Relaxed);
-        self.engine.metrics().incr("server.requests", 1);
-        match cmd {
-            Command::Query(req) => {
-                let line = match self.gate.run(|| self.engine.execute(&req)) {
-                    Ok(outcome) => {
-                        wire::encode_ok(id, req_name(&req), outcome.cached, &outcome.output)
-                    }
-                    Err(e) => self.error_line(id, &e),
-                };
-                (line, false)
-            }
-            Command::Watch(req) => {
-                let line = self.gate.run(|| {
-                    let mut buf = Vec::new();
-                    match failapi::watch::run(&req, &mut buf) {
-                        Ok(_) => match String::from_utf8(buf) {
-                            Ok(output) => wire::encode_ok(id, "watch", false, &output),
-                            Err(_) => self
-                                .error_line(id, &Error::run("watch produced non-UTF8 output")),
-                        },
-                        Err(e) => self.error_line(id, &e),
-                    }
-                });
-                (line, false)
-            }
-            Command::Metrics => {
-                // The live collector: engine cache counters plus the
-                // server's own, exported as the standard NDJSON trace.
-                let export = self.engine.metrics().export();
-                (wire::encode_ok(id, "metrics", false, &export), false)
-            }
-            Command::Ping => (wire::encode_ok(id, "ping", false, "pong\n"), false),
-            Command::Shutdown => {
-                self.shutdown.store(true, Ordering::SeqCst);
-                // Unblock the acceptor with a throwaway connection.
-                let _ = self.bound.connect_stream();
-                (
-                    wire::encode_ok(id, "shutdown", false, "faild: shutting down\n"),
-                    true,
-                )
-            }
-        }
-    }
-
-    fn error_line(&self, id: u64, e: &Error) -> String {
-        self.engine.metrics().incr("server.errors", 1);
-        wire::encode_err(id, e)
-    }
-}
-
-fn req_name(req: &failapi::QueryRequest) -> &'static str {
-    match req.cmd {
-        failapi::QueryCmd::Report(_) => "report",
-        failapi::QueryCmd::Compare { .. } => "compare",
-    }
-}
-
-/// Runs `faild` to completion: binds the endpoint, calls `ready` with
-/// the resolved address (print this to stdout so clients can wait for
-/// it), then serves until a client sends `shutdown`. In-flight requests
-/// finish, dirty `.fsidx` snapshots are persisted, and the summary is
-/// returned.
+/// Runs `faild` to completion with a fresh [`QueryEngine`]: binds the
+/// endpoint, calls `ready` with the resolved address (print this to
+/// stdout so clients can wait for it), then serves until a client
+/// sends `shutdown`. In-flight requests finish, dirty `.fsidx`
+/// snapshots are persisted, and the summary is returned.
 ///
 /// # Errors
 ///
 /// Fails only on bind/setup problems; per-connection I/O errors drop
 /// that connection and per-request errors become typed error envelopes.
 pub fn serve(config: ServerConfig, ready: impl FnOnce(&Endpoint)) -> Result<ServeSummary> {
+    serve_with_engine(config, QueryEngine::new(), ready)
+}
+
+/// [`serve`] with a caller-built engine — the hook for configuring
+/// the render-cache byte budget (`QueryEngine::with_cache_bytes`,
+/// the `--cache-bytes` flag) or pre-warming caches before binding.
+///
+/// # Errors
+///
+/// As [`serve`].
+pub fn serve_with_engine(
+    config: ServerConfig,
+    engine: QueryEngine,
+    ready: impl FnOnce(&Endpoint),
+) -> Result<ServeSummary> {
     let listener = Listener::bind(&config.endpoint)?;
     let bound = listener.bound_endpoint()?;
-    let shared = Arc::new(Shared {
-        engine: QueryEngine::new(),
-        gate: Gate::new(config.max_inflight),
-        shutdown: AtomicBool::new(false),
-        requests: AtomicU64::new(0),
-        bound: bound.clone(),
-        open: Mutex::new(HashMap::new()),
-    });
     ready(&bound);
-
-    let mut connections: u64 = 0;
-    let mut handlers = Vec::new();
-    let mut accept_errors = 0u32;
-    while !shared.shutdown.load(Ordering::SeqCst) {
-        let stream = match listener.accept() {
-            Ok(s) => {
-                accept_errors = 0;
-                s.into_low_latency()
-            }
-            Err(_) => {
-                // Transient accept failures happen under fd pressure;
-                // a persistent streak means the listener is gone.
-                accept_errors += 1;
-                if accept_errors > 100 {
-                    break;
-                }
-                continue;
-            }
-        };
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break; // the shutdown wake-up connection
-        }
-        connections += 1;
-        shared.engine.metrics().incr("server.connections", 1);
-        let shared = Arc::clone(&shared);
-        let id = connections;
-        handlers.push(std::thread::spawn(move || handle(stream, &shared, id)));
-    }
-    // Wake every handler blocked in a read: half-close the read side of
-    // each registered connection, which surfaces as a clean EOF.
-    {
-        let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
-        for (_, stream) in open.drain() {
-            stream.shutdown_read();
-        }
-    }
-    for handler in handlers {
-        handler.join().ok();
-    }
-    let snapshots_persisted = shared.engine.persist_dirty();
+    let summary = crate::reactor::run(listener, engine, config.max_inflight);
     if let Endpoint::Unix(path) = &bound {
         std::fs::remove_file(path).ok();
     }
-    Ok(ServeSummary {
-        connections,
-        requests: shared.requests.load(Ordering::Relaxed),
-        snapshots_persisted,
-    })
-}
-
-/// One connection: read request lines, write response lines, until EOF
-/// or shutdown. Reads block — an idle connection costs nothing; a
-/// shutdown elsewhere wakes this handler by half-closing the read side
-/// of its registered stream (a clean EOF), not via poll timeouts.
-fn handle(stream: Stream, shared: &Shared, id: u64) {
-    if let Ok(registered) = stream.try_clone() {
-        let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
-        open.insert(id, registered);
-    }
-    // The shutdown sweep drains the registry after the flag is set; a
-    // handler registering after the sweep must notice the flag itself.
-    if shared.shutdown.load(Ordering::SeqCst) {
-        deregister(shared, id);
-        return;
-    }
-    serve_connection(stream, shared);
-    deregister(shared, id);
-}
-
-fn deregister(shared: &Shared, id: u64) {
-    let mut open = shared.open.lock().unwrap_or_else(|e| e.into_inner());
-    open.remove(&id);
-}
-
-fn serve_connection(stream: Stream, shared: &Shared) {
-    let Ok(read_half) = stream.try_clone() else {
-        return;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
-    let mut line = String::new();
-    loop {
-        line.clear();
-        // A blocking read_line only returns a partial line right before
-        // EOF; loop on Interrupted so a signal cannot split a frame.
-        let complete = loop {
-            match reader.read_line(&mut line) {
-                Ok(0) => break false, // EOF (or shutdown half-close)
-                Ok(_) => {
-                    if line.ends_with('\n') {
-                        break true;
-                    }
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-                Err(_) => break false,
-            }
-        };
-        if !complete {
-            return;
-        }
-        if line.trim().is_empty() {
-            continue;
-        }
-        let (id, cmd) = wire::parse_request(&line);
-        let (response, is_shutdown) = match cmd {
-            Ok(cmd) => shared.respond(id, cmd),
-            Err(e) => {
-                shared.requests.fetch_add(1, Ordering::Relaxed);
-                shared.engine.metrics().incr("server.requests", 1);
-                (shared.error_line(id, &e), false)
-            }
-        };
-        if writeln!(writer, "{response}").and_then(|()| writer.flush()).is_err() {
-            return;
-        }
-        if is_shutdown {
-            return;
-        }
-    }
+    summary
 }

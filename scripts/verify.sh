@@ -141,6 +141,23 @@ if [ "$server_rate" -lt "$server_floor" ]; then
     exit 1
 fi
 
+# Server gate, part 1b: connection scaling. The same bench holds 64
+# connections open, all replaying warm queries against the reactor's
+# single event loop (measured ~5000 queries/s on one container core;
+# tripwire at 2000 — a return to per-connection polling threads or a
+# busy-looping event loop collapses well below that).
+server_scaled_floor=2000
+server_scaled_rate=$(sed -n 's/.*"server_scaled_queries_per_second":\([0-9]*\).*/\1/p' \
+    BENCH_pipeline.json)
+if [ -z "$server_scaled_rate" ]; then
+    echo "verify: server_scaled_queries_per_second missing from BENCH_pipeline.json" >&2
+    exit 1
+fi
+if [ "$server_scaled_rate" -lt "$server_scaled_floor" ]; then
+    echo "verify: scaled server throughput regressed: $server_scaled_rate queries/s at 64 connections < floor $server_scaled_floor" >&2
+    exit 1
+fi
+
 # Server gate, part 2: a real `faild` process serving both canonical
 # seed logs over a Unix socket. Cold queries must be byte-identical to
 # the direct CLI report, warm repeats byte-identical to cold, four
@@ -201,6 +218,37 @@ for client in 1 2 3 4; do
         exit 1
     }
 done
+# Catalog smoke: `logs` must list both cached seed logs, `evict` must
+# drop one so its next query runs cold (the response bytes still
+# byte-identical to the CLI report).
+cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+    logs > "$srv_dir/catalog.txt"
+grep -q "faild: 2 cached logs" "$srv_dir/catalog.txt" || {
+    echo "verify: faild logs did not list 2 cached logs" >&2
+    cat "$srv_dir/catalog.txt" >&2
+    exit 1
+}
+grep -q "tsubame3.fslog: records=" "$srv_dir/catalog.txt" || {
+    echo "verify: faild logs catalog is missing the tsubame3 entry" >&2
+    exit 1
+}
+cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+    evict "$srv_dir/tsubame3.fslog" | grep -q "evicted" || {
+    echo "verify: faild evict did not report an eviction" >&2
+    exit 1
+}
+cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+    logs | grep -q "faild: 1 cached log" || {
+    echo "verify: faild logs still lists the evicted log" >&2
+    exit 1
+}
+cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
+    report "$srv_dir/tsubame3.fslog" --sections "$srv_sections" \
+    > "$srv_dir/tsubame3.postevict.txt"
+cmp -s "$srv_dir/tsubame3.cli.txt" "$srv_dir/tsubame3.postevict.txt" || {
+    echo "verify: post-evict faild query differs from the direct CLI report" >&2
+    exit 1
+}
 cargo run -q --release -p failctl -- query --socket "$srv_dir/faild.sock" \
     shutdown >/dev/null
 wait "$srv_pid" || {
